@@ -1,0 +1,124 @@
+package ecopatch_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// buildTools compiles the command-line tools once per test run.
+func buildTools(t *testing.T, names ...string) map[string]string {
+	t.Helper()
+	if runtime.GOOS == "windows" {
+		t.Skip("CLI smoke test is POSIX-path based")
+	}
+	dir := t.TempDir()
+	bins := make(map[string]string, len(names))
+	for _, n := range names {
+		bin := filepath.Join(dir, n)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+n)
+		cmd.Env = os.Environ()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", n, err, out)
+		}
+		bins[n] = bin
+	}
+	return bins
+}
+
+func run(t *testing.T, bin string, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+// TestCLIEndToEnd drives the shipped tools the way a user would:
+// generate a unit, solve it, verify the equivalences, convert formats.
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	bins := buildTools(t, "ecogen", "eco", "ceccheck", "aigconv")
+	work := t.TempDir()
+
+	// 1. Generate one benchmark unit.
+	out, err := run(t, bins["ecogen"], "-unit", "unit4", "-out", work)
+	if err != nil {
+		t.Fatalf("ecogen: %v\n%s", err, out)
+	}
+	unitDir := filepath.Join(work, "unit4")
+	for _, f := range []string{"F.v", "S.v", "weight.txt"} {
+		if _, err := os.Stat(filepath.Join(unitDir, f)); err != nil {
+			t.Fatalf("ecogen did not write %s: %v", f, err)
+		}
+	}
+
+	// 2. Solve it; the tool exits nonzero on verification failure.
+	patch := filepath.Join(work, "patch.v")
+	out, err = run(t, bins["eco"], "-dir", unitDir, "-o", patch)
+	if err != nil {
+		t.Fatalf("eco: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "verified=true") {
+		t.Fatalf("eco output lacks verification:\n%s", out)
+	}
+
+	// 3. JSON mode agrees.
+	out, err = run(t, bins["eco"], "-dir", unitDir, "-json", "-o", filepath.Join(work, "p2.v"))
+	if err != nil {
+		t.Fatalf("eco -json: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, `"verified": true`) {
+		t.Fatalf("json report wrong:\n%s", out)
+	}
+
+	// 4. ceccheck: F.v is not equivalent to S.v (targets free), but
+	// S.v is equivalent to itself.
+	out, err = run(t, bins["ceccheck"], filepath.Join(unitDir, "S.v"), filepath.Join(unitDir, "S.v"))
+	if err != nil || !strings.Contains(out, "EQUIVALENT") {
+		t.Fatalf("ceccheck self: %v\n%s", err, out)
+	}
+
+	// 5. aigconv round trip S.v -> aag -> blif -> v, then CEC.
+	aag := filepath.Join(work, "s.aag")
+	blif := filepath.Join(work, "s.blif")
+	v2 := filepath.Join(work, "s2.v")
+	for i, step := range [][2]string{
+		{filepath.Join(unitDir, "S.v"), aag},
+		{aag, blif},
+		{blif, v2},
+	} {
+		args := []string{step[0], step[1]}
+		if i == 0 {
+			args = append([]string{"-opt", "-stats"}, args...)
+		}
+		out, err = run(t, bins["aigconv"], args...)
+		if err != nil {
+			t.Fatalf("aigconv %s -> %s: %v\n%s", step[0], step[1], err, out)
+		}
+	}
+	out, err = run(t, bins["ceccheck"], filepath.Join(unitDir, "S.v"), v2)
+	if err != nil || !strings.Contains(out, "EQUIVALENT") {
+		t.Fatalf("converted netlist not equivalent: %v\n%s", err, out)
+	}
+
+	// 6. Structural mode and alternative support algorithms still
+	// verify on the same unit.
+	for _, extra := range [][]string{
+		{"-support", "final"},
+		{"-support", "exact"},
+		{"-structural"},
+		{"-patch", "interp"},
+		{"-no-window"},
+	} {
+		args := append([]string{"-dir", unitDir, "-o", filepath.Join(work, "px.v")}, extra...)
+		out, err = run(t, bins["eco"], args...)
+		if err != nil {
+			t.Fatalf("eco %v: %v\n%s", extra, err, out)
+		}
+	}
+}

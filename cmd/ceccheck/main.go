@@ -1,0 +1,69 @@
+// Command ceccheck decides combinational equivalence of two netlists
+// in the contest's structural-Verilog subset (matching PIs/POs by
+// position) and prints a counterexample when they differ.
+//
+// Usage:
+//
+//	ceccheck a.v b.v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ecopatch"
+	"ecopatch/internal/aig"
+	"ecopatch/internal/cec"
+	"ecopatch/internal/netlist"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: ceccheck a.v b.v")
+		os.Exit(2)
+	}
+	g1 := loadAIG(flag.Arg(0))
+	g2 := loadAIG(flag.Arg(1))
+	res, err := cec.CheckAIGs(g1, g2)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ceccheck:", err)
+		os.Exit(1)
+	}
+	if res.Equivalent {
+		fmt.Println("EQUIVALENT")
+		return
+	}
+	fmt.Printf("NOT EQUIVALENT (output %d differs)\n", res.FailingOutput)
+	fmt.Print("counterexample:")
+	for i, v := range res.Counterexample {
+		b := 0
+		if v {
+			b = 1
+		}
+		fmt.Printf(" %s=%d", g1.PIName(i), b)
+	}
+	fmt.Println()
+	os.Exit(1)
+}
+
+func loadAIG(path string) *aig.AIG {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ceccheck:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	n, err := ecopatch.ParseNetlist(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ceccheck:", err)
+		os.Exit(1)
+	}
+	res, err := netlist.ToAIG(n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ceccheck:", err)
+		os.Exit(1)
+	}
+	return res.G
+}

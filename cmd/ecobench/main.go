@@ -1,0 +1,98 @@
+// Command ecobench regenerates the paper's evaluation on the
+// synthetic contest-suite replica.
+//
+// Modes:
+//
+//	table1   (default) — the three algorithm columns of Table 1 over
+//	         all 20 units, plus the geomean-ratio summary row;
+//	copies   — experiment E6: ECO-miter copies needed for multi-target
+//	         structural patches, full 2^k expansion vs the QBF
+//	         move-guided construction of §3.6.2;
+//	mincalls — experiment E5: SAT calls spent by minimize_assumptions
+//	         (bisection) vs the naive linear loop, over a divisor sweep;
+//	patchcmp — experiment E7: cube enumeration vs interpolation patch
+//	         sizes over the suite.
+//
+// Usage:
+//
+//	ecobench [-mode table1|copies|mincalls|patchcmp] [-scale N]
+//	         [-unit unitK] [-modes baseline,minassume,exact]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ecopatch/internal/bench"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "table1", "experiment: table1, copies, mincalls, patchcmp, all")
+		scale    = flag.Int("scale", 1, "circuit size multiplier")
+		unit     = flag.String("unit", "", "restrict table1 to one unit")
+		modesStr = flag.String("modes", strings.Join(bench.Modes, ","), "table1 algorithm columns")
+	)
+	flag.Parse()
+
+	var err error
+	switch *mode {
+	case "all":
+		for _, m := range []struct {
+			title string
+			run   func() error
+		}{
+			{"Table 1", func() error { return runTable1(*scale, *unit, strings.Split(*modesStr, ",")) }},
+			{"E5: minimize_assumptions SAT calls (§3.4.1)", func() error { return bench.RunMinCalls(os.Stdout) }},
+			{"E6: miter copies for structural multi-target (§3.6.2)", func() error { return bench.RunCopies(*scale, os.Stdout) }},
+			{"E7: cube enumeration vs interpolation (§3.5)", func() error { return bench.RunPatchCompare(*scale, os.Stdout) }},
+		} {
+			fmt.Printf("==== %s ====\n", m.title)
+			if err = m.run(); err != nil {
+				break
+			}
+			fmt.Println()
+		}
+	case "table1":
+		err = runTable1(*scale, *unit, strings.Split(*modesStr, ","))
+	case "copies":
+		err = bench.RunCopies(*scale, os.Stdout)
+	case "mincalls":
+		err = bench.RunMinCalls(os.Stdout)
+	case "patchcmp":
+		err = bench.RunPatchCompare(*scale, os.Stdout)
+	default:
+		err = fmt.Errorf("unknown -mode %q", *mode)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ecobench:", err)
+		os.Exit(1)
+	}
+}
+
+func runTable1(scale int, unit string, modes []string) error {
+	if unit == "" {
+		_, err := bench.RunTable1(scale, modes, os.Stdout)
+		return err
+	}
+	cfg, err := bench.ConfigByName(scale, unit)
+	if err != nil {
+		return err
+	}
+	row := bench.Table1Row{}
+	for _, m := range modes {
+		r, err := bench.RunUnit(cfg, m)
+		if err != nil {
+			return err
+		}
+		if row.Unit == "" {
+			row = r
+		} else {
+			row.Results[m] = r.Results[m]
+		}
+	}
+	bench.PrintTable1(os.Stdout, []bench.Table1Row{row}, modes)
+	return nil
+}

@@ -1,0 +1,47 @@
+// Command ecogen materializes the synthetic replica of the ICCAD-2017
+// CAD Contest Problem A benchmark suite to disk: 20 unit directories,
+// each with F.v (old implementation with free t_* points), S.v (new
+// specification) and weight.txt.
+//
+// Usage:
+//
+//	ecogen [-scale N] [-out benchmarks] [-unit unit7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ecopatch"
+	"ecopatch/internal/bench"
+)
+
+func main() {
+	var (
+		scale = flag.Int("scale", 1, "circuit size multiplier (1 = laptop-fast)")
+		out   = flag.String("out", "benchmarks", "output directory")
+		unit  = flag.String("unit", "", "generate only this unit")
+	)
+	flag.Parse()
+
+	for _, cfg := range bench.Suite(*scale) {
+		if *unit != "" && cfg.Name != *unit {
+			continue
+		}
+		inst, err := ecopatch.GenerateBench(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ecogen: %s: %v\n", cfg.Name, err)
+			os.Exit(1)
+		}
+		dir := filepath.Join(*out, cfg.Name)
+		if err := inst.SaveDir(dir); err != nil {
+			fmt.Fprintf(os.Stderr, "ecogen: %s: %v\n", cfg.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-8s %-7s targets=%-3d gatesF=%-6d gatesS=%-6d profile=%s -> %s\n",
+			cfg.Name, cfg.Family, cfg.Targets, inst.Impl.NumGates(), inst.Spec.NumGates(),
+			cfg.Profile, dir)
+	}
+}

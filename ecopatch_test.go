@@ -1,0 +1,139 @@
+package ecopatch_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ecopatch"
+	"ecopatch/internal/eco"
+)
+
+func TestPublicAPISolve(t *testing.T) {
+	impl, err := ecopatch.ParseNetlistString(`
+module top (a, b, f);
+input a, b;
+output f;
+and (f, a, t_0);
+endmodule`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ecopatch.ParseNetlistString(`
+module top (a, b, f);
+input a, b;
+output f;
+and (f, a, b);
+endmodule`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := &ecopatch.Instance{
+		Name: "api", Impl: impl, Spec: spec, Weights: ecopatch.NewWeights(),
+	}
+	res, err := ecopatch.Solve(inst, ecopatch.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || !res.Verified {
+		t.Fatalf("feasible=%v verified=%v", res.Feasible, res.Verified)
+	}
+	ok, err := ecopatch.VerifyPatch(inst, res.Patch)
+	if err != nil || !ok {
+		t.Fatalf("VerifyPatch ok=%v err=%v", ok, err)
+	}
+}
+
+func TestLoadSaveDirRoundTrip(t *testing.T) {
+	inst, err := ecopatch.GenerateBench(ecopatch.BenchConfig{
+		Name: "io", Seed: 3, Family: ecopatch.FamAdder,
+		Size: 3, Targets: 1, Profile: ecopatch.T4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "io")
+	if err := inst.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"F.v", "S.v", "weight.txt"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("missing %s: %v", f, err)
+		}
+	}
+	back, err := ecopatch.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Impl.NumGates() != inst.Impl.NumGates() || back.Spec.NumGates() != inst.Spec.NumGates() {
+		t.Fatal("round trip changed gate counts")
+	}
+	res, err := ecopatch.Solve(back, ecopatch.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatal("round-tripped instance not solvable")
+	}
+}
+
+func TestBenchSuiteAccessors(t *testing.T) {
+	suite := ecopatch.BenchSuite(1)
+	if len(suite) != 20 {
+		t.Fatalf("suite size %d", len(suite))
+	}
+	names := make(map[string]bool)
+	for _, cfg := range suite {
+		if names[cfg.Name] {
+			t.Fatalf("duplicate unit %s", cfg.Name)
+		}
+		names[cfg.Name] = true
+		if !strings.HasPrefix(cfg.Name, "unit") {
+			t.Fatalf("unexpected unit name %q", cfg.Name)
+		}
+	}
+}
+
+func TestWriteNetlistOutput(t *testing.T) {
+	n, err := ecopatch.ParseNetlistString(`
+module m (a, f);
+input a;
+output f;
+not (f, a);
+endmodule`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := ecopatch.WriteNetlist(&sb, n); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "module m") || !strings.Contains(sb.String(), "not (f, a);") {
+		t.Fatalf("unexpected output:\n%s", sb.String())
+	}
+}
+
+func TestCompareMinimizeProbe(t *testing.T) {
+	inst, err := ecopatch.GenerateBench(ecopatch.BenchConfig{
+		Name: "probe", Seed: 11, Family: ecopatch.FamRandom,
+		Size: 120, Targets: 1, Profile: ecopatch.T8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := eco.CompareMinimize(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Divisors == 0 {
+		t.Fatal("no divisors")
+	}
+	if cmp.LinearCalls != cmp.Divisors {
+		t.Fatalf("linear loop must make exactly N calls: %d vs %d", cmp.LinearCalls, cmp.Divisors)
+	}
+	if cmp.BisectionCalls >= cmp.LinearCalls && cmp.Divisors > 32 {
+		t.Fatalf("bisection (%d calls) should beat linear (%d) at N=%d",
+			cmp.BisectionCalls, cmp.LinearCalls, cmp.Divisors)
+	}
+}

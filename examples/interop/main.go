@@ -1,0 +1,97 @@
+// Interop: move a circuit through every format this repository
+// speaks — contest Verilog, ASCII/binary AIGER, BLIF — and prove each
+// conversion lossless with the equivalence checker; then run the
+// optimization pipeline and SAT sweeping on a redundancy-laden AIG.
+//
+// Run with: go run ./examples/interop
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"ecopatch"
+	"ecopatch/internal/aig"
+	"ecopatch/internal/blif"
+	"ecopatch/internal/cec"
+	"ecopatch/internal/netlist"
+	"ecopatch/internal/synth"
+)
+
+func main() {
+	// A benchmark ALU as the traveling circuit.
+	inst, err := ecopatch.GenerateBench(ecopatch.BenchConfig{
+		Name: "demo", Seed: 7, Family: ecopatch.FamALU,
+		Size: 4, Targets: 1, Profile: ecopatch.T3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := netlist.ToAIG(inst.Spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := res.G
+	fmt.Printf("source circuit: %d PIs, %d POs, %d ANDs\n", g.NumPIs(), g.NumPOs(), g.NumAnds())
+
+	check := func(label string, h *aig.AIG) {
+		r, err := cec.CheckAIGs(g, h)
+		if err != nil {
+			log.Fatalf("%s: %v", label, err)
+		}
+		fmt.Printf("%-22s %4d ANDs  equivalent=%v\n", label, h.NumAnds(), r.Equivalent)
+		if !r.Equivalent {
+			log.Fatalf("%s: conversion changed the function", label)
+		}
+	}
+
+	// ASCII AIGER.
+	var aag bytes.Buffer
+	if err := aig.WriteASCIIAiger(&aag, g); err != nil {
+		log.Fatal(err)
+	}
+	fromAag, err := aig.ReadAiger(bytes.NewReader(aag.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	check("ascii aiger round trip", fromAag)
+
+	// Binary AIGER.
+	var bin bytes.Buffer
+	if err := aig.WriteBinaryAiger(&bin, g); err != nil {
+		log.Fatal(err)
+	}
+	fromBin, err := aig.ReadAiger(bytes.NewReader(bin.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	check("binary aiger round trip", fromBin)
+
+	// BLIF.
+	var bl bytes.Buffer
+	if err := blif.Write(&bl, g, "demo"); err != nil {
+		log.Fatal(err)
+	}
+	fromBlif, err := blif.Read(bytes.NewReader(bl.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	check("blif round trip", fromBlif)
+
+	// Verilog subset.
+	nl := netlist.FromAIG(g, "demo")
+	back, err := netlist.ToAIG(nl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	check("verilog round trip", back.G)
+
+	// Optimization + sweeping on the BLIF-read copy (the per-cube
+	// .names expansion leaves redundancy behind).
+	fmt.Println()
+	opt := synth.Optimize(fromBlif)
+	check("balance+refactor", opt)
+	swept := cec.Sweep(fromBlif, cec.DefaultSweepOptions())
+	check("sat sweeping", swept)
+}

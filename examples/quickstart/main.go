@@ -1,0 +1,86 @@
+// Quickstart: fix a one-gate specification change.
+//
+// The old implementation computed f = a & (b | c). The specification
+// changed the inner function to b ^ c. The implementation netlist has
+// the inner gate cut out — its readers now see the free target point
+// t_0 — and the ECO engine must synthesize a patch for t_0 from
+// existing signals.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"ecopatch"
+)
+
+const implSrc = `
+module top (a, b, c, f);
+input a, b, c;
+output f;
+and (f, a, t_0);
+endmodule
+`
+
+const specSrc = `
+module top (a, b, c, f);
+input a, b, c;
+output f;
+wire w;
+xor (w, b, c);
+and (f, a, w);
+endmodule
+`
+
+func main() {
+	impl, err := ecopatch.ParseNetlistString(implSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := ecopatch.ParseNetlistString(specSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	weights := ecopatch.NewWeights()
+	for _, sig := range []string{"a", "b", "c"} {
+		weights.Set(sig, 10)
+	}
+
+	inst := &ecopatch.Instance{
+		Name:    "quickstart",
+		Impl:    impl,
+		Spec:    spec,
+		Weights: weights,
+	}
+
+	res, err := ecopatch.Solve(inst, ecopatch.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Feasible {
+		log.Fatal("the target point cannot rectify this change")
+	}
+
+	fmt.Printf("feasible: %v, verified: %v\n", res.Feasible, res.Verified)
+	for _, p := range res.Patches {
+		fmt.Printf("patch for %s: support=%v cost=%d gates=%d cubes=%d\n",
+			p.Target, p.Support, p.Cost, p.Gates, p.Cubes)
+	}
+	fmt.Println(strings.Repeat("-", 40))
+	if err := ecopatch.WriteNetlist(os.Stdout, res.Patch); err != nil {
+		log.Fatal(err)
+	}
+
+	// Independent verification: splice the patch back into the
+	// implementation and re-check equivalence.
+	ok, err := ecopatch.VerifyPatch(inst, res.Patch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(strings.Repeat("-", 40))
+	fmt.Println("independent verification:", ok)
+}

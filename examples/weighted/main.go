@@ -1,0 +1,112 @@
+// Cost-aware support selection: the same functional fix under the
+// eight contest weight profiles (T1–T8), and a hand-built case where
+// the three support algorithms of §3.4 pick measurably different
+// supports.
+//
+// Run with: go run ./examples/weighted
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ecopatch"
+)
+
+const implSrc = `
+module top (a, b, c, d, f, aux);
+input a, b, c, d;
+output f, aux;
+wire wAnd, wOr, wMix;
+and (wAnd, b, c);
+or  (wOr, b, c);
+xor (wMix, wAnd, d);
+and (f, a, t_0);
+or  (aux, wMix, wOr);
+endmodule
+`
+
+const specSrc = `
+module top (a, b, c, d, f, aux);
+input a, b, c, d;
+output f, aux;
+wire wAnd, wOr, wMix, wNew;
+and (wAnd, b, c);
+or  (wOr, b, c);
+xor (wMix, wAnd, d);
+and (wNew, b, c);
+and (f, a, wNew);
+or  (aux, wMix, wOr);
+endmodule
+`
+
+func main() {
+	// The true change sets t_0 := b & c. Candidate supports include
+	// the inputs {b, c} and the internal signal wAnd == b&c. Which one
+	// the engine picks depends entirely on the weights.
+	scenarios := []struct {
+		name  string
+		costs map[string]int
+	}{
+		{"internal signal cheap", map[string]int{
+			"a": 8, "b": 8, "c": 8, "d": 8, "wAnd": 1, "wOr": 9, "wMix": 9, "f": 99, "aux": 99}},
+		{"inputs cheap (T1-like)", map[string]int{
+			"a": 1, "b": 1, "c": 1, "d": 1, "wAnd": 30, "wOr": 30, "wMix": 30, "f": 99, "aux": 99}},
+		{"everything expensive but wOr", map[string]int{
+			"a": 50, "b": 50, "c": 50, "d": 50, "wAnd": 40, "wOr": 2, "wMix": 50, "f": 99, "aux": 99}},
+	}
+
+	for _, sc := range scenarios {
+		impl, err := ecopatch.ParseNetlistString(implSrc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec, err := ecopatch.ParseNetlistString(specSrc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := ecopatch.NewWeights()
+		for k, v := range sc.costs {
+			w.Set(k, v)
+		}
+		inst := &ecopatch.Instance{Name: sc.name, Impl: impl, Spec: spec, Weights: w}
+
+		fmt.Printf("── %s\n", sc.name)
+		for _, algo := range []struct {
+			label string
+			a     ecopatch.SupportAlgo
+		}{
+			{"analyze_final       ", ecopatch.SupportAnalyzeFinal},
+			{"minimize_assumptions", ecopatch.SupportMinimize},
+			{"SAT_prune (exact)   ", ecopatch.SupportExact},
+		} {
+			opt := ecopatch.DefaultOptions()
+			opt.Support = algo.a
+			res, err := ecopatch.Solve(inst, opt)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %s support=%-14v cost=%-4d gates=%d verified=%v\n",
+				algo.label, res.Patches[0].Support, res.TotalCost,
+				res.TotalGates, res.Verified)
+		}
+	}
+
+	// The same structural change under the synthetic contest profiles.
+	fmt.Println("\n── one ALU ECO under the eight contest weight profiles")
+	for p := ecopatch.T1; p <= ecopatch.T8; p++ {
+		inst, err := ecopatch.GenerateBench(ecopatch.BenchConfig{
+			Name: "profile-demo", Seed: 99, Family: ecopatch.FamALU,
+			Size: 5, Targets: 1, Profile: p,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := ecopatch.Solve(inst, ecopatch.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %v: support=%v cost=%d verified=%v\n",
+			p, res.Patches[0].Support, res.TotalCost, res.Verified)
+	}
+}

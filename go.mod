@@ -1,0 +1,3 @@
+module ecopatch
+
+go 1.22

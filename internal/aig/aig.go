@@ -1,0 +1,329 @@
+// Package aig implements And-Inverter Graphs: the circuit
+// representation the ECO engine manipulates. Nodes are two-input AND
+// gates; edges carry an optional complement (inversion) flag. The
+// package provides structurally hashed construction (so equivalent
+// AND gates are created once), constant folding, cone extraction,
+// cofactoring and composition (Transfer), quantification by cofactor
+// expansion, and 64-bit parallel simulation.
+//
+// Node 0 is the constant-false node. Primary inputs and AND nodes are
+// appended after it; fanins always point to lower node indices, so
+// node order is a topological order by construction.
+package aig
+
+import "fmt"
+
+// Lit is an edge in the AIG: node index times two, plus one when the
+// edge is complemented.
+type Lit uint32
+
+// Constant edges.
+const (
+	ConstFalse Lit = 0
+	ConstTrue  Lit = 1
+)
+
+// MkLit builds the edge to node, complemented when compl is set.
+func MkLit(node int, compl bool) Lit {
+	l := Lit(node) << 1
+	if compl {
+		l |= 1
+	}
+	return l
+}
+
+// Node returns the node index of the edge.
+func (l Lit) Node() int { return int(l >> 1) }
+
+// Compl reports whether the edge is complemented.
+func (l Lit) Compl() bool { return l&1 == 1 }
+
+// Not returns the complemented edge.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// XorCompl complements the edge when c is true.
+func (l Lit) XorCompl(c bool) Lit {
+	if c {
+		return l ^ 1
+	}
+	return l
+}
+
+// Regular strips the complement flag.
+func (l Lit) Regular() Lit { return l &^ 1 }
+
+func (l Lit) String() string {
+	if l.Compl() {
+		return fmt.Sprintf("!n%d", l.Node())
+	}
+	return fmt.Sprintf("n%d", l.Node())
+}
+
+// nodeKind discriminates the three node types.
+type nodeKind uint8
+
+const (
+	kindConst nodeKind = iota
+	kindPI
+	kindAnd
+)
+
+type node struct {
+	f0, f1 Lit
+	kind   nodeKind
+}
+
+// AIG is a combinational And-Inverter Graph with named primary inputs
+// and outputs. The zero value is not usable; construct with New.
+type AIG struct {
+	nodes  []node
+	strash map[uint64]Lit
+
+	pis     []int // node indices of PIs, in creation order
+	piNames []string
+
+	pos     []Lit
+	poNames []string
+}
+
+// New returns an AIG containing only the constant node.
+func New() *AIG {
+	g := &AIG{strash: make(map[uint64]Lit)}
+	g.nodes = append(g.nodes, node{kind: kindConst})
+	return g
+}
+
+// NumNodes returns the total node count including the constant node.
+func (g *AIG) NumNodes() int { return len(g.nodes) }
+
+// NumAnds returns the number of AND nodes.
+func (g *AIG) NumAnds() int { return len(g.nodes) - 1 - len(g.pis) }
+
+// NumPIs returns the number of primary inputs.
+func (g *AIG) NumPIs() int { return len(g.pis) }
+
+// NumPOs returns the number of primary outputs.
+func (g *AIG) NumPOs() int { return len(g.pos) }
+
+// AddPI appends a primary input with the given name and returns its
+// positive edge.
+func (g *AIG) AddPI(name string) Lit {
+	idx := len(g.nodes)
+	g.nodes = append(g.nodes, node{kind: kindPI})
+	g.pis = append(g.pis, idx)
+	g.piNames = append(g.piNames, name)
+	return MkLit(idx, false)
+}
+
+// AddPO appends a primary output driven by f.
+func (g *AIG) AddPO(name string, f Lit) {
+	g.pos = append(g.pos, f)
+	g.poNames = append(g.poNames, name)
+}
+
+// PI returns the positive edge of the i-th primary input.
+func (g *AIG) PI(i int) Lit { return MkLit(g.pis[i], false) }
+
+// PIName returns the name of the i-th primary input.
+func (g *AIG) PIName(i int) string { return g.piNames[i] }
+
+// PIIndex returns, for a PI node index, its position among the PIs,
+// or -1 if the node is not a PI.
+func (g *AIG) PIIndex(nodeIdx int) int {
+	for i, p := range g.pis {
+		if p == nodeIdx {
+			return i
+		}
+	}
+	return -1
+}
+
+// PO returns the edge driving the i-th primary output.
+func (g *AIG) PO(i int) Lit { return g.pos[i] }
+
+// POName returns the name of the i-th primary output.
+func (g *AIG) POName(i int) string { return g.poNames[i] }
+
+// SetPO redirects the i-th primary output to f.
+func (g *AIG) SetPO(i int, f Lit) { g.pos[i] = f }
+
+// IsPI reports whether node idx is a primary input.
+func (g *AIG) IsPI(idx int) bool { return g.nodes[idx].kind == kindPI }
+
+// IsAnd reports whether node idx is an AND gate.
+func (g *AIG) IsAnd(idx int) bool { return g.nodes[idx].kind == kindAnd }
+
+// IsConst reports whether node idx is the constant node.
+func (g *AIG) IsConst(idx int) bool { return g.nodes[idx].kind == kindConst }
+
+// Fanins returns both fanin edges of an AND node.
+func (g *AIG) Fanins(idx int) (Lit, Lit) {
+	n := g.nodes[idx]
+	return n.f0, n.f1
+}
+
+func strashKey(a, b Lit) uint64 { return uint64(a)<<32 | uint64(b) }
+
+// And returns an edge computing a AND b, with constant folding and
+// structural hashing.
+func (g *AIG) And(a, b Lit) Lit {
+	// Constant and trivial cases.
+	switch {
+	case a == ConstFalse || b == ConstFalse || a == b.Not():
+		return ConstFalse
+	case a == ConstTrue:
+		return b
+	case b == ConstTrue || a == b:
+		return a
+	}
+	// Canonical order: smaller edge first.
+	if a > b {
+		a, b = b, a
+	}
+	key := strashKey(a, b)
+	if l, ok := g.strash[key]; ok {
+		return l
+	}
+	idx := len(g.nodes)
+	g.nodes = append(g.nodes, node{f0: a, f1: b, kind: kindAnd})
+	l := MkLit(idx, false)
+	g.strash[key] = l
+	return l
+}
+
+// Or returns a OR b.
+func (g *AIG) Or(a, b Lit) Lit { return g.And(a.Not(), b.Not()).Not() }
+
+// Nand returns NOT (a AND b).
+func (g *AIG) Nand(a, b Lit) Lit { return g.And(a, b).Not() }
+
+// Nor returns NOT (a OR b).
+func (g *AIG) Nor(a, b Lit) Lit { return g.Or(a, b).Not() }
+
+// Xor returns a XOR b.
+func (g *AIG) Xor(a, b Lit) Lit {
+	return g.Or(g.And(a, b.Not()), g.And(a.Not(), b))
+}
+
+// Xnor returns NOT (a XOR b).
+func (g *AIG) Xnor(a, b Lit) Lit { return g.Xor(a, b).Not() }
+
+// Mux returns (sel ? t : e).
+func (g *AIG) Mux(sel, t, e Lit) Lit {
+	return g.Or(g.And(sel, t), g.And(sel.Not(), e))
+}
+
+// Implies returns (a -> b).
+func (g *AIG) Implies(a, b Lit) Lit { return g.Or(a.Not(), b) }
+
+// AndN folds And over all the given edges (true for none).
+func (g *AIG) AndN(ls ...Lit) Lit {
+	acc := ConstTrue
+	for _, l := range ls {
+		acc = g.And(acc, l)
+	}
+	return acc
+}
+
+// OrN folds Or over all the given edges (false for none).
+func (g *AIG) OrN(ls ...Lit) Lit {
+	acc := ConstFalse
+	for _, l := range ls {
+		acc = g.Or(acc, l)
+	}
+	return acc
+}
+
+// ConeNodes returns the node indices (ascending, hence topologically
+// ordered) of all nodes in the transitive fanin cones of roots,
+// including PI and constant nodes reached.
+func (g *AIG) ConeNodes(roots []Lit) []int {
+	mark := make([]bool, len(g.nodes))
+	var stack []int
+	for _, r := range roots {
+		if !mark[r.Node()] {
+			mark[r.Node()] = true
+			stack = append(stack, r.Node())
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if g.nodes[n].kind != kindAnd {
+			continue
+		}
+		for _, f := range []Lit{g.nodes[n].f0, g.nodes[n].f1} {
+			if !mark[f.Node()] {
+				mark[f.Node()] = true
+				stack = append(stack, f.Node())
+			}
+		}
+	}
+	var out []int
+	for i, m := range mark {
+		if m {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ConeSize returns the number of AND nodes in the cones of roots.
+func (g *AIG) ConeSize(roots []Lit) int {
+	n := 0
+	for _, idx := range g.ConeNodes(roots) {
+		if g.IsAnd(idx) {
+			n++
+		}
+	}
+	return n
+}
+
+// SupportPIs returns the PI positions (indices into the PI list) in
+// the transitive fanin of roots.
+func (g *AIG) SupportPIs(roots []Lit) []int {
+	pos := make(map[int]int, len(g.pis))
+	for i, p := range g.pis {
+		pos[p] = i
+	}
+	var out []int
+	for _, idx := range g.ConeNodes(roots) {
+		if g.IsPI(idx) {
+			out = append(out, pos[idx])
+		}
+	}
+	return out
+}
+
+// Levels returns, for every node, its logic depth (PIs and the
+// constant are level 0; an AND node is one more than its deepest
+// fanin).
+func (g *AIG) Levels() []int {
+	lv := make([]int, len(g.nodes))
+	for i, n := range g.nodes {
+		if n.kind == kindAnd {
+			l0, l1 := lv[n.f0.Node()], lv[n.f1.Node()]
+			if l0 < l1 {
+				l0 = l1
+			}
+			lv[i] = l0 + 1
+		}
+	}
+	return lv
+}
+
+// FanoutCounts returns the number of fanout edges per node
+// (PO references included).
+func (g *AIG) FanoutCounts() []int {
+	fc := make([]int, len(g.nodes))
+	for _, n := range g.nodes {
+		if n.kind == kindAnd {
+			fc[n.f0.Node()]++
+			fc[n.f1.Node()]++
+		}
+	}
+	for _, p := range g.pos {
+		fc[p.Node()]++
+	}
+	return fc
+}

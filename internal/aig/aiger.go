@@ -1,0 +1,315 @@
+package aig
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements the AIGER combinational exchange format
+// (Biere's aag/aig formats, latch-free subset), so circuits can be
+// moved between this package and standard AIG tooling.
+
+// WriteASCIIAiger emits the circuit in the ASCII "aag" format.
+func WriteASCIIAiger(w io.Writer, g *AIG) error {
+	bw := bufio.NewWriter(w)
+	order, lit := aigerNumbering(g)
+	nAnds := len(order)
+	fmt.Fprintf(bw, "aag %d %d 0 %d %d\n", g.NumPIs()+nAnds, g.NumPIs(), g.NumPOs(), nAnds)
+	for i := 0; i < g.NumPIs(); i++ {
+		fmt.Fprintf(bw, "%d\n", lit[g.PI(i).Node()])
+	}
+	for i := 0; i < g.NumPOs(); i++ {
+		fmt.Fprintf(bw, "%d\n", aigerLit(lit, g.PO(i)))
+	}
+	for _, n := range order {
+		f0, f1 := g.Fanins(n)
+		a, b := aigerLit(lit, f0), aigerLit(lit, f1)
+		if a < b {
+			a, b = b, a
+		}
+		fmt.Fprintf(bw, "%d %d %d\n", lit[n], a, b)
+	}
+	// Symbol table: input and output names.
+	for i := 0; i < g.NumPIs(); i++ {
+		fmt.Fprintf(bw, "i%d %s\n", i, g.PIName(i))
+	}
+	for i := 0; i < g.NumPOs(); i++ {
+		fmt.Fprintf(bw, "o%d %s\n", i, g.POName(i))
+	}
+	return bw.Flush()
+}
+
+// WriteBinaryAiger emits the circuit in the binary "aig" format.
+func WriteBinaryAiger(w io.Writer, g *AIG) error {
+	bw := bufio.NewWriter(w)
+	order, lit := aigerNumbering(g)
+	nAnds := len(order)
+	fmt.Fprintf(bw, "aig %d %d 0 %d %d\n", g.NumPIs()+nAnds, g.NumPIs(), g.NumPOs(), nAnds)
+	for i := 0; i < g.NumPOs(); i++ {
+		fmt.Fprintf(bw, "%d\n", aigerLit(lit, g.PO(i)))
+	}
+	for _, n := range order {
+		f0, f1 := g.Fanins(n)
+		a, b := aigerLit(lit, f0), aigerLit(lit, f1)
+		if a < b {
+			a, b = b, a
+		}
+		lhs := lit[n]
+		writeDelta(bw, uint32(lhs-a))
+		writeDelta(bw, uint32(a-b))
+	}
+	for i := 0; i < g.NumPIs(); i++ {
+		fmt.Fprintf(bw, "i%d %s\n", i, g.PIName(i))
+	}
+	for i := 0; i < g.NumPOs(); i++ {
+		fmt.Fprintf(bw, "o%d %s\n", i, g.POName(i))
+	}
+	return bw.Flush()
+}
+
+// aigerNumbering assigns AIGER literals: inputs get 2,4,..., ANDs in
+// the cone of the outputs get consecutive literals afterwards in
+// topological order. lit maps node index -> positive AIGER literal.
+func aigerNumbering(g *AIG) (andOrder []int, lit []int) {
+	lit = make([]int, g.NumNodes())
+	for i := range lit {
+		lit[i] = -1
+	}
+	lit[0] = 0
+	for i := 0; i < g.NumPIs(); i++ {
+		lit[g.PI(i).Node()] = 2 * (i + 1)
+	}
+	roots := make([]Lit, g.NumPOs())
+	for i := range roots {
+		roots[i] = g.PO(i)
+	}
+	next := 2 * (g.NumPIs() + 1)
+	for _, n := range g.ConeNodes(roots) {
+		if g.IsAnd(n) {
+			andOrder = append(andOrder, n)
+			lit[n] = next
+			next += 2
+		}
+	}
+	return andOrder, lit
+}
+
+func aigerLit(lit []int, l Lit) int {
+	v := lit[l.Node()]
+	if l.Compl() {
+		return v + 1
+	}
+	return v
+}
+
+func writeDelta(w *bufio.Writer, x uint32) {
+	for x >= 0x80 {
+		w.WriteByte(byte(x&0x7f | 0x80))
+		x >>= 7
+	}
+	w.WriteByte(byte(x))
+}
+
+// ReadAiger parses either the ASCII ("aag") or binary ("aig") format
+// (combinational subset: zero latches) and rebuilds the circuit with
+// structural hashing.
+func ReadAiger(r io.Reader) (*AIG, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("aiger: %w", err)
+	}
+	fields := strings.Fields(header)
+	if len(fields) != 6 || (fields[0] != "aag" && fields[0] != "aig") {
+		return nil, fmt.Errorf("aiger: malformed header %q", strings.TrimSpace(header))
+	}
+	nums := make([]int, 5)
+	for i, f := range fields[1:] {
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("aiger: bad header field %q", f)
+		}
+		nums[i] = n
+	}
+	maxVar, nIn, nLatch, nOut, nAnd := nums[0], nums[1], nums[2], nums[3], nums[4]
+	if nLatch != 0 {
+		return nil, fmt.Errorf("aiger: sequential files (latches) are not supported")
+	}
+	if maxVar < nIn+nAnd {
+		return nil, fmt.Errorf("aiger: header M=%d < I+A=%d", maxVar, nIn+nAnd)
+	}
+
+	g := New()
+	// edgeOf maps AIGER variable -> AIG edge; defined tracks which
+	// variables have been given a function (AND definitions must be
+	// in topological order, as this package writes them).
+	edgeOf := make([]Lit, maxVar+1)
+	defined := make([]bool, maxVar+1)
+	defined[0] = true // constant
+	for i := 0; i < nIn; i++ {
+		edgeOf[i+1] = g.AddPI(fmt.Sprintf("i%d", i))
+		defined[i+1] = true
+	}
+	conv := func(aigerL int) (Lit, error) {
+		v := aigerL >> 1
+		if v > maxVar {
+			return 0, fmt.Errorf("aiger: literal %d out of range", aigerL)
+		}
+		if !defined[v] {
+			return 0, fmt.Errorf("aiger: variable %d used before its definition (file not topologically ordered)", v)
+		}
+		return edgeOf[v].XorCompl(aigerL&1 == 1), nil
+	}
+
+	readInt := func() (int, error) {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return 0, fmt.Errorf("aiger: %w", err)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(line))
+		if err != nil {
+			return 0, fmt.Errorf("aiger: bad integer line %q", strings.TrimSpace(line))
+		}
+		return n, nil
+	}
+
+	var outLits []int
+	if fields[0] == "aag" {
+		inLits := make([]int, nIn)
+		for i := range inLits {
+			n, err := readInt()
+			if err != nil {
+				return nil, err
+			}
+			inLits[i] = n
+			if n != 2*(i+1) {
+				return nil, fmt.Errorf("aiger: non-canonical input literal %d", n)
+			}
+		}
+		for i := 0; i < nOut; i++ {
+			n, err := readInt()
+			if err != nil {
+				return nil, err
+			}
+			outLits = append(outLits, n)
+		}
+		for i := 0; i < nAnd; i++ {
+			line, err := br.ReadString('\n')
+			if err != nil {
+				return nil, fmt.Errorf("aiger: %w", err)
+			}
+			var lhs, a, b int
+			if _, err := fmt.Sscanf(strings.TrimSpace(line), "%d %d %d", &lhs, &a, &b); err != nil {
+				return nil, fmt.Errorf("aiger: bad AND line %q", strings.TrimSpace(line))
+			}
+			ea, err := conv(a)
+			if err != nil {
+				return nil, err
+			}
+			eb, err := conv(b)
+			if err != nil {
+				return nil, err
+			}
+			if lhs&1 == 1 || lhs>>1 > maxVar {
+				return nil, fmt.Errorf("aiger: bad AND lhs %d", lhs)
+			}
+			edgeOf[lhs>>1] = g.And(ea, eb)
+			defined[lhs>>1] = true
+		}
+	} else {
+		for i := 0; i < nOut; i++ {
+			n, err := readInt()
+			if err != nil {
+				return nil, err
+			}
+			outLits = append(outLits, n)
+		}
+		for i := 0; i < nAnd; i++ {
+			lhs := 2 * (nIn + 1 + i)
+			d1, err := readDelta(br)
+			if err != nil {
+				return nil, err
+			}
+			d2, err := readDelta(br)
+			if err != nil {
+				return nil, err
+			}
+			a := lhs - int(d1)
+			b := a - int(d2)
+			if a < 0 || b < 0 {
+				return nil, fmt.Errorf("aiger: negative literal in binary AND %d", i)
+			}
+			ea, err := conv(a)
+			if err != nil {
+				return nil, err
+			}
+			eb, err := conv(b)
+			if err != nil {
+				return nil, err
+			}
+			edgeOf[lhs>>1] = g.And(ea, eb)
+			defined[lhs>>1] = true
+		}
+	}
+
+	// Optional symbol table.
+	names := map[string]string{}
+	for {
+		line, err := br.ReadString('\n')
+		if line == "" && err != nil {
+			break
+		}
+		line = strings.TrimSpace(line)
+		if line == "c" {
+			break // comment section
+		}
+		if line != "" {
+			parts := strings.SplitN(line, " ", 2)
+			if len(parts) == 2 {
+				names[parts[0]] = parts[1]
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
+	for i := 0; i < nIn; i++ {
+		if nm, ok := names[fmt.Sprintf("i%d", i)]; ok {
+			g.piNames[i] = nm
+		}
+	}
+	for i, ol := range outLits {
+		e, err := conv(ol)
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("o%d", i)
+		if nm, ok := names[name]; ok {
+			name = nm
+		}
+		g.AddPO(name, e)
+	}
+	return g, nil
+}
+
+func readDelta(br *bufio.Reader) (uint32, error) {
+	var x uint32
+	shift := 0
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, fmt.Errorf("aiger: truncated binary section: %w", err)
+		}
+		x |= uint32(b&0x7f) << uint(shift)
+		if b&0x80 == 0 {
+			return x, nil
+		}
+		shift += 7
+		if shift > 28 {
+			return 0, fmt.Errorf("aiger: delta encoding overflow")
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package aig
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func equalFunction(t *testing.T, g1, g2 *AIG, rng *rand.Rand) {
+	t.Helper()
+	if g1.NumPIs() != g2.NumPIs() || g1.NumPOs() != g2.NumPOs() {
+		t.Fatalf("shape mismatch: %d/%d PIs, %d/%d POs",
+			g1.NumPIs(), g2.NumPIs(), g1.NumPOs(), g2.NumPOs())
+	}
+	for trial := 0; trial < 200; trial++ {
+		in := make([]bool, g1.NumPIs())
+		for i := range in {
+			in[i] = rng.Intn(2) == 1
+		}
+		o1, o2 := g1.Eval(in), g2.Eval(in)
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				t.Fatalf("output %d differs at %v", i, in)
+			}
+		}
+	}
+}
+
+func TestAigerASCIIRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for iter := 0; iter < 20; iter++ {
+		g := randomAIG(rng, 4+rng.Intn(5), 5+rng.Intn(40), 1+rng.Intn(3))
+		var buf bytes.Buffer
+		if err := WriteASCIIAiger(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadAiger(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("iter %d: %v\n%s", iter, err, buf.String())
+		}
+		equalFunction(t, g, back, rng)
+	}
+}
+
+func TestAigerBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for iter := 0; iter < 20; iter++ {
+		g := randomAIG(rng, 4+rng.Intn(5), 5+rng.Intn(40), 1+rng.Intn(3))
+		var buf bytes.Buffer
+		if err := WriteBinaryAiger(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadAiger(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		equalFunction(t, g, back, rng)
+	}
+}
+
+func TestAigerPreservesNames(t *testing.T) {
+	g := New()
+	a := g.AddPI("alpha")
+	b := g.AddPI("beta")
+	g.AddPO("gamma", g.And(a, b))
+	var buf bytes.Buffer
+	if err := WriteASCIIAiger(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadAiger(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.PIName(0) != "alpha" || back.PIName(1) != "beta" || back.POName(0) != "gamma" {
+		t.Fatalf("names lost: %q %q %q", back.PIName(0), back.PIName(1), back.POName(0))
+	}
+}
+
+func TestAigerConstantOutputs(t *testing.T) {
+	g := New()
+	g.AddPI("x")
+	g.AddPO("zero", ConstFalse)
+	g.AddPO("one", ConstTrue)
+	for _, write := range []func(*bytes.Buffer) error{
+		func(b *bytes.Buffer) error { return WriteASCIIAiger(b, g) },
+		func(b *bytes.Buffer) error { return WriteBinaryAiger(b, g) },
+	} {
+		var buf bytes.Buffer
+		if err := write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadAiger(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := back.Eval([]bool{true})
+		if out[0] != false || out[1] != true {
+			t.Fatalf("constants wrong: %v", out)
+		}
+	}
+}
+
+func TestAigerKnownFile(t *testing.T) {
+	// Hand-written aag for f = a & !b (classic AIGER example shape).
+	src := `aag 3 2 0 1 1
+2
+4
+6
+6 2 5
+i0 a
+i1 b
+o0 f
+`
+	g, err := ReadAiger(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < 4; m++ {
+		in := []bool{m&1 == 1, m&2 == 2}
+		want := in[0] && !in[1]
+		if g.Eval(in)[0] != want {
+			t.Fatalf("f(%v) wrong", in)
+		}
+	}
+}
+
+func TestAigerRejectsBadInput(t *testing.T) {
+	cases := []string{
+		"",
+		"xyz 1 1 0 1 0\n",
+		"aag 1 1 1 1 0\n2\n2\n",        // latches unsupported
+		"aag 0 1 0 0 0\n",              // M < I
+		"aag 2 1 0 1 1\n2\n4\n4 6 2\n", // uses var 3 > maxvar
+	}
+	for i, src := range cases {
+		if _, err := ReadAiger(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestAigerOutOfOrderRejected(t *testing.T) {
+	// AND 6 references AND 8 defined later.
+	src := `aag 4 1 0 1 2
+2
+6
+6 8 2
+8 2 3
+`
+	if _, err := ReadAiger(strings.NewReader(src)); err == nil {
+		t.Fatal("non-topological file accepted")
+	}
+}

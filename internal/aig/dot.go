@@ -1,0 +1,50 @@
+package aig
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDot renders the PO cones as a Graphviz digraph: PIs as boxes,
+// AND nodes as circles, POs as double circles; dashed edges carry an
+// inversion. Handy for debugging small patches.
+func WriteDot(w io.Writer, g *AIG, name string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n", name)
+	fmt.Fprintln(bw, "  rankdir=BT;")
+	roots := make([]Lit, g.NumPOs())
+	for i := range roots {
+		roots[i] = g.PO(i)
+	}
+	cone := g.ConeNodes(roots)
+	for _, n := range cone {
+		switch {
+		case g.IsConst(n):
+			fmt.Fprintf(bw, "  n%d [label=\"0\" shape=plaintext];\n", n)
+		case g.IsPI(n):
+			fmt.Fprintf(bw, "  n%d [label=%q shape=box];\n", n, g.PIName(g.PIIndex(n)))
+		default:
+			fmt.Fprintf(bw, "  n%d [label=\"∧\" shape=circle];\n", n)
+			f0, f1 := g.Fanins(n)
+			for _, f := range []Lit{f0, f1} {
+				style := ""
+				if f.Compl() {
+					style = " [style=dashed]"
+				}
+				fmt.Fprintf(bw, "  n%d -> n%d%s;\n", f.Node(), n, style)
+			}
+		}
+	}
+	for i := 0; i < g.NumPOs(); i++ {
+		po := g.PO(i)
+		fmt.Fprintf(bw, "  o%d [label=%q shape=doublecircle];\n", i, g.POName(i))
+		style := ""
+		if po.Compl() {
+			style = " [style=dashed]"
+		}
+		fmt.Fprintf(bw, "  n%d -> o%d%s;\n", po.Node(), i, style)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

@@ -1,0 +1,135 @@
+package aig
+
+import "sort"
+
+// Cleanup rebuilds the AIG keeping only the logic in the primary
+// output cones. Dangling nodes disappear and the structural hash is
+// rebuilt. PI names, order and count are preserved (even for unused
+// inputs), so the interface does not change.
+func Cleanup(g *AIG) *AIG {
+	ng := New()
+	piMap := make([]Lit, g.NumPIs())
+	for i := range piMap {
+		piMap[i] = ng.AddPI(g.PIName(i))
+	}
+	roots := make([]Lit, g.NumPOs())
+	for i := range roots {
+		roots[i] = g.PO(i)
+	}
+	outs := Transfer(ng, g, piMap, roots)
+	for i, o := range outs {
+		ng.AddPO(g.POName(i), o)
+	}
+	return ng
+}
+
+// Balance rebuilds the AIG with AND trees restructured to minimal
+// depth (the classic "balance" pass): maximal fanout-free conjunction
+// trees are flattened into their operand lists and rebuilt by always
+// pairing the two shallowest operands. Functionality is preserved;
+// depth typically drops, node count never grows beyond the original
+// tree sizes.
+func Balance(g *AIG) *AIG {
+	fanout := g.FanoutCounts()
+	ng := New()
+	level := []int{0} // per ng node
+	mapped := make([]Lit, g.NumNodes())
+	done := make([]bool, g.NumNodes())
+	mapped[0] = ConstFalse
+	done[0] = true
+	for i := 0; i < g.NumPIs(); i++ {
+		mapped[g.PI(i).Node()] = ng.AddPI(g.PIName(i))
+		level = append(level, 0)
+		done[g.PI(i).Node()] = true
+	}
+	edgeLevel := func(l Lit) int { return level[l.Node()] }
+	andTracked := func(a, b Lit) Lit {
+		r := ng.And(a, b)
+		for len(level) < ng.NumNodes() {
+			// The And may have created one node; its level is one more
+			// than its deepest fanin.
+			la, lb := edgeLevel(a), edgeLevel(b)
+			if lb > la {
+				la = lb
+			}
+			level = append(level, la+1)
+		}
+		return r
+	}
+
+	// collectOperands flattens the conjunction tree hanging off edge
+	// f: descend through positive edges into single-fanout AND nodes.
+	var collectOperands func(f Lit, out *[]Lit)
+	collectOperands = func(f Lit, out *[]Lit) {
+		n := f.Node()
+		if f.Compl() || !g.IsAnd(n) || fanout[n] != 1 {
+			*out = append(*out, f)
+			return
+		}
+		f0, f1 := g.Fanins(n)
+		collectOperands(f0, out)
+		collectOperands(f1, out)
+	}
+
+	// Determine which AND nodes become tree roots.
+	roots := make([]Lit, g.NumPOs())
+	for i := range roots {
+		roots[i] = g.PO(i)
+	}
+	needed := make([]bool, g.NumNodes())
+	var mark func(f Lit)
+	mark = func(f Lit) {
+		n := f.Node()
+		if needed[n] || !g.IsAnd(n) {
+			return
+		}
+		needed[n] = true
+		var ops []Lit
+		f0, f1 := g.Fanins(n)
+		collectOperands(f0, &ops)
+		collectOperands(f1, &ops)
+		for _, op := range ops {
+			mark(op)
+		}
+	}
+	for _, r := range roots {
+		mark(r)
+		// The PO node itself must be materialized even when it sits
+		// inside a fanout-free tree.
+	}
+
+	// Rebuild in topological (index) order.
+	for n := 1; n < g.NumNodes(); n++ {
+		if !g.IsAnd(n) || !needed[n] || done[n] {
+			continue
+		}
+		var ops []Lit
+		f0, f1 := g.Fanins(n)
+		collectOperands(f0, &ops)
+		collectOperands(f1, &ops)
+		// Map operands into ng.
+		edges := make([]Lit, len(ops))
+		for i, op := range ops {
+			edges[i] = mapped[op.Node()].XorCompl(op.Compl())
+		}
+		// Pair shallowest first (stable on ties for determinism).
+		for len(edges) > 1 {
+			sort.SliceStable(edges, func(a, b int) bool {
+				return edgeLevel(edges[a]) < edgeLevel(edges[b])
+			})
+			e := andTracked(edges[0], edges[1])
+			edges = append([]Lit{e}, edges[2:]...)
+		}
+		mapped[n] = edges[0]
+		done[n] = true
+	}
+	for i := 0; i < g.NumPOs(); i++ {
+		po := g.PO(i)
+		ng.AddPO(g.POName(i), mapped[po.Node()].XorCompl(po.Compl()))
+	}
+	return ng
+}
+
+// Compress runs Balance followed by Cleanup — the light optimization
+// pipeline the patch synthesizer applies after factoring.
+func Compress(g *AIG) *AIG { return Cleanup(Balance(g)) }

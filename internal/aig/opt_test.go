@@ -1,0 +1,142 @@
+package aig
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func assertSameFunction(t *testing.T, g1, g2 *AIG, rng *rand.Rand) {
+	t.Helper()
+	if g1.NumPIs() != g2.NumPIs() || g1.NumPOs() != g2.NumPOs() {
+		t.Fatalf("interface changed: %d/%d PIs, %d/%d POs",
+			g1.NumPIs(), g2.NumPIs(), g1.NumPOs(), g2.NumPOs())
+	}
+	for trial := 0; trial < 300; trial++ {
+		in := make([]bool, g1.NumPIs())
+		for i := range in {
+			in[i] = rng.Intn(2) == 1
+		}
+		o1, o2 := g1.Eval(in), g2.Eval(in)
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				t.Fatalf("output %d differs at %v", i, in)
+			}
+		}
+	}
+}
+
+func TestCleanupDropsDangling(t *testing.T) {
+	g := New()
+	a, b, c := g.AddPI("a"), g.AddPI("b"), g.AddPI("c")
+	used := g.And(a, b)
+	_ = g.And(g.And(a, c), b.Not()) // dangling logic
+	g.AddPO("f", used)
+	before := g.NumAnds()
+	ng := Cleanup(g)
+	if ng.NumAnds() >= before {
+		t.Fatalf("cleanup kept dangling nodes: %d -> %d", before, ng.NumAnds())
+	}
+	if ng.NumPIs() != 3 {
+		t.Fatal("cleanup must keep unused PIs for interface stability")
+	}
+	assertSameFunction(t, g, ng, rand.New(rand.NewSource(1)))
+}
+
+func TestBalanceReducesDepthOfChain(t *testing.T) {
+	// A linear AND chain over 16 inputs has depth 15; balanced depth
+	// is ceil(log2(16)) = 4.
+	g := New()
+	acc := g.AddPI("x0")
+	for i := 1; i < 16; i++ {
+		acc = g.And(acc, g.AddPI("x"+string(rune('a'+i))))
+	}
+	g.AddPO("f", acc)
+	ng := Balance(g)
+	depth := 0
+	for _, l := range ng.Levels() {
+		if l > depth {
+			depth = l
+		}
+	}
+	if depth != 4 {
+		t.Fatalf("balanced depth = %d, want 4", depth)
+	}
+	assertSameFunction(t, g, ng, rand.New(rand.NewSource(2)))
+}
+
+func TestBalancePreservesRandomFunctions(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 30; iter++ {
+		g := randomAIG(rng, 4+rng.Intn(4), 10+rng.Intn(60), 1+rng.Intn(3))
+		ng := Balance(g)
+		assertSameFunction(t, g, ng, rng)
+		// Depth must never increase.
+		d1, d2 := 0, 0
+		for _, l := range g.Levels() {
+			if l > d1 {
+				d1 = l
+			}
+		}
+		for _, l := range ng.Levels() {
+			if l > d2 {
+				d2 = l
+			}
+		}
+		if d2 > d1 {
+			t.Fatalf("iter %d: balance increased depth %d -> %d", iter, d1, d2)
+		}
+	}
+}
+
+func TestBalanceSharedNodesNotDuplicated(t *testing.T) {
+	// A shared conjunction must stay shared, not be flattened into
+	// both parents.
+	g := New()
+	a, b, c, d := g.AddPI("a"), g.AddPI("b"), g.AddPI("c"), g.AddPI("d")
+	shared := g.And(a, b)
+	f1 := g.And(shared, c)
+	f2 := g.And(shared, d)
+	g.AddPO("f1", f1)
+	g.AddPO("f2", f2)
+	ng := Balance(g)
+	if ng.NumAnds() > g.NumAnds() {
+		t.Fatalf("balance duplicated shared logic: %d -> %d ANDs", g.NumAnds(), ng.NumAnds())
+	}
+	assertSameFunction(t, g, ng, rand.New(rand.NewSource(4)))
+}
+
+func TestCompressPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomAIG(rng, 6, 80, 2)
+	_ = g.And(g.PI(0), g.PI(1)) // dangling
+	ng := Compress(g)
+	assertSameFunction(t, g, ng, rng)
+}
+
+func TestBalanceConstantAndPassthrough(t *testing.T) {
+	g := New()
+	a := g.AddPI("a")
+	g.AddPO("c0", ConstFalse)
+	g.AddPO("c1", ConstTrue)
+	g.AddPO("pass", a)
+	g.AddPO("inv", a.Not())
+	ng := Balance(g)
+	assertSameFunction(t, g, ng, rand.New(rand.NewSource(6)))
+}
+
+func TestWriteDot(t *testing.T) {
+	g := New()
+	a, b := g.AddPI("a"), g.AddPI("b")
+	g.AddPO("f", g.And(a, b.Not()).Not())
+	var sb strings.Builder
+	if err := WriteDot(&sb, g, "tiny"); err != nil {
+		t.Fatal(err)
+	}
+	dot := sb.String()
+	for _, want := range []string{"digraph", "shape=box", "doublecircle", "style=dashed"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("dot output missing %q:\n%s", want, dot)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package aig
+
+import "math/rand"
+
+// Eval evaluates all primary outputs for one input assignment.
+// inputs[i] is the value of the i-th primary input.
+func (g *AIG) Eval(inputs []bool) []bool {
+	if len(inputs) != len(g.pis) {
+		panic("aig: Eval input length mismatch")
+	}
+	val := make([]bool, len(g.nodes))
+	for i, p := range g.pis {
+		val[p] = inputs[i]
+	}
+	for idx, n := range g.nodes {
+		if n.kind != kindAnd {
+			continue
+		}
+		a := val[n.f0.Node()] != n.f0.Compl()
+		b := val[n.f1.Node()] != n.f1.Compl()
+		val[idx] = a && b
+	}
+	out := make([]bool, len(g.pos))
+	for i, p := range g.pos {
+		out[i] = val[p.Node()] != p.Compl()
+	}
+	return out
+}
+
+// EvalLit evaluates a single edge for one input assignment.
+func (g *AIG) EvalLit(l Lit, inputs []bool) bool {
+	sav := g.pos
+	g.pos = []Lit{l}
+	r := g.Eval(inputs)[0]
+	g.pos = sav
+	return r
+}
+
+// SimWords runs 64 parallel input patterns. piWords[i] holds 64
+// pattern bits for PI i. The returned slice holds one word per node,
+// indexed by node id; read an edge's value with WordOf.
+func (g *AIG) SimWords(piWords []uint64) []uint64 {
+	if len(piWords) != len(g.pis) {
+		panic("aig: SimWords input length mismatch")
+	}
+	val := make([]uint64, len(g.nodes))
+	for i, p := range g.pis {
+		val[p] = piWords[i]
+	}
+	for idx, n := range g.nodes {
+		if n.kind != kindAnd {
+			continue
+		}
+		a := val[n.f0.Node()]
+		if n.f0.Compl() {
+			a = ^a
+		}
+		b := val[n.f1.Node()]
+		if n.f1.Compl() {
+			b = ^b
+		}
+		val[idx] = a & b
+	}
+	return val
+}
+
+// WordOf reads the simulated word of edge l from a SimWords result.
+func WordOf(words []uint64, l Lit) uint64 {
+	w := words[l.Node()]
+	if l.Compl() {
+		return ^w
+	}
+	return w
+}
+
+// RandomSimWords generates one random 64-pattern word per PI using rng.
+func (g *AIG) RandomSimWords(rng *rand.Rand) []uint64 {
+	ws := make([]uint64, len(g.pis))
+	for i := range ws {
+		ws[i] = rng.Uint64()
+	}
+	return ws
+}

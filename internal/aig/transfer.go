@@ -1,0 +1,130 @@
+package aig
+
+// Transfer copies the cones of the given roots from src into dst,
+// substituting piMap[i] (an edge in dst) for the i-th primary input of
+// src. It returns the corresponding root edges in dst. Structural
+// hashing in dst collapses any logic that becomes shared or constant.
+//
+// Transfer is the workhorse behind cofactoring, composition (plugging
+// patch functions into targets), miter construction and quantifier
+// expansion.
+func Transfer(dst *AIG, src *AIG, piMap []Lit, roots []Lit) []Lit {
+	if len(piMap) != src.NumPIs() {
+		panic("aig: Transfer piMap length mismatch")
+	}
+	copyMap := make([]Lit, src.NumNodes())
+	done := make([]bool, src.NumNodes())
+	copyMap[0] = ConstFalse
+	done[0] = true
+	for i, p := range src.pis {
+		copyMap[p] = piMap[i]
+		done[p] = true
+	}
+	// Nodes are in topological order, so a single pass over the cone
+	// suffices.
+	cone := src.ConeNodes(roots)
+	for _, idx := range cone {
+		if done[idx] {
+			continue
+		}
+		n := src.nodes[idx]
+		a := copyMap[n.f0.Node()].XorCompl(n.f0.Compl())
+		b := copyMap[n.f1.Node()].XorCompl(n.f1.Compl())
+		copyMap[idx] = dst.And(a, b)
+		done[idx] = true
+	}
+	out := make([]Lit, len(roots))
+	for i, r := range roots {
+		out[i] = copyMap[r.Node()].XorCompl(r.Compl())
+	}
+	return out
+}
+
+// IdentityMap returns the PI map that plugs src's PIs one-to-one onto
+// the first src.NumPIs() PIs of dst (creating them in dst with src's
+// names if dst has fewer).
+func IdentityMap(dst, src *AIG) []Lit {
+	m := make([]Lit, src.NumPIs())
+	for i := range m {
+		if i < dst.NumPIs() {
+			m[i] = dst.PI(i)
+		} else {
+			m[i] = dst.AddPI(src.PIName(i))
+		}
+	}
+	return m
+}
+
+// Clone returns a deep copy of g (with structural hashing rebuilt).
+func Clone(g *AIG) *AIG {
+	ng := New()
+	m := IdentityMap(ng, g)
+	outs := Transfer(ng, g, m, g.pos)
+	for i, o := range outs {
+		ng.AddPO(g.POName(i), o)
+	}
+	return ng
+}
+
+// Cofactor returns, in dst, the roots of src with the PIs listed in
+// fixed set to the given constants and all other PIs mapped through
+// piMap (see Transfer).
+func Cofactor(dst *AIG, src *AIG, piMap []Lit, fixed map[int]bool, roots []Lit) []Lit {
+	m := make([]Lit, len(piMap))
+	copy(m, piMap)
+	for i, v := range fixed {
+		if v {
+			m[i] = ConstTrue
+		} else {
+			m[i] = ConstFalse
+		}
+	}
+	return Transfer(dst, src, m, roots)
+}
+
+// UnivQuant builds, in dst, the universal quantification of the roots
+// of src over the PI positions in quantVars: the AND over all 2^k
+// cofactors. Other PIs are mapped through piMap. For a single root it
+// returns one edge per root position (AND across cofactors per root).
+//
+// The expansion is exponential in len(quantVars); callers cap k and
+// fall back to move-guided quantification (see internal/eco) beyond
+// that.
+func UnivQuant(dst *AIG, src *AIG, piMap []Lit, quantVars []int, roots []Lit) []Lit {
+	out := make([]Lit, len(roots))
+	for i := range out {
+		out[i] = ConstTrue
+	}
+	k := len(quantVars)
+	fixed := make(map[int]bool, k)
+	for m := 0; m < 1<<uint(k); m++ {
+		for j, v := range quantVars {
+			fixed[v] = m>>uint(j)&1 == 1
+		}
+		co := Cofactor(dst, src, piMap, fixed, roots)
+		for i := range out {
+			out[i] = dst.And(out[i], co[i])
+		}
+	}
+	return out
+}
+
+// ExistQuant is the dual of UnivQuant: OR over all cofactors.
+func ExistQuant(dst *AIG, src *AIG, piMap []Lit, quantVars []int, roots []Lit) []Lit {
+	out := make([]Lit, len(roots))
+	for i := range out {
+		out[i] = ConstFalse
+	}
+	k := len(quantVars)
+	fixed := make(map[int]bool, k)
+	for m := 0; m < 1<<uint(k); m++ {
+		for j, v := range quantVars {
+			fixed[v] = m>>uint(j)&1 == 1
+		}
+		co := Cofactor(dst, src, piMap, fixed, roots)
+		for i := range out {
+			out[i] = dst.Or(out[i], co[i])
+		}
+	}
+	return out
+}

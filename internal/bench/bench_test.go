@@ -1,0 +1,326 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"ecopatch/internal/eco"
+	"ecopatch/internal/netlist"
+)
+
+func evalNet(t *testing.T, n *netlist.Netlist, in []bool) []bool {
+	t.Helper()
+	res, err := netlist.ToAIG(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := make([]bool, res.G.NumPIs())
+	copy(full, in)
+	return res.G.Eval(full)
+}
+
+func TestRippleAdderCorrect(t *testing.T) {
+	n := RippleAdder(4)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 16; a++ {
+		for b := 0; b < 16; b++ {
+			in := make([]bool, 8)
+			for i := 0; i < 4; i++ {
+				in[i] = a>>uint(i)&1 == 1
+				in[4+i] = b>>uint(i)&1 == 1
+			}
+			out := evalNet(t, n, in)
+			sum := a + b
+			for i := 0; i < 4; i++ {
+				if out[i] != (sum>>uint(i)&1 == 1) {
+					t.Fatalf("adder: %d+%d bit %d wrong", a, b, i)
+				}
+			}
+			if out[4] != (sum >= 16) {
+				t.Fatalf("adder: %d+%d carry wrong", a, b)
+			}
+		}
+	}
+}
+
+func TestComparatorCorrect(t *testing.T) {
+	n := Comparator(3)
+	for a := 0; a < 8; a++ {
+		for b := 0; b < 8; b++ {
+			in := make([]bool, 6)
+			for i := 0; i < 3; i++ {
+				in[i] = a>>uint(i)&1 == 1
+				in[3+i] = b>>uint(i)&1 == 1
+			}
+			out := evalNet(t, n, in)
+			if out[0] != (a < b) || out[1] != (a == b) || out[2] != (a > b) {
+				t.Fatalf("cmp(%d,%d) = %v", a, b, out)
+			}
+		}
+	}
+}
+
+func TestALUCorrect(t *testing.T) {
+	n := ALU(3)
+	for op := 0; op < 4; op++ {
+		for a := 0; a < 8; a++ {
+			for b := 0; b < 8; b++ {
+				in := make([]bool, 8)
+				for i := 0; i < 3; i++ {
+					in[i] = a>>uint(i)&1 == 1
+					in[3+i] = b>>uint(i)&1 == 1
+				}
+				in[6] = op&1 == 1
+				in[7] = op&2 == 2
+				out := evalNet(t, n, in)
+				var want int
+				switch op {
+				case 0:
+					want = a & b
+				case 1:
+					want = a | b
+				case 2:
+					want = a ^ b
+				case 3:
+					want = a + b
+				}
+				for i := 0; i < 3; i++ {
+					if out[i] != (want>>uint(i)&1 == 1) {
+						t.Fatalf("alu op%d (%d,%d) bit %d: out=%v want=%d", op, a, b, i, out, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestParityTreeCorrect(t *testing.T) {
+	n := ParityTree(7)
+	for m := 0; m < 128; m++ {
+		in := make([]bool, 7)
+		ones := 0
+		for i := range in {
+			in[i] = m>>uint(i)&1 == 1
+			if in[i] {
+				ones++
+			}
+		}
+		out := evalNet(t, n, in)
+		if out[0] != (ones%2 == 1) {
+			t.Fatalf("parity(%07b) = %v", m, out[0])
+		}
+	}
+}
+
+func TestC17Shape(t *testing.T) {
+	n := C17()
+	if len(n.Inputs) != 5 || len(n.Outputs) != 2 {
+		t.Fatalf("c17 shape: %d/%d", len(n.Inputs), len(n.Outputs))
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomDAGValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10; i++ {
+		n := RandomDAG(rng, 6, 80, 4)
+		if err := n.Validate(); err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		if _, err := netlist.ToAIG(n); err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Name: "d", Seed: 7, Family: FamRandom, Size: 120, Targets: 2, Profile: T3}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Impl.String() != b.Impl.String() || a.Spec.String() != b.Spec.String() {
+		t.Fatal("generation not deterministic")
+	}
+}
+
+func TestGeneratedInstancesAreFeasibleAndSolvable(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	families := []Family{FamAdder, FamALU, FamComparator, FamParity, FamRandom, FamMultiplier, FamShifter, FamDecoder}
+	for iter := 0; iter < 16; iter++ {
+		cfg := Config{
+			Name:    "gen",
+			Seed:    rng.Int63(),
+			Family:  families[iter%len(families)],
+			Size:    6 + rng.Intn(60),
+			Targets: 1 + rng.Intn(3),
+			Profile: WeightProfile(1 + iter%8),
+		}
+		switch cfg.Family {
+		case FamAdder, FamALU, FamComparator, FamMultiplier, FamDecoder:
+			cfg.Size = 3 + rng.Intn(3)
+		case FamShifter:
+			cfg.Size = 8
+		}
+		inst, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("iter %d (%v): %v", iter, cfg.Family, err)
+		}
+		res, err := eco.Solve(inst, eco.DefaultOptions())
+		if err != nil {
+			t.Fatalf("iter %d (%v): %v", iter, cfg.Family, err)
+		}
+		if !res.Feasible {
+			t.Fatalf("iter %d (%v): generated instance infeasible", iter, cfg.Family)
+		}
+		if !res.Verified {
+			t.Fatalf("iter %d (%v): patch not verified", iter, cfg.Family)
+		}
+	}
+}
+
+func TestSuiteShape(t *testing.T) {
+	units := Suite(1)
+	if len(units) != 20 {
+		t.Fatalf("suite has %d units", len(units))
+	}
+	wantTargets := []int{1, 1, 1, 1, 2, 2, 1, 1, 4, 2, 8, 1, 1, 12, 1, 2, 8, 1, 4, 4}
+	for i, u := range units {
+		if u.Targets != wantTargets[i] {
+			t.Fatalf("%s: targets %d, want %d (Table 1)", u.Name, u.Targets, wantTargets[i])
+		}
+	}
+	if _, err := ConfigByName(1, "unit7"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ConfigByName(1, "nope"); err == nil {
+		t.Fatal("unknown unit accepted")
+	}
+}
+
+func TestSuiteUnitsGenerate(t *testing.T) {
+	for _, cfg := range Suite(1) {
+		inst, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if got := len(inst.Impl.Targets()); got != cfg.Targets {
+			t.Fatalf("%s: %d targets, want %d", cfg.Name, got, cfg.Targets)
+		}
+		// Every implementation signal must have a weight.
+		if len(inst.Weights.Costs) == 0 {
+			t.Fatalf("%s: empty weight table", cfg.Name)
+		}
+	}
+}
+
+func TestWeightProfilesDiffer(t *testing.T) {
+	cfg := Config{Name: "w", Seed: 9, Family: FamRandom, Size: 150, Targets: 1}
+	seen := make(map[string]bool)
+	for p := T1; p <= T8; p++ {
+		cfg.Profile = p
+		inst, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sig string
+		for name, c := range inst.Weights.Costs {
+			_ = name
+			sig += string(rune('0' + c%10))
+		}
+		seen[sig] = true
+	}
+	if len(seen) < 4 {
+		t.Fatalf("weight profiles too similar: %d distinct signatures", len(seen))
+	}
+}
+
+func TestWeightProfileT1T2Gradient(t *testing.T) {
+	cfg := Config{Name: "g", Seed: 5, Family: FamRandom, Size: 200, Targets: 1, Profile: T1}
+	instA, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Profile = T2
+	instB, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In T1 the gradient makes shallow signals expensive; in T2 cheap.
+	// Compare the mean input cost across the two profiles.
+	mean := func(inst *eco.Instance) float64 {
+		sum := 0
+		for _, in := range inst.Impl.Inputs {
+			sum += inst.Weights.Cost(in)
+		}
+		return float64(sum) / float64(len(inst.Impl.Inputs))
+	}
+	if mean(instA) <= mean(instB) {
+		t.Fatalf("T1 mean input cost %.1f should exceed T2's %.1f", mean(instA), mean(instB))
+	}
+}
+
+// TestTheoremOneSequenceNeverFallsBack checks the practical
+// consequence of Theorem 1: on feasible instances with unlimited SAT
+// budget, every one-target step of the sequence is solvable by the
+// SAT path (no structural fallback is ever needed).
+func TestTheoremOneSequenceNeverFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	for iter := 0; iter < 8; iter++ {
+		cfg := Config{
+			Name:    "thm1",
+			Seed:    rng.Int63(),
+			Family:  FamRandom,
+			Size:    80 + rng.Intn(120),
+			Targets: 2 + rng.Intn(4),
+			Profile: WeightProfile(1 + iter%8),
+		}
+		inst, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eco.Solve(inst, eco.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Feasible || !res.Verified {
+			t.Fatalf("iter %d: feasible=%v verified=%v", iter, res.Feasible, res.Verified)
+		}
+		if res.Stats.StructuralFixes != 0 {
+			t.Fatalf("iter %d: %d structural fallbacks on a feasible instance with unlimited budget",
+				iter, res.Stats.StructuralFixes)
+		}
+	}
+}
+
+// TestSuiteScale2 exercises the size knob (guarded: several seconds).
+func TestSuiteScale2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale-2 sweep skipped in -short mode")
+	}
+	for _, name := range []string{"unit4", "unit13", "unit16"} {
+		cfg, err := ConfigByName(2, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res, err := eco.Solve(inst, eco.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Verified {
+			t.Fatalf("%s@scale2: not verified", name)
+		}
+	}
+}

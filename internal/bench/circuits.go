@@ -1,0 +1,251 @@
+// Package bench synthesizes a replica of the ICCAD-2017 CAD Contest
+// Problem A benchmark suite used in the paper's evaluation. The real
+// contest files are not redistributable, so each unit is generated
+// deterministically from a seed: a base circuit (structured family or
+// random DAG), a set of target points whose functions are cut out of
+// the implementation, a specification in which those functions have
+// been replaced by new logic (guaranteeing ECO feasibility by
+// construction), and one of the contest's eight weight profiles
+// (T1–T8, §4.1).
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ecopatch/internal/netlist"
+)
+
+// builder incrementally constructs a netlist with fresh wire names.
+type builder struct {
+	n    *netlist.Netlist
+	next int
+}
+
+func newBuilder(name string) *builder {
+	return &builder{n: &netlist.Netlist{Name: name}}
+}
+
+func (b *builder) input(name string) string {
+	b.n.Inputs = append(b.n.Inputs, name)
+	return name
+}
+
+func (b *builder) output(name, src string) {
+	b.n.Outputs = append(b.n.Outputs, name)
+	b.n.Gates = append(b.n.Gates, netlist.Gate{Kind: netlist.GateBuf, Out: name, Ins: []string{src}})
+}
+
+func (b *builder) wire() string {
+	b.next++
+	w := fmt.Sprintf("w%d", b.next)
+	b.n.Wires = append(b.n.Wires, w)
+	return w
+}
+
+func (b *builder) gate(kind netlist.GateKind, ins ...string) string {
+	w := b.wire()
+	b.n.Gates = append(b.n.Gates, netlist.Gate{Kind: kind, Out: w, Ins: ins})
+	return w
+}
+
+// RippleAdder builds an n-bit ripple-carry adder (2n inputs,
+// n+1 outputs).
+func RippleAdder(bits int) *netlist.Netlist {
+	b := newBuilder(fmt.Sprintf("adder%d", bits))
+	as := make([]string, bits)
+	bs := make([]string, bits)
+	for i := range as {
+		as[i] = b.input(fmt.Sprintf("a%d", i))
+	}
+	for i := range bs {
+		bs[i] = b.input(fmt.Sprintf("b%d", i))
+	}
+	carry := ""
+	for i := 0; i < bits; i++ {
+		axb := b.gate(netlist.GateXor, as[i], bs[i])
+		var sum string
+		if carry == "" {
+			sum = axb
+			carry = b.gate(netlist.GateAnd, as[i], bs[i])
+		} else {
+			sum = b.gate(netlist.GateXor, axb, carry)
+			c1 := b.gate(netlist.GateAnd, as[i], bs[i])
+			c2 := b.gate(netlist.GateAnd, axb, carry)
+			carry = b.gate(netlist.GateOr, c1, c2)
+		}
+		b.output(fmt.Sprintf("s%d", i), sum)
+	}
+	b.output("cout", carry)
+	return b.n
+}
+
+// Comparator builds an n-bit magnitude comparator (lt, eq, gt).
+func Comparator(bits int) *netlist.Netlist {
+	b := newBuilder(fmt.Sprintf("cmp%d", bits))
+	as := make([]string, bits)
+	bs := make([]string, bits)
+	for i := range as {
+		as[i] = b.input(fmt.Sprintf("a%d", i))
+	}
+	for i := range bs {
+		bs[i] = b.input(fmt.Sprintf("b%d", i))
+	}
+	eq := ""
+	lt := ""
+	for i := bits - 1; i >= 0; i-- {
+		bitEq := b.gate(netlist.GateXnor, as[i], bs[i])
+		na := b.gate(netlist.GateNot, as[i])
+		bitLt := b.gate(netlist.GateAnd, na, bs[i])
+		if eq == "" {
+			eq = bitEq
+			lt = bitLt
+		} else {
+			lt = b.gate(netlist.GateOr, lt, b.gate(netlist.GateAnd, eq, bitLt))
+			eq = b.gate(netlist.GateAnd, eq, bitEq)
+		}
+	}
+	gt := b.gate(netlist.GateNor, lt, eq)
+	b.output("lt", lt)
+	b.output("eq", eq)
+	b.output("gt", gt)
+	return b.n
+}
+
+// ParityTree builds an n-input parity circuit plus a few majority
+// outputs for structural variety.
+func ParityTree(n int) *netlist.Netlist {
+	b := newBuilder(fmt.Sprintf("parity%d", n))
+	ins := make([]string, n)
+	for i := range ins {
+		ins[i] = b.input(fmt.Sprintf("x%d", i))
+	}
+	level := ins
+	for len(level) > 1 {
+		var next []string
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, b.gate(netlist.GateXor, level[i], level[i+1]))
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+	}
+	b.output("parity", level[0])
+	// Majority-of-three chains over consecutive inputs.
+	for i := 0; i+2 < n; i += 3 {
+		ab := b.gate(netlist.GateAnd, ins[i], ins[i+1])
+		bc := b.gate(netlist.GateAnd, ins[i+1], ins[i+2])
+		ac := b.gate(netlist.GateAnd, ins[i], ins[i+2])
+		maj := b.gate(netlist.GateOr, b.gate(netlist.GateOr, ab, bc), ac)
+		b.output(fmt.Sprintf("maj%d", i/3), maj)
+	}
+	return b.n
+}
+
+// ALU builds a small n-bit ALU: two operation-select inputs choose
+// among AND, OR, XOR and ADD of the operands.
+func ALU(bits int) *netlist.Netlist {
+	b := newBuilder(fmt.Sprintf("alu%d", bits))
+	as := make([]string, bits)
+	bs := make([]string, bits)
+	for i := range as {
+		as[i] = b.input(fmt.Sprintf("a%d", i))
+	}
+	for i := range bs {
+		bs[i] = b.input(fmt.Sprintf("b%d", i))
+	}
+	s0 := b.input("op0")
+	s1 := b.input("op1")
+	ns0 := b.gate(netlist.GateNot, s0)
+	ns1 := b.gate(netlist.GateNot, s1)
+	selAnd := b.gate(netlist.GateAnd, ns1, ns0)
+	selOr := b.gate(netlist.GateAnd, ns1, s0)
+	selXor := b.gate(netlist.GateAnd, s1, ns0)
+	selAdd := b.gate(netlist.GateAnd, s1, s0)
+	carry := ""
+	for i := 0; i < bits; i++ {
+		gAnd := b.gate(netlist.GateAnd, as[i], bs[i])
+		gOr := b.gate(netlist.GateOr, as[i], bs[i])
+		gXor := b.gate(netlist.GateXor, as[i], bs[i])
+		var sum string
+		if carry == "" {
+			sum = gXor
+			carry = gAnd
+		} else {
+			sum = b.gate(netlist.GateXor, gXor, carry)
+			carry = b.gate(netlist.GateOr, gAnd, b.gate(netlist.GateAnd, gXor, carry))
+		}
+		t0 := b.gate(netlist.GateAnd, selAnd, gAnd)
+		t1 := b.gate(netlist.GateAnd, selOr, gOr)
+		t2 := b.gate(netlist.GateAnd, selXor, gXor)
+		t3 := b.gate(netlist.GateAnd, selAdd, sum)
+		out := b.gate(netlist.GateOr, b.gate(netlist.GateOr, t0, t1), b.gate(netlist.GateOr, t2, t3))
+		b.output(fmt.Sprintf("y%d", i), out)
+	}
+	b.output("cout", carry)
+	return b.n
+}
+
+// C17 is the classic ISCAS-85 c17 benchmark.
+func C17() *netlist.Netlist {
+	b := newBuilder("c17")
+	g1 := b.input("G1")
+	g2 := b.input("G2")
+	g3 := b.input("G3")
+	g6 := b.input("G6")
+	g7 := b.input("G7")
+	g10 := b.gate(netlist.GateNand, g1, g3)
+	g11 := b.gate(netlist.GateNand, g3, g6)
+	g16 := b.gate(netlist.GateNand, g2, g11)
+	g19 := b.gate(netlist.GateNand, g11, g7)
+	g22 := b.gate(netlist.GateNand, g10, g16)
+	g23 := b.gate(netlist.GateNand, g16, g19)
+	b.output("G22", g22)
+	b.output("G23", g23)
+	return b.n
+}
+
+var randKinds = []netlist.GateKind{
+	netlist.GateAnd, netlist.GateOr, netlist.GateNand, netlist.GateNor,
+	netlist.GateXor, netlist.GateXnor, netlist.GateAnd, netlist.GateOr,
+}
+
+// RandomDAG builds a random combinational netlist with locality bias:
+// gates prefer recent signals as inputs, giving deep, narrow cones
+// like real logic rather than a flat soup.
+func RandomDAG(rng *rand.Rand, nIn, nGates, nOut int) *netlist.Netlist {
+	b := newBuilder(fmt.Sprintf("rand%d", nGates))
+	pool := make([]string, 0, nIn+nGates)
+	for i := 0; i < nIn; i++ {
+		pool = append(pool, b.input(fmt.Sprintf("x%d", i)))
+	}
+	pick := func() string {
+		// Bias toward recent signals: quadratic skew.
+		r := rng.Float64()
+		idx := int(r * r * float64(len(pool)))
+		return pool[len(pool)-1-idx%len(pool)]
+	}
+	for i := 0; i < nGates; i++ {
+		kind := randKinds[rng.Intn(len(randKinds))]
+		if kind == netlist.GateNot {
+			pool = append(pool, b.gate(kind, pick()))
+			continue
+		}
+		a, c := pick(), pick()
+		for a == c {
+			c = pick()
+		}
+		if rng.Intn(8) == 0 {
+			d := pick()
+			pool = append(pool, b.gate(kind, a, c, d))
+		} else {
+			pool = append(pool, b.gate(kind, a, c))
+		}
+	}
+	// Outputs: the most recent signals (deep cones).
+	for o := 0; o < nOut; o++ {
+		b.output(fmt.Sprintf("y%d", o), pool[len(pool)-1-o])
+	}
+	return b.n
+}

@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"fmt"
+
+	"ecopatch/internal/netlist"
+)
+
+// Multiplier builds an n×n-bit array multiplier (2n inputs, 2n
+// outputs) from AND partial products and ripple adders.
+func Multiplier(bits int) *netlist.Netlist {
+	b := newBuilder(fmt.Sprintf("mul%d", bits))
+	as := make([]string, bits)
+	bs := make([]string, bits)
+	for i := range as {
+		as[i] = b.input(fmt.Sprintf("a%d", i))
+	}
+	for i := range bs {
+		bs[i] = b.input(fmt.Sprintf("b%d", i))
+	}
+	// Partial products pp[i][j] = a[j] & b[i].
+	pp := make([][]string, bits)
+	for i := range pp {
+		pp[i] = make([]string, bits)
+		for j := range pp[i] {
+			pp[i][j] = b.gate(netlist.GateAnd, as[j], bs[i])
+		}
+	}
+	// Accumulate rows with ripple additions. acc holds the current
+	// partial sum, 2*bits wide (missing entries are logical zero).
+	acc := make([]string, 2*bits)
+	for j := 0; j < bits; j++ {
+		acc[j] = pp[0][j]
+	}
+	for i := 1; i < bits; i++ {
+		carry := ""
+		for j := 0; j < bits; j++ {
+			pos := i + j
+			x := acc[pos] // may be empty (zero)
+			y := pp[i][j]
+			switch {
+			case x == "" && carry == "":
+				acc[pos] = y
+			case x == "":
+				s := b.gate(netlist.GateXor, y, carry)
+				carry = b.gate(netlist.GateAnd, y, carry)
+				acc[pos] = s
+			case carry == "":
+				s := b.gate(netlist.GateXor, x, y)
+				carry = b.gate(netlist.GateAnd, x, y)
+				acc[pos] = s
+			default:
+				xy := b.gate(netlist.GateXor, x, y)
+				s := b.gate(netlist.GateXor, xy, carry)
+				c1 := b.gate(netlist.GateAnd, x, y)
+				c2 := b.gate(netlist.GateAnd, xy, carry)
+				carry = b.gate(netlist.GateOr, c1, c2)
+				acc[pos] = s
+			}
+		}
+		if carry != "" {
+			pos := i + bits
+			if acc[pos] == "" {
+				acc[pos] = carry
+			} else {
+				s := b.gate(netlist.GateXor, acc[pos], carry)
+				// No further carry possible into this position chain
+				// because the next slot is still empty at this row.
+				next := b.gate(netlist.GateAnd, acc[pos], carry)
+				acc[pos] = s
+				if pos+1 < 2*bits {
+					if acc[pos+1] == "" {
+						acc[pos+1] = next
+					} else {
+						acc[pos+1] = b.gate(netlist.GateXor, acc[pos+1], next)
+					}
+				}
+			}
+		}
+	}
+	for j := 0; j < 2*bits; j++ {
+		src := acc[j]
+		if src == "" {
+			src = netlist.Const0
+		}
+		b.output(fmt.Sprintf("p%d", j), src)
+	}
+	return b.n
+}
+
+// BarrelShifter builds a logical left barrel shifter: n data inputs,
+// log2(n) shift-amount inputs, n outputs (n must be a power of two).
+func BarrelShifter(n int) *netlist.Netlist {
+	logN := 0
+	for 1<<uint(logN) < n {
+		logN++
+	}
+	b := newBuilder(fmt.Sprintf("bshift%d", n))
+	data := make([]string, n)
+	for i := range data {
+		data[i] = b.input(fmt.Sprintf("d%d", i))
+	}
+	sel := make([]string, logN)
+	for i := range sel {
+		sel[i] = b.input(fmt.Sprintf("s%d", i))
+	}
+	cur := data
+	for stage := 0; stage < logN; stage++ {
+		shift := 1 << uint(stage)
+		nsel := b.gate(netlist.GateNot, sel[stage])
+		next := make([]string, n)
+		for i := 0; i < n; i++ {
+			keep := b.gate(netlist.GateAnd, cur[i], nsel)
+			if i >= shift {
+				moved := b.gate(netlist.GateAnd, cur[i-shift], sel[stage])
+				next[i] = b.gate(netlist.GateOr, keep, moved)
+			} else {
+				next[i] = keep
+			}
+		}
+		cur = next
+	}
+	for i := 0; i < n; i++ {
+		b.output(fmt.Sprintf("q%d", i), cur[i])
+	}
+	return b.n
+}
+
+// Decoder builds an n-to-2^n one-hot decoder with an enable input.
+func Decoder(n int) *netlist.Netlist {
+	b := newBuilder(fmt.Sprintf("dec%d", n))
+	sel := make([]string, n)
+	for i := range sel {
+		sel[i] = b.input(fmt.Sprintf("s%d", i))
+	}
+	en := b.input("en")
+	nsel := make([]string, n)
+	for i := range sel {
+		nsel[i] = b.gate(netlist.GateNot, sel[i])
+	}
+	for m := 0; m < 1<<uint(n); m++ {
+		term := en
+		for i := 0; i < n; i++ {
+			bit := sel[i]
+			if m>>uint(i)&1 == 0 {
+				bit = nsel[i]
+			}
+			term = b.gate(netlist.GateAnd, term, bit)
+		}
+		b.output(fmt.Sprintf("y%d", m), term)
+	}
+	return b.n
+}

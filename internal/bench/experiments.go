@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"ecopatch/internal/eco"
+)
+
+// RunCopies reproduces experiment E6 (§3.6.2 of the paper): the
+// number of ECO-miter cofactor copies needed to build structural
+// patches for multi-target units, comparing the full 2^k expansion
+// against the move-guided construction that reuses the 2QBF
+// countermove certificates. The paper's data point: 8 targets need
+// 255 copies naively and 40 with certificates.
+func RunCopies(scale int, w io.Writer) error {
+	fmt.Fprintf(w, "%-8s %8s %12s %12s %10s %10s\n",
+		"unit", "#targets", "full-copies", "move-copies", "full-ok", "move-ok")
+	for _, cfg := range Suite(scale) {
+		if cfg.Targets < 3 {
+			continue
+		}
+		inst, err := Generate(cfg)
+		if err != nil {
+			return err
+		}
+		full := eco.DefaultOptions()
+		full.ForceStructural = true
+		full.MaxQuantExpand = 32 // always expand fully
+
+		guided := eco.DefaultOptions()
+		guided.ForceStructural = true
+		guided.MaxQuantExpand = 1 // use countermoves beyond one target
+
+		rFull, err := eco.Solve(inst, full)
+		if err != nil {
+			return fmt.Errorf("%s full: %w", cfg.Name, err)
+		}
+		inst2, err := Generate(cfg)
+		if err != nil {
+			return err
+		}
+		rGuided, err := eco.Solve(inst2, guided)
+		if err != nil {
+			return fmt.Errorf("%s guided: %w", cfg.Name, err)
+		}
+		fmt.Fprintf(w, "%-8s %8d %12d %12d %10v %10v\n",
+			cfg.Name, cfg.Targets,
+			rFull.Stats.MiterCopies, rGuided.Stats.MiterCopies,
+			rFull.Verified, rGuided.Verified)
+	}
+	return nil
+}
+
+// RunMinCalls reproduces experiment E5 (§3.4.1): SAT calls spent by
+// the bisection minimize_assumptions versus the naive linear loop as
+// the number of candidate divisors N grows.
+func RunMinCalls(w io.Writer) error {
+	fmt.Fprintf(w, "%-10s %8s %6s %15s %13s\n",
+		"instance", "N", "M", "bisection-calls", "linear-calls")
+	for _, size := range []int{60, 120, 240, 480, 960} {
+		cfg := Config{
+			Name:    fmt.Sprintf("sweep%d", size),
+			Seed:    int64(9000 + size),
+			Family:  FamRandom,
+			Size:    size,
+			Targets: 1,
+			Profile: T8,
+		}
+		inst, err := Generate(cfg)
+		if err != nil {
+			return err
+		}
+		cmp, err := eco.CompareMinimize(inst)
+		if err != nil {
+			return fmt.Errorf("%s: %w", cfg.Name, err)
+		}
+		fmt.Fprintf(w, "%-10s %8d %6d %15d %13d\n",
+			cfg.Name, cmp.Divisors, cmp.Kept, cmp.BisectionCalls, cmp.LinearCalls)
+	}
+	return nil
+}
+
+// RunPatchCompare reproduces experiment E7: cube enumeration (§3.5)
+// versus Craig interpolation (the prior-work [15] method) as the
+// patch-function computation, over the SAT-solved suite units.
+func RunPatchCompare(scale int, w io.Writer) error {
+	fmt.Fprintf(w, "%-8s | %10s %8s | %10s %8s\n",
+		"unit", "cube:gate", "time(s)", "itp:gate", "time(s)")
+	for _, cfg := range Suite(scale) {
+		if StructuralUnits[cfg.Name] {
+			continue
+		}
+		run := func(method eco.PatchMethod) (*eco.Result, error) {
+			inst, err := Generate(cfg)
+			if err != nil {
+				return nil, err
+			}
+			opt := eco.DefaultOptions()
+			opt.Patch = method
+			return eco.Solve(inst, opt)
+		}
+		rc, err := run(eco.PatchCubeEnum)
+		if err != nil {
+			return fmt.Errorf("%s cubes: %w", cfg.Name, err)
+		}
+		ri, err := run(eco.PatchInterpolation)
+		if err != nil {
+			return fmt.Errorf("%s interp: %w", cfg.Name, err)
+		}
+		mark := func(r *eco.Result) string {
+			if !r.Verified {
+				return "!"
+			}
+			return ""
+		}
+		fmt.Fprintf(w, "%-8s | %10d %7.2f%s | %10d %7.2f%s\n",
+			cfg.Name,
+			rc.TotalGates, rc.Elapsed.Seconds(), mark(rc),
+			ri.TotalGates, ri.Elapsed.Seconds(), mark(ri))
+	}
+	return nil
+}

@@ -1,0 +1,443 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ecopatch/internal/aig"
+	"ecopatch/internal/eco"
+	"ecopatch/internal/netlist"
+)
+
+// Family selects the base circuit of a generated unit.
+type Family int
+
+// Base circuit families.
+const (
+	FamAdder Family = iota
+	FamALU
+	FamComparator
+	FamParity
+	FamRandom
+	FamC17
+	FamMultiplier
+	FamShifter
+	FamDecoder
+)
+
+func (f Family) String() string {
+	switch f {
+	case FamAdder:
+		return "adder"
+	case FamALU:
+		return "alu"
+	case FamComparator:
+		return "cmp"
+	case FamParity:
+		return "parity"
+	case FamRandom:
+		return "random"
+	case FamC17:
+		return "c17"
+	case FamMultiplier:
+		return "mul"
+	case FamShifter:
+		return "shift"
+	case FamDecoder:
+		return "dec"
+	}
+	return "unknown"
+}
+
+// Config describes one generated ECO unit.
+type Config struct {
+	Name    string
+	Seed    int64
+	Family  Family
+	Size    int // family-specific size knob (bits / gates)
+	Targets int
+	Profile WeightProfile
+}
+
+// Generate builds a feasible-by-construction ECO instance:
+//   - the base circuit B provides the old implementation's logic;
+//   - Targets internal wires are selected; in the implementation F
+//     their readers are rewired to free t_k points (the old driver
+//     cone is left in place, as in the contest units);
+//   - in the specification S each selected wire is replaced by new
+//     logic over signals outside the TFO of all selected wires, so
+//     the patch t_k := g_k(·) always exists;
+//   - weights follow the unit's profile.
+func Generate(cfg Config) (*eco.Instance, error) {
+	// Retry with derived seeds when the sampled change degenerates
+	// (e.g. a constant patch already rectifies it); the final attempt
+	// is returned regardless so Generate stays total.
+	var inst *eco.Instance
+	var err error
+	for attempt := 0; attempt < 10; attempt++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(attempt)*7919
+		inst, err = generateOnce(c)
+		if err != nil {
+			return nil, err
+		}
+		if !trivialBySim(inst) {
+			return inst, nil
+		}
+	}
+	return inst, nil
+}
+
+func generateOnce(cfg Config) (*eco.Instance, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	base := buildBase(cfg, rng)
+	// Synthesized netlists carry functionally redundant re-expressions
+	// of internal signals; add some so that cost-aware support
+	// selection has genuinely different-priced alternatives (and so
+	// that CEGAR_min cuts have equivalence candidates).
+	addAliases(base, rng, 2+base.NumGates()/12)
+	if err := base.Validate(); err != nil {
+		return nil, fmt.Errorf("bench: base circuit invalid: %w", err)
+	}
+
+	wires := pickTargets(base, rng, cfg.Targets)
+	if len(wires) < cfg.Targets {
+		return nil, fmt.Errorf("bench: only %d/%d target candidates in %s", len(wires), cfg.Targets, base.Name)
+	}
+
+	forbidden := base.TransitiveFanout(wires)
+	donors := donorSignals(base, forbidden, rng)
+	if len(donors) < 2 {
+		return nil, fmt.Errorf("bench: not enough donor signals for new spec logic")
+	}
+
+	impl := cloneNetlist(base)
+	impl.Name = cfg.Name + "_F"
+	spec := cloneNetlist(base)
+	spec.Name = cfg.Name + "_S"
+
+	for k, w := range wires {
+		target := fmt.Sprintf("t_%d", k)
+		rewireReaders(impl, w, target)
+		// Real ECO changes are local: most of the time the new logic
+		// reads signals from the neighbourhood of the old function
+		// (its TFI), occasionally from anywhere in the circuit.
+		dk := donors
+		if rng.Intn(3) != 0 {
+			if local := localDonors(base, w, forbidden); len(local) >= 2 {
+				dk = local
+			}
+		}
+		newSig := buildSpecLogic(spec, dk, rng, k)
+		rewireReaders(spec, w, newSig)
+	}
+
+	weights := assignWeights(impl, rng, cfg.Profile)
+	inst := &eco.Instance{
+		Name:    cfg.Name,
+		Impl:    impl,
+		Spec:    spec,
+		Weights: weights,
+	}
+	return inst, inst.Check()
+}
+
+func buildBase(cfg Config, rng *rand.Rand) *netlist.Netlist {
+	switch cfg.Family {
+	case FamAdder:
+		return RippleAdder(cfg.Size)
+	case FamALU:
+		return ALU(cfg.Size)
+	case FamComparator:
+		return Comparator(cfg.Size)
+	case FamParity:
+		return ParityTree(cfg.Size)
+	case FamC17:
+		return C17()
+	case FamMultiplier:
+		return Multiplier(cfg.Size)
+	case FamShifter:
+		return BarrelShifter(cfg.Size)
+	case FamDecoder:
+		return Decoder(cfg.Size)
+	default:
+		nIn := 4 + cfg.Size/12
+		nOut := 2 + cfg.Size/25
+		return RandomDAG(rng, nIn, cfg.Size, nOut)
+	}
+}
+
+// pickTargets selects internal wires with at least one reader,
+// spread across the circuit.
+func pickTargets(n *netlist.Netlist, rng *rand.Rand, k int) []string {
+	readers := make(map[string]int)
+	for _, g := range n.Gates {
+		for _, in := range g.Ins {
+			readers[in]++
+		}
+	}
+	isOutput := make(map[string]bool)
+	for _, o := range n.Outputs {
+		isOutput[o] = true
+	}
+	isInput := make(map[string]bool)
+	for _, i := range n.Inputs {
+		isInput[i] = true
+	}
+	var cands []string
+	for _, g := range n.Gates {
+		w := g.Out
+		if readers[w] > 0 && !isOutput[w] && !isInput[w] {
+			cands = append(cands, w)
+		}
+	}
+	sort.Strings(cands)
+	rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	if k > len(cands) {
+		k = len(cands)
+	}
+	picked := cands[:k]
+	sort.Strings(picked)
+	return picked
+}
+
+// trivialBySim reports whether some constant target assignment
+// already rectifies the implementation on a few hundred random
+// simulation patterns — a cheap filter for degenerate units whose
+// optimal patch is a constant (the real suite has none).
+func trivialBySim(inst *eco.Instance) bool {
+	implRes, err := netlist.ToAIG(inst.Impl)
+	if err != nil {
+		return false
+	}
+	specRes, err := netlist.ToAIG(inst.Spec)
+	if err != nil {
+		return false
+	}
+	nIn := len(inst.Impl.Inputs)
+	k := implRes.G.NumPIs() - nIn
+	var consts [][]bool
+	if k <= 4 {
+		for m := 0; m < 1<<uint(k); m++ {
+			c := make([]bool, k)
+			for i := range c {
+				c[i] = m>>uint(i)&1 == 1
+			}
+			consts = append(consts, c)
+		}
+	} else {
+		rng := rand.New(rand.NewSource(1))
+		consts = append(consts, make([]bool, k))
+		ones := make([]bool, k)
+		for i := range ones {
+			ones[i] = true
+		}
+		consts = append(consts, ones)
+		for r := 0; r < 8; r++ {
+			c := make([]bool, k)
+			for i := range c {
+				c[i] = rng.Intn(2) == 1
+			}
+			consts = append(consts, c)
+		}
+	}
+	rng := rand.New(rand.NewSource(2))
+	const rounds = 4 // 4 * 64 = 256 patterns
+	type words struct{ x [][]uint64 }
+	var xs words
+	for r := 0; r < rounds; r++ {
+		w := make([]uint64, nIn)
+		for i := range w {
+			w[i] = rng.Uint64()
+		}
+		xs.x = append(xs.x, w)
+	}
+	specWords := make([][]uint64, rounds)
+	for r := 0; r < rounds; r++ {
+		specWords[r] = specRes.G.SimWords(xs.x[r])
+	}
+	for _, c := range consts {
+		match := true
+	rounds:
+		for r := 0; r < rounds; r++ {
+			in := make([]uint64, implRes.G.NumPIs())
+			copy(in, xs.x[r])
+			for i := 0; i < k; i++ {
+				if c[i] {
+					in[nIn+i] = ^uint64(0)
+				}
+			}
+			implW := implRes.G.SimWords(in)
+			for o := 0; o < implRes.G.NumPOs(); o++ {
+				a := aigWord(implW, implRes.G, o)
+				b := aigWord(specWords[r], specRes.G, o)
+				if a != b {
+					match = false
+					break rounds
+				}
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+func aigWord(words []uint64, g *aig.AIG, po int) uint64 {
+	return aig.WordOf(words, g.PO(po))
+}
+
+// isAlias reports whether a signal was introduced by addAliases.
+// Alias wires are divisor candidates but are kept out of the donor
+// pools: a spec change built over an alias of signal w degenerates
+// (e.g. alias XOR w is constant false), producing trivial units.
+func isAlias(s string) bool {
+	return len(s) > 5 && s[:5] == "alias"
+}
+
+// addAliases appends gates recomputing existing signals through
+// redundant identities (absorption, double-XOR). The aliases are
+// functionally equal to their source but structurally distinct, so
+// they survive AIG hashing as separate divisor candidates.
+func addAliases(n *netlist.Netlist, rng *rand.Rand, count int) {
+	var driven []string
+	for _, g := range n.Gates {
+		driven = append(driven, g.Out)
+	}
+	if len(driven) == 0 {
+		return
+	}
+	pool := append(append([]string(nil), n.Inputs...), driven...)
+	next := 0
+	fresh := func() string {
+		next++
+		w := fmt.Sprintf("alias%d", next)
+		n.Wires = append(n.Wires, w)
+		return w
+	}
+	for i := 0; i < count; i++ {
+		w := driven[rng.Intn(len(driven))]
+		r := pool[rng.Intn(len(pool))]
+		if r == w {
+			continue
+		}
+		t1 := fresh()
+		out := fresh()
+		switch rng.Intn(3) {
+		case 0: // absorption: w | (w & r) == w
+			n.Gates = append(n.Gates,
+				netlist.Gate{Kind: netlist.GateAnd, Out: t1, Ins: []string{w, r}},
+				netlist.Gate{Kind: netlist.GateOr, Out: out, Ins: []string{w, t1}})
+		case 1: // absorption: w & (w | r) == w
+			n.Gates = append(n.Gates,
+				netlist.Gate{Kind: netlist.GateOr, Out: t1, Ins: []string{w, r}},
+				netlist.Gate{Kind: netlist.GateAnd, Out: out, Ins: []string{w, t1}})
+		default: // double xor: (w ^ r) ^ r == w
+			n.Gates = append(n.Gates,
+				netlist.Gate{Kind: netlist.GateXor, Out: t1, Ins: []string{w, r}},
+				netlist.Gate{Kind: netlist.GateXor, Out: out, Ins: []string{t1, r}})
+		}
+	}
+}
+
+// localDonors returns the usable signals in the transitive fanin of
+// the target wire's old driver — the neighbourhood a localized spec
+// change would read.
+func localDonors(n *netlist.Netlist, w string, forbidden map[string]bool) []string {
+	tfi := n.TransitiveFanin([]string{w})
+	var out []string
+	for s := range tfi {
+		if s != w && !forbidden[s] && !isAlias(s) {
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// donorSignals returns signals usable as inputs of the new spec
+// logic: anything outside the forbidden TFO (inputs included).
+func donorSignals(n *netlist.Netlist, forbidden map[string]bool, rng *rand.Rand) []string {
+	var donors []string
+	for _, in := range n.Inputs {
+		if !forbidden[in] {
+			donors = append(donors, in)
+		}
+	}
+	for _, g := range n.Gates {
+		if !forbidden[g.Out] && !isAlias(g.Out) {
+			donors = append(donors, g.Out)
+		}
+	}
+	sort.Strings(donors)
+	rng.Shuffle(len(donors), func(i, j int) { donors[i], donors[j] = donors[j], donors[i] })
+	return donors
+}
+
+// rewireReaders makes every gate that reads old read newSig instead.
+func rewireReaders(n *netlist.Netlist, old, newSig string) {
+	for gi := range n.Gates {
+		for ii, in := range n.Gates[gi].Ins {
+			if in == old {
+				n.Gates[gi].Ins[ii] = newSig
+			}
+		}
+	}
+}
+
+// buildSpecLogic appends a small random cone over donor signals to
+// the spec and returns its root signal. Depth 1–3, fanin 2.
+func buildSpecLogic(spec *netlist.Netlist, donors []string, rng *rand.Rand, k int) string {
+	kinds := []netlist.GateKind{
+		netlist.GateAnd, netlist.GateOr, netlist.GateXor,
+		netlist.GateNand, netlist.GateNor, netlist.GateXnor,
+	}
+	fresh := func(i int) string {
+		w := fmt.Sprintf("eco%d_%d", k, i)
+		spec.Wires = append(spec.Wires, w)
+		return w
+	}
+	pick := func() string { return donors[rng.Intn(len(donors))] }
+	depth := 1 + rng.Intn(3)
+	cur := pick()
+	for d := 0; d < depth; d++ {
+		other := pick()
+		for other == cur {
+			other = pick()
+		}
+		w := fresh(d)
+		spec.Gates = append(spec.Gates, netlist.Gate{
+			Kind: kinds[rng.Intn(len(kinds))],
+			Out:  w,
+			Ins:  []string{cur, other},
+		})
+		cur = w
+	}
+	if rng.Intn(3) == 0 {
+		w := fresh(depth)
+		spec.Gates = append(spec.Gates, netlist.Gate{Kind: netlist.GateNot, Out: w, Ins: []string{cur}})
+		cur = w
+	}
+	return cur
+}
+
+func cloneNetlist(n *netlist.Netlist) *netlist.Netlist {
+	out := &netlist.Netlist{
+		Name:    n.Name,
+		Inputs:  append([]string(nil), n.Inputs...),
+		Outputs: append([]string(nil), n.Outputs...),
+		Wires:   append([]string(nil), n.Wires...),
+		Gates:   make([]netlist.Gate, len(n.Gates)),
+	}
+	for i, g := range n.Gates {
+		out.Gates[i] = netlist.Gate{
+			Kind: g.Kind,
+			Name: g.Name,
+			Out:  g.Out,
+			Ins:  append([]string(nil), g.Ins...),
+		}
+	}
+	return out
+}

@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"testing"
+
+	"ecopatch/internal/netlist"
+)
+
+func TestMultiplierLarger(t *testing.T) {
+	for _, bits := range []int{4, 5} {
+		n := Multiplier(bits)
+		res, err := netlist.ToAIG(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a := 0; a < 1<<bits; a++ {
+			for b := 0; b < 1<<bits; b++ {
+				in := make([]bool, 2*bits)
+				for i := 0; i < bits; i++ {
+					in[i] = a>>uint(i)&1 == 1
+					in[bits+i] = b>>uint(i)&1 == 1
+				}
+				out := res.G.Eval(in)
+				want := a * b
+				for j := 0; j < 2*bits; j++ {
+					if out[j] != (want>>uint(j)&1 == 1) {
+						t.Fatalf("bits=%d %d*%d bit %d wrong", bits, a, b, j)
+					}
+				}
+			}
+		}
+	}
+}

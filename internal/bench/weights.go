@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"math"
+	"math/rand"
+
+	"ecopatch/internal/netlist"
+)
+
+// WeightProfile is one of the contest's eight weight distributions
+// (§4.1 of the paper).
+type WeightProfile int
+
+// Weight profiles T1–T8.
+const (
+	// T1: distance-aware A — weights grow toward the primary inputs.
+	T1 WeightProfile = iota + 1
+	// T2: distance-aware B — weights grow away from the inputs.
+	T2
+	// T3: path-aware — signals on a few input-to-output paths cost more.
+	T3
+	// T4: locality-aware — signals in a region of the circuit cost more.
+	T4
+	// T5: T1 composed with T3.
+	T5
+	// T6: T2 composed with T3.
+	T6
+	// T7: T1 composed with T4.
+	T7
+	// T8: highly mixed, undulating distribution.
+	T8
+)
+
+func (p WeightProfile) String() string {
+	names := [...]string{"", "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8"}
+	if int(p) < len(names) {
+		return names[p]
+	}
+	return "T?"
+}
+
+// signalLevels computes the structural depth of every signal of a
+// topologically ordered netlist (inputs and targets at level 0).
+func signalLevels(n *netlist.Netlist) map[string]int {
+	lv := make(map[string]int)
+	for _, in := range n.Inputs {
+		lv[in] = 0
+	}
+	for _, g := range n.Gates {
+		max := 0
+		for _, in := range g.Ins {
+			if l := lv[in]; l > max {
+				max = l
+			}
+		}
+		lv[g.Out] = max + 1
+	}
+	return lv
+}
+
+// assignWeights builds the weight table of the implementation under
+// the given profile.
+func assignWeights(impl *netlist.Netlist, rng *rand.Rand, p WeightProfile) *netlist.Weights {
+	lv := signalLevels(impl)
+	maxLv := 1
+	for _, l := range lv {
+		if l > maxLv {
+			maxLv = l
+		}
+	}
+	w := netlist.NewWeights()
+
+	// Base components. Minimum costs stay well above zero so that a
+	// low-cost support is also a small support, as in the contest
+	// weight files. The contest's distance gradients apply only "in
+	// some parts of the circuits" (§4.1), so the gradients below are
+	// confined to a marked region; elsewhere costs are moderate noise.
+	distA := func(l int) int { return 4 + 6*(maxLv-l) } // larger near PIs
+	distB := func(l int) int { return 4 + 6*l }         // larger near POs
+	flat := func(int) int { return 5 + rng.Intn(12) }   // mild noise
+	undulate := func(l int) int { return 6 + int(10*(1+math.Sin(float64(l)))) + rng.Intn(13) }
+
+	// gradientMark: the circuit parts where distance-aware profiles
+	// apply (roughly half the gates, in a few contiguous windows).
+	markRegion := func(frac int) map[string]bool {
+		m := make(map[string]bool)
+		if len(impl.Gates) == 0 {
+			return m
+		}
+		span := 1 + len(impl.Gates)/frac
+		for r := 0; r < 2; r++ {
+			start := rng.Intn(len(impl.Gates))
+			for i := start; i < start+span && i < len(impl.Gates); i++ {
+				m[impl.Gates[i].Out] = true
+			}
+		}
+		// Inputs participate in the marked parts too (they are the
+		// signals closest to the PIs).
+		for _, in := range impl.Inputs {
+			if rng.Intn(2) == 0 {
+				m[in] = true
+			}
+		}
+		return m
+	}
+	gradientMark := make(map[string]bool)
+	if p == T1 || p == T2 || p == T5 || p == T6 || p == T7 {
+		gradientMark = markRegion(3)
+	}
+	// Path set for T3/T5/T6: mark the TFI cone of a couple of outputs.
+	pathMark := make(map[string]bool)
+	if p == T3 || p == T5 || p == T6 {
+		outs := append([]string(nil), impl.Outputs...)
+		rng.Shuffle(len(outs), func(i, j int) { outs[i], outs[j] = outs[j], outs[i] })
+		k := 1 + len(outs)/8
+		pathMark = impl.TransitiveFanin(outs[:k])
+	}
+	// Locality region for T4/T7: a random window of consecutive gates.
+	regionMark := make(map[string]bool)
+	if p == T4 || p == T7 {
+		regionMark = markRegion(4)
+	}
+
+	cost := func(name string) int {
+		l := lv[name]
+		grad := func(f func(int) int) int {
+			if gradientMark[name] {
+				return f(l)
+			}
+			return flat(l)
+		}
+		switch p {
+		case T1:
+			return grad(distA)
+		case T2:
+			return grad(distB)
+		case T3:
+			c := flat(l)
+			if pathMark[name] {
+				c *= 10
+			}
+			return c
+		case T4:
+			c := flat(l)
+			if regionMark[name] {
+				c *= 10
+			}
+			return c
+		case T5:
+			c := grad(distA)
+			if pathMark[name] {
+				c *= 5
+			}
+			return c
+		case T6:
+			c := grad(distB)
+			if pathMark[name] {
+				c *= 5
+			}
+			return c
+		case T7:
+			c := grad(distA)
+			if regionMark[name] {
+				c *= 5
+			}
+			return c
+		default: // T8
+			return undulate(l)
+		}
+	}
+
+	for _, in := range impl.Inputs {
+		w.Set(in, cost(in))
+	}
+	for _, g := range impl.Gates {
+		w.Set(g.Out, cost(g.Out))
+	}
+	return w
+}

@@ -1,0 +1,278 @@
+// Package blif reads and writes combinational circuits in the
+// Berkeley Logic Interchange Format (the .model/.inputs/.outputs/
+// .names subset, no latches or subcircuits). Together with the AIGER
+// support in internal/aig and the structural-Verilog frontend in
+// internal/netlist, it lets circuits flow between this repository and
+// the standard logic-synthesis toolchains (ABC, SIS) the paper's
+// authors use.
+package blif
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"ecopatch/internal/aig"
+)
+
+// Write emits the AIG as a BLIF model: one .names table per AND node
+// plus buffer/inverter tables for the outputs.
+func Write(w io.Writer, g *aig.AIG, modelName string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, ".model %s\n", modelName)
+	fmt.Fprintf(bw, ".inputs")
+	for i := 0; i < g.NumPIs(); i++ {
+		fmt.Fprintf(bw, " %s", g.PIName(i))
+	}
+	fmt.Fprintln(bw)
+	fmt.Fprintf(bw, ".outputs")
+	for i := 0; i < g.NumPOs(); i++ {
+		fmt.Fprintf(bw, " %s", g.POName(i))
+	}
+	fmt.Fprintln(bw)
+
+	name := make(map[int]string)
+	for i := 0; i < g.NumPIs(); i++ {
+		name[g.PI(i).Node()] = g.PIName(i)
+	}
+	// Constant-false node, if referenced.
+	constName := "__const0"
+	roots := make([]aig.Lit, g.NumPOs())
+	for i := range roots {
+		roots[i] = g.PO(i)
+	}
+	cone := g.ConeNodes(roots)
+	needConst := false
+	for _, n := range cone {
+		if g.IsConst(n) {
+			needConst = true
+		}
+	}
+	if needConst {
+		fmt.Fprintf(bw, ".names %s\n", constName) // empty cover = const 0
+		name[0] = constName
+	}
+	edgeRef := func(l aig.Lit) (string, bool) {
+		return name[l.Node()], l.Compl()
+	}
+	for _, n := range cone {
+		if !g.IsAnd(n) {
+			continue
+		}
+		nm := fmt.Sprintf("n%d", n)
+		name[n] = nm
+		f0, f1 := g.Fanins(n)
+		a, ac := edgeRef(f0)
+		b, bc := edgeRef(f1)
+		fmt.Fprintf(bw, ".names %s %s %s\n", a, b, nm)
+		row := []byte{'1', '1'}
+		if ac {
+			row[0] = '0'
+		}
+		if bc {
+			row[1] = '0'
+		}
+		fmt.Fprintf(bw, "%s 1\n", row)
+	}
+	for i := 0; i < g.NumPOs(); i++ {
+		po := g.PO(i)
+		src, compl := edgeRef(po)
+		if po.Node() == 0 {
+			// Constant output: direct table.
+			fmt.Fprintf(bw, ".names %s\n", g.POName(i))
+			if compl { // constant true
+				fmt.Fprintln(bw, " 1")
+			}
+			continue
+		}
+		fmt.Fprintf(bw, ".names %s %s\n", src, g.POName(i))
+		if compl {
+			fmt.Fprintln(bw, "0 1")
+		} else {
+			fmt.Fprintln(bw, "1 1")
+		}
+	}
+	fmt.Fprintln(bw, ".end")
+	return bw.Flush()
+}
+
+// Read parses a single combinational BLIF model into an AIG. .names
+// tables may appear in any order; covers with output value 0 are
+// complemented sums.
+func Read(r io.Reader) (*aig.AIG, error) {
+	lines, err := logicalLines(r)
+	if err != nil {
+		return nil, err
+	}
+	var inputs, outputs []string
+	type table struct {
+		ins   []string
+		out   string
+		rows  []string // input parts
+		value byte     // '1' or '0' output polarity
+	}
+	var tables []*table
+	var cur *table
+	modelSeen := false
+	for _, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case ".model":
+			modelSeen = true
+		case ".inputs":
+			inputs = append(inputs, fields[1:]...)
+		case ".outputs":
+			outputs = append(outputs, fields[1:]...)
+		case ".names":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("blif: .names without output")
+			}
+			cur = &table{
+				ins:   fields[1 : len(fields)-1],
+				out:   fields[len(fields)-1],
+				value: '1',
+			}
+			tables = append(tables, cur)
+		case ".end":
+			cur = nil
+		case ".latch", ".subckt", ".gate":
+			return nil, fmt.Errorf("blif: construct %s not supported", fields[0])
+		default:
+			if strings.HasPrefix(fields[0], ".") {
+				continue // ignore other directives
+			}
+			if cur == nil {
+				return nil, fmt.Errorf("blif: cover row %q outside .names", line)
+			}
+			var inPart string
+			var outPart byte
+			switch len(fields) {
+			case 1:
+				if len(cur.ins) != 0 {
+					return nil, fmt.Errorf("blif: row %q lacks input part", line)
+				}
+				inPart, outPart = "", fields[0][0]
+			case 2:
+				inPart, outPart = fields[0], fields[1][0]
+			default:
+				return nil, fmt.Errorf("blif: malformed cover row %q", line)
+			}
+			if outPart != '0' && outPart != '1' {
+				return nil, fmt.Errorf("blif: bad output value in row %q", line)
+			}
+			if len(inPart) != len(cur.ins) {
+				return nil, fmt.Errorf("blif: row %q width %d != %d inputs", line, len(inPart), len(cur.ins))
+			}
+			if len(cur.rows) > 0 && cur.value != outPart {
+				return nil, fmt.Errorf("blif: mixed output polarities in table for %s", cur.out)
+			}
+			cur.value = outPart
+			cur.rows = append(cur.rows, inPart)
+		}
+	}
+	if !modelSeen {
+		return nil, fmt.Errorf("blif: missing .model")
+	}
+
+	g := aig.New()
+	sig := make(map[string]aig.Lit)
+	for _, in := range inputs {
+		sig[in] = g.AddPI(in)
+	}
+	// Dependency-ordered elaboration (Kahn over table outputs).
+	byOut := make(map[string]*table, len(tables))
+	for _, t := range tables {
+		if _, dup := byOut[t.out]; dup {
+			return nil, fmt.Errorf("blif: signal %q defined twice", t.out)
+		}
+		byOut[t.out] = t
+	}
+	var build func(name string) (aig.Lit, error)
+	visiting := make(map[string]bool)
+	build = func(name string) (aig.Lit, error) {
+		if l, ok := sig[name]; ok {
+			return l, nil
+		}
+		t, ok := byOut[name]
+		if !ok {
+			return 0, fmt.Errorf("blif: signal %q never defined", name)
+		}
+		if visiting[name] {
+			return 0, fmt.Errorf("blif: combinational cycle through %q", name)
+		}
+		visiting[name] = true
+		ins := make([]aig.Lit, len(t.ins))
+		for i, in := range t.ins {
+			l, err := build(in)
+			if err != nil {
+				return 0, err
+			}
+			ins[i] = l
+		}
+		sum := aig.ConstFalse
+		for _, row := range t.rows {
+			cube := aig.ConstTrue
+			for i := 0; i < len(row); i++ {
+				switch row[i] {
+				case '1':
+					cube = g.And(cube, ins[i])
+				case '0':
+					cube = g.And(cube, ins[i].Not())
+				case '-':
+					// don't care
+				default:
+					return 0, fmt.Errorf("blif: bad cover character %q", row[i])
+				}
+			}
+			sum = g.Or(sum, cube)
+		}
+		out := sum
+		if t.value == '0' {
+			out = sum.Not()
+		}
+		delete(visiting, name)
+		sig[name] = out
+		return out, nil
+	}
+	for _, o := range outputs {
+		l, err := build(o)
+		if err != nil {
+			return nil, err
+		}
+		g.AddPO(o, l)
+	}
+	return g, nil
+}
+
+// logicalLines reads the file, strips comments (#) and joins
+// backslash-continued lines.
+func logicalLines(r io.Reader) ([]string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	var lines []string
+	cont := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if strings.HasSuffix(line, "\\") {
+			cont += strings.TrimSuffix(line, "\\") + " "
+			continue
+		}
+		lines = append(lines, cont+line)
+		cont = ""
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("blif: %w", err)
+	}
+	if cont != "" {
+		lines = append(lines, cont)
+	}
+	return lines, nil
+}

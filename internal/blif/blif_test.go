@@ -1,0 +1,168 @@
+package blif
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ecopatch/internal/aig"
+	"ecopatch/internal/cec"
+)
+
+func randomAIG(rng *rand.Rand, nPI, nAnd, nPO int) *aig.AIG {
+	g := aig.New()
+	pool := []aig.Lit{aig.ConstTrue}
+	for i := 0; i < nPI; i++ {
+		pool = append(pool, g.AddPI(strings.Repeat("x", 1)+itoa(i)))
+	}
+	for i := 0; i < nAnd; i++ {
+		a := pool[rng.Intn(len(pool))].XorCompl(rng.Intn(2) == 1)
+		b := pool[rng.Intn(len(pool))].XorCompl(rng.Intn(2) == 1)
+		pool = append(pool, g.And(a, b))
+	}
+	for o := 0; o < nPO; o++ {
+		g.AddPO("y"+itoa(o), pool[len(pool)-1-o].XorCompl(rng.Intn(2) == 1))
+	}
+	return g
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for iter := 0; iter < 20; iter++ {
+		g := randomAIG(rng, 3+rng.Intn(5), 4+rng.Intn(30), 1+rng.Intn(3))
+		var buf bytes.Buffer
+		if err := Write(&buf, g, "rt"); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("iter %d: %v\n%s", iter, err, buf.String())
+		}
+		res, err := cec.CheckAIGs(g, back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Equivalent {
+			t.Fatalf("iter %d: round trip not equivalent\n%s", iter, buf.String())
+		}
+	}
+}
+
+func TestReadHandWritten(t *testing.T) {
+	src := `
+# full adder carry
+.model carry
+.inputs a b cin
+.outputs cout
+.names a b w1
+11 1
+.names a cin w2
+11 1
+.names b cin w3
+11 1
+.names w1 w2 w3 cout
+1-- 1
+-1- 1
+--1 1
+.end
+`
+	g, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < 8; m++ {
+		in := []bool{m&1 == 1, m&2 == 2, m&4 == 4}
+		ones := 0
+		for _, v := range in {
+			if v {
+				ones++
+			}
+		}
+		if g.Eval(in)[0] != (ones >= 2) {
+			t.Fatalf("carry(%v) wrong", in)
+		}
+	}
+}
+
+func TestReadComplementedCover(t *testing.T) {
+	// Output polarity 0: f = NOT(a & b) = nand.
+	src := `
+.model nand2
+.inputs a b
+.outputs f
+.names a b f
+11 0
+.end
+`
+	g, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < 4; m++ {
+		in := []bool{m&1 == 1, m&2 == 2}
+		if g.Eval(in)[0] != !(in[0] && in[1]) {
+			t.Fatalf("nand(%v) wrong", in)
+		}
+	}
+}
+
+func TestReadConstants(t *testing.T) {
+	src := `
+.model consts
+.inputs a
+.outputs one zero
+.names one
+ 1
+.names zero
+.end
+`
+	g, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := g.Eval([]bool{true})
+	if out[0] != true || out[1] != false {
+		t.Fatalf("constants wrong: %v", out)
+	}
+}
+
+func TestReadContinuationAndComments(t *testing.T) {
+	src := ".model m # comment\n.inputs \\\na b\n.outputs f\n.names a b f\n11 1\n.end\n"
+	g, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumPIs() != 2 || g.NumPOs() != 1 {
+		t.Fatalf("shape: %d PIs %d POs", g.NumPIs(), g.NumPOs())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"",                             // no model
+		".model m\n.latch a b\n.end\n", // latch
+		".model m\n.inputs a\n.outputs f\n.names a f\n11 1\n.end\n",     // row width
+		".model m\n.inputs a\n.outputs f\n.names a f\n1 1\n0 0\n.end\n", // mixed polarity
+		".model m\n.inputs a\n.outputs f\n.end\n",                       // f undefined
+		".model m\n.inputs a\n.outputs f\n.names f f\n1 1\n.end\n",      // cycle
+		".model m\n.inputs a\n.outputs f\n.names a f\n2 1\n.end\n",      // bad char
+	}
+	for i, src := range cases {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

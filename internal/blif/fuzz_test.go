@@ -1,0 +1,30 @@
+package blif
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks that the BLIF reader never panics and that accepted
+// models survive a write/re-read cycle.
+func FuzzRead(f *testing.F) {
+	f.Add(".model m\n.inputs a b\n.outputs f\n.names a b f\n11 1\n.end\n")
+	f.Add(".model m\n.inputs a\n.outputs f\n.names a f\n0 0\n.end\n")
+	f.Add(".model m\n.outputs f\n.names f\n 1\n.end\n")
+	f.Add("# nothing")
+	f.Add(".model m\n.inputs \\\na b\n.outputs f\n.names a b f\n-1 1\n.end\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := Read(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g, "fz"); err != nil {
+			t.Fatalf("accepted model cannot be written: %v", err)
+		}
+		if _, err := Read(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("rewritten model does not re-parse: %v\n%s", err, buf.String())
+		}
+	})
+}

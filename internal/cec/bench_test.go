@@ -1,0 +1,47 @@
+package cec
+
+import (
+	"math/rand"
+	"testing"
+
+	"ecopatch/internal/aig"
+)
+
+func twoEquivalentGraphs(n int) (*aig.AIG, *aig.AIG) {
+	rng := rand.New(rand.NewSource(13))
+	g := aig.New()
+	pool := make([]aig.Lit, 0, n+12)
+	for i := 0; i < 12; i++ {
+		pool = append(pool, g.AddPI("x"))
+	}
+	for i := 0; i < n; i++ {
+		a := pool[rng.Intn(len(pool))].XorCompl(rng.Intn(2) == 1)
+		c := pool[rng.Intn(len(pool))].XorCompl(rng.Intn(2) == 1)
+		pool = append(pool, g.And(a, c))
+	}
+	for o := 0; o < 4; o++ {
+		g.AddPO("y", pool[len(pool)-1-o])
+	}
+	return g, aig.Clone(g)
+}
+
+// BenchmarkCheckAIGs measures the plain miter-based check.
+func BenchmarkCheckAIGs(b *testing.B) {
+	g1, g2 := twoEquivalentGraphs(3000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := CheckAIGs(g1, g2)
+		if err != nil || !res.Equivalent {
+			b.Fatal("clone must be equivalent")
+		}
+	}
+}
+
+// BenchmarkSweep measures the fraiging pass.
+func BenchmarkSweep(b *testing.B) {
+	g, _ := twoEquivalentGraphs(3000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sweep(g, DefaultSweepOptions())
+	}
+}

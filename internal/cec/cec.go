@@ -1,0 +1,132 @@
+// Package cec implements SAT-based combinational equivalence checking
+// (the "CEC" step of the paper, used both to validate that a target
+// set is sufficient — §3.2 — and to verify the final patched
+// implementation against the specification).
+package cec
+
+import (
+	"fmt"
+
+	"ecopatch/internal/aig"
+	"ecopatch/internal/cnf"
+	"ecopatch/internal/sat"
+)
+
+// Result reports the outcome of an equivalence check.
+type Result struct {
+	Equivalent bool
+	// Counterexample holds PI values exposing a difference when
+	// Equivalent is false.
+	Counterexample []bool
+	// FailingOutput is the index of a differing output.
+	FailingOutput int
+	// Conflicts is the number of SAT conflicts spent.
+	Conflicts int64
+}
+
+// CheckAIGs decides whether two AIGs with identical PI/PO counts are
+// combinationally equivalent. PIs are matched by position.
+func CheckAIGs(g1, g2 *aig.AIG) (Result, error) {
+	if g1.NumPIs() != g2.NumPIs() {
+		return Result{}, fmt.Errorf("cec: PI count mismatch: %d vs %d", g1.NumPIs(), g2.NumPIs())
+	}
+	if g1.NumPOs() != g2.NumPOs() {
+		return Result{}, fmt.Errorf("cec: PO count mismatch: %d vs %d", g1.NumPOs(), g2.NumPOs())
+	}
+	// Build the miter in a fresh AIG: shared PIs, XOR per output pair.
+	m := aig.New()
+	piMap := make([]aig.Lit, g1.NumPIs())
+	for i := range piMap {
+		piMap[i] = m.AddPI(g1.PIName(i))
+	}
+	outs1 := make([]aig.Lit, g1.NumPOs())
+	outs2 := make([]aig.Lit, g2.NumPOs())
+	for i := 0; i < g1.NumPOs(); i++ {
+		outs1[i] = g1.PO(i)
+		outs2[i] = g2.PO(i)
+	}
+	t1 := aig.Transfer(m, g1, piMap, outs1)
+	t2 := aig.Transfer(m, g2, piMap, outs2)
+	return checkPairs(m, piMap, t1, t2)
+}
+
+// CheckLits decides whether pairs of edges within one AIG are
+// pointwise equivalent (as functions of the AIG's PIs).
+func CheckLits(g *aig.AIG, as, bs []aig.Lit) (Result, error) {
+	if len(as) != len(bs) {
+		return Result{}, fmt.Errorf("cec: pair count mismatch")
+	}
+	pis := make([]aig.Lit, g.NumPIs())
+	for i := range pis {
+		pis[i] = g.PI(i)
+	}
+	return checkPairs(g, pis, as, bs)
+}
+
+// checkPairs runs the SAT check "some pair differs" on a miter AIG.
+func checkPairs(m *aig.AIG, pis []aig.Lit, t1, t2 []aig.Lit) (Result, error) {
+	// Fast path: structural hashing may already have merged each pair.
+	allEqual := true
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			allEqual = false
+			break
+		}
+	}
+	if allEqual {
+		return Result{Equivalent: true}, nil
+	}
+	s := sat.New()
+	e := cnf.NewEncoder(s, m)
+	// Encode the PIs up front so counterexample readback never
+	// allocates variables after solving.
+	piLits := make([]sat.Lit, len(pis))
+	for i, p := range pis {
+		piLits[i] = e.Lit(p)
+	}
+	// diff = OR over XORs; assert diff and solve.
+	diffSel := make([]sat.Lit, 0, len(t1))
+	for i := range t1 {
+		if t1[i] == t2[i] {
+			continue
+		}
+		a := e.Lit(t1[i])
+		b := e.Lit(t2[i])
+		d := sat.PosLit(s.NewVar())
+		// d -> (a xor b)
+		s.AddClause(d.Not(), a, b)
+		s.AddClause(d.Not(), a.Not(), b.Not())
+		// (a xor b) -> d
+		s.AddClause(d, a, b.Not())
+		s.AddClause(d, a.Not(), b)
+		diffSel = append(diffSel, d)
+	}
+	s.AddClause(diffSel...)
+	before := s.Stats.Conflicts
+	switch s.Solve() {
+	case sat.Unsat:
+		return Result{Equivalent: true, Conflicts: s.Stats.Conflicts - before}, nil
+	case sat.Sat:
+		res := Result{Equivalent: false, Conflicts: s.Stats.Conflicts - before}
+		res.Counterexample = make([]bool, len(pis))
+		for i := range pis {
+			res.Counterexample[i] = s.ModelBool(piLits[i])
+		}
+		// Identify a failing output index by evaluation.
+		res.FailingOutput = -1
+		for i := range t1 {
+			if m.EvalLit(t1[i], res.Counterexample) != m.EvalLit(t2[i], res.Counterexample) {
+				res.FailingOutput = i
+				break
+			}
+		}
+		return res, nil
+	default:
+		return Result{}, fmt.Errorf("cec: solver gave up")
+	}
+}
+
+func errShape(g1, g2 *aig.AIG) error {
+	return fmt.Errorf("cec: interface mismatch: %d/%d PIs, %d/%d POs",
+		g1.NumPIs(), g2.NumPIs(), g1.NumPOs(), g2.NumPOs())
+}

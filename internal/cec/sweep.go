@@ -1,0 +1,251 @@
+package cec
+
+import (
+	"math/rand"
+
+	"ecopatch/internal/aig"
+	"ecopatch/internal/cnf"
+	"ecopatch/internal/sat"
+)
+
+// SweepOptions tunes the SAT sweeping (fraiging) pass.
+type SweepOptions struct {
+	// SimRounds is the number of 64-pattern random simulation rounds
+	// used to build the initial candidate equivalence classes.
+	SimRounds int
+	// ConfBudget bounds SAT conflicts per equivalence query; proofs
+	// that exceed it leave the pair unmerged (sound, just weaker).
+	ConfBudget int64
+	// MaxCandidates bounds how many same-class representatives each
+	// node is compared against.
+	MaxCandidates int
+	// Seed makes the simulation deterministic.
+	Seed int64
+}
+
+// DefaultSweepOptions returns sensible defaults.
+func DefaultSweepOptions() SweepOptions {
+	return SweepOptions{SimRounds: 8, ConfBudget: 2000, MaxCandidates: 4, Seed: 1}
+}
+
+// Sweep functionally reduces the AIG (fraiging, the core of the
+// paper's CEC reference [12]): candidate equivalences are proposed by
+// random simulation and proved by incremental SAT; proven-equivalent
+// nodes merge (up to complementation). Counterexamples from failed
+// proofs refine the candidate classes. The result is functionally
+// equivalent to the input, with the same PI/PO interface.
+func Sweep(g *aig.AIG, opt SweepOptions) *aig.AIG {
+	if opt.SimRounds <= 0 {
+		opt.SimRounds = 8
+	}
+	if opt.MaxCandidates <= 0 {
+		opt.MaxCandidates = 4
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	// Signatures over the ORIGINAL graph.
+	sigs := make([][]uint64, g.NumNodes())
+	for i := range sigs {
+		sigs[i] = make([]uint64, 0, opt.SimRounds+4)
+	}
+	addRound := func(piWords []uint64) {
+		words := g.SimWords(piWords)
+		for n := range sigs {
+			sigs[n] = append(sigs[n], words[n])
+		}
+	}
+	for r := 0; r < opt.SimRounds; r++ {
+		addRound(g.RandomSimWords(rng))
+	}
+
+	type key string
+	canon := func(n int) (key, bool) {
+		s := sigs[n]
+		compl := len(s) > 0 && s[0]&1 == 1
+		buf := make([]byte, 0, len(s)*8)
+		for _, w := range s {
+			if compl {
+				w = ^w
+			}
+			for k := 0; k < 8; k++ {
+				buf = append(buf, byte(w>>uint(8*k)))
+			}
+		}
+		return key(buf), compl
+	}
+
+	ng := aig.New()
+	solver := sat.New()
+	if opt.ConfBudget > 0 {
+		solver.SetConfBudget(opt.ConfBudget)
+	}
+	enc := cnf.NewEncoder(solver, ng)
+
+	mapped := make([]aig.Lit, g.NumNodes())
+	mapped[0] = aig.ConstFalse
+	for i := 0; i < g.NumPIs(); i++ {
+		mapped[g.PI(i).Node()] = ng.AddPI(g.PIName(i))
+	}
+
+	// classes maps canonical signature -> candidate (ng edge, old node).
+	type rep struct {
+		edge  aig.Lit // ng edge of the representative's value
+		compl bool    // representative stored with canonical polarity
+	}
+	classes := make(map[key][]rep)
+	registerPI := func(n int) {
+		k, compl := canon(n)
+		classes[k] = append(classes[k], rep{edge: mapped[n].XorCompl(compl), compl: compl})
+	}
+	for i := 0; i < g.NumPIs(); i++ {
+		registerPI(g.PI(i).Node())
+	}
+
+	// cexBuf accumulates counterexample patterns to refine classes;
+	// builtAnds remembers processed nodes so classes can be rebuilt on
+	// the extended signatures after a refinement round.
+	cexBuf := make([][]bool, 0, 64)
+	var builtAnds []int
+	flushCex := func() {
+		if len(cexBuf) == 0 {
+			return
+		}
+		piWords := make([]uint64, g.NumPIs())
+		for b, cx := range cexBuf {
+			for i := range piWords {
+				if cx[i] {
+					piWords[i] |= 1 << uint(b)
+				}
+			}
+		}
+		addRound(piWords)
+		cexBuf = cexBuf[:0]
+		classes = make(map[key][]rep)
+		for i := 0; i < g.NumPIs(); i++ {
+			registerPI(g.PI(i).Node())
+		}
+		for _, n := range builtAnds {
+			k, compl := canon(n)
+			classes[k] = append(classes[k], rep{edge: mapped[n].XorCompl(compl), compl: compl})
+		}
+	}
+
+	proveEqual := func(a, b aig.Lit) (equal bool, cex []bool) {
+		if a == b {
+			return true, nil
+		}
+		if a == b.Not() {
+			return false, nil
+		}
+		la, lb := enc.Lit(a), enc.Lit(b)
+		// a != b satisfiable?
+		d := sat.PosLit(solver.NewVar())
+		solver.AddClause(d.Not(), la, lb)
+		solver.AddClause(d.Not(), la.Not(), lb.Not())
+		switch solver.Solve(d) {
+		case sat.Unsat:
+			return true, nil
+		case sat.Sat:
+			in := make([]bool, g.NumPIs())
+			for i := 0; i < ng.NumPIs(); i++ {
+				in[i] = solver.ModelBool(enc.Lit(ng.PI(i)))
+			}
+			return false, in
+		default:
+			return false, nil // budget: treat as unmerged
+		}
+	}
+
+	roots := make([]aig.Lit, g.NumPOs())
+	for i := range roots {
+		roots[i] = g.PO(i)
+	}
+	for _, n := range g.ConeNodes(roots) {
+		if !g.IsAnd(n) {
+			continue
+		}
+		f0, f1 := g.Fanins(n)
+		a := mapped[f0.Node()].XorCompl(f0.Compl())
+		b := mapped[f1.Node()].XorCompl(f1.Compl())
+		me := ng.And(a, b)
+		k, compl := canon(n)
+		myCanon := me.XorCompl(compl)
+		merged := false
+		cands := classes[k]
+		limit := opt.MaxCandidates
+		if len(cands) < limit {
+			limit = len(cands)
+		}
+		for ci := 0; ci < limit; ci++ {
+			equal, cex := proveEqual(myCanon, cands[ci].edge)
+			if equal {
+				mapped[n] = cands[ci].edge.XorCompl(compl)
+				merged = true
+				break
+			}
+			if cex != nil {
+				cexBuf = append(cexBuf, cex)
+				if len(cexBuf) == 64 {
+					flushCex()
+					// Keys changed; stop probing this class.
+					k, compl = canon(n)
+					myCanon = me.XorCompl(compl)
+					break
+				}
+			}
+		}
+		if !merged {
+			mapped[n] = me
+			classes[k] = append(classes[k], rep{edge: myCanon, compl: compl})
+			builtAnds = append(builtAnds, n)
+		}
+	}
+
+	for i := 0; i < g.NumPOs(); i++ {
+		po := g.PO(i)
+		ng.AddPO(g.POName(i), mapped[po.Node()].XorCompl(po.Compl()))
+	}
+	return aig.Cleanup(ng)
+}
+
+// CheckAIGsSweeping is CheckAIGs with a fraiging front end: the two
+// circuits are placed in one graph, swept (merging all internal
+// equivalences SAT can prove cheaply), and only then compared. On
+// structurally dissimilar but equivalent circuits this is much
+// stronger than the plain miter.
+func CheckAIGsSweeping(g1, g2 *aig.AIG, opt SweepOptions) (Result, error) {
+	if g1.NumPIs() != g2.NumPIs() || g1.NumPOs() != g2.NumPOs() {
+		return Result{}, errShape(g1, g2)
+	}
+	joint := aig.New()
+	piMap := make([]aig.Lit, g1.NumPIs())
+	for i := range piMap {
+		piMap[i] = joint.AddPI(g1.PIName(i))
+	}
+	r1 := make([]aig.Lit, g1.NumPOs())
+	r2 := make([]aig.Lit, g2.NumPOs())
+	for i := range r1 {
+		r1[i] = g1.PO(i)
+		r2[i] = g2.PO(i)
+	}
+	t1 := aig.Transfer(joint, g1, piMap, r1)
+	t2 := aig.Transfer(joint, g2, piMap, r2)
+	for i := range t1 {
+		joint.AddPO("a", t1[i])
+	}
+	for i := range t2 {
+		joint.AddPO("b", t2[i])
+	}
+	swept := Sweep(joint, opt)
+	outs1 := make([]aig.Lit, len(t1))
+	outs2 := make([]aig.Lit, len(t2))
+	for i := range t1 {
+		outs1[i] = swept.PO(i)
+		outs2[i] = swept.PO(len(t1) + i)
+	}
+	pis := make([]aig.Lit, swept.NumPIs())
+	for i := range pis {
+		pis[i] = swept.PI(i)
+	}
+	return checkPairs(swept, pis, outs1, outs2)
+}

@@ -1,0 +1,134 @@
+package cnf
+
+import (
+	"math/rand"
+	"testing"
+
+	"ecopatch/internal/aig"
+	"ecopatch/internal/sat"
+)
+
+// assertFunctionMatch checks, by exhaustive enumeration over PIs, that
+// the CNF encoding of root agrees with AIG evaluation.
+func assertFunctionMatch(t *testing.T, g *aig.AIG, root aig.Lit) {
+	t.Helper()
+	s := sat.New()
+	e := NewEncoder(s, g)
+	rl := e.Lit(root)
+	n := g.NumPIs()
+	for m := 0; m < 1<<uint(n); m++ {
+		in := make([]bool, n)
+		assumps := make([]sat.Lit, n)
+		for i := range in {
+			in[i] = m>>uint(i)&1 == 1
+			assumps[i] = e.Lit(g.PI(i)).XorSign(!in[i])
+		}
+		want := g.EvalLit(root, in)
+		// The root must be forced to its evaluated value.
+		if got := s.Solve(append(assumps, rl.XorSign(!want))...); got != sat.Sat {
+			t.Fatalf("minterm %b: root should be %v but SAT said %v", m, want, got)
+		}
+		if got := s.Solve(append(assumps, rl.XorSign(want))...); got != sat.Unsat {
+			t.Fatalf("minterm %b: root forced wrong value accepted", m)
+		}
+	}
+}
+
+func TestEncodeSimpleGates(t *testing.T) {
+	g := aig.New()
+	a, b := g.AddPI("a"), g.AddPI("b")
+	for _, root := range []aig.Lit{
+		g.And(a, b), g.Or(a, b), g.Xor(a, b), g.Xnor(a, b),
+		g.And(a, b).Not(), a, a.Not(), aig.ConstTrue, aig.ConstFalse,
+	} {
+		assertFunctionMatch(t, g, root)
+	}
+}
+
+func TestEncodeDeepChain(t *testing.T) {
+	// A very deep AND/XOR chain must not overflow the stack.
+	g := aig.New()
+	x := g.AddPI("x")
+	acc := x
+	for i := 0; i < 100000; i++ {
+		acc = g.Xor(acc, x)
+	}
+	s := sat.New()
+	e := NewEncoder(s, g)
+	_ = e.Lit(acc) // must not panic
+	if s.NumVars() == 0 {
+		t.Fatal("nothing encoded")
+	}
+}
+
+func TestEncodeSharedCones(t *testing.T) {
+	g := aig.New()
+	a, b, c := g.AddPI("a"), g.AddPI("b"), g.AddPI("c")
+	x := g.And(a, b)
+	y := g.And(x, c)
+	z := g.Or(x, c)
+	s := sat.New()
+	e := NewEncoder(s, g)
+	e.Encode(y)
+	varsAfterY := s.NumVars()
+	e.Encode(z)
+	// z shares the cone of x; only z's top node (plus none other)
+	// should be added.
+	added := s.NumVars() - varsAfterY
+	if added > 2 {
+		t.Fatalf("shared cone re-encoded: %d new vars", added)
+	}
+	if !e.Encoded(x.Node()) {
+		t.Fatal("x not marked encoded")
+	}
+}
+
+func TestEncodeRandomMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 30; iter++ {
+		g := aig.New()
+		var pool []aig.Lit
+		nPI := 3 + rng.Intn(4)
+		for i := 0; i < nPI; i++ {
+			pool = append(pool, g.AddPI("x"))
+		}
+		for i := 0; i < 25; i++ {
+			a := pool[rng.Intn(len(pool))].XorCompl(rng.Intn(2) == 1)
+			b := pool[rng.Intn(len(pool))].XorCompl(rng.Intn(2) == 1)
+			pool = append(pool, g.And(a, b))
+		}
+		root := pool[len(pool)-1].XorCompl(rng.Intn(2) == 1)
+		assertFunctionMatch(t, g, root)
+	}
+}
+
+func TestTwoEncodersShareSolver(t *testing.T) {
+	// Two encoders over two AIGs in one solver: constrain outputs
+	// equal and check satisfiability matches functional overlap.
+	g1 := aig.New()
+	a1, b1 := g1.AddPI("a"), g1.AddPI("b")
+	f1 := g1.And(a1, b1)
+
+	g2 := aig.New()
+	a2, b2 := g2.AddPI("a"), g2.AddPI("b")
+	f2 := g2.Or(a2, b2)
+
+	s := sat.New()
+	e1 := NewEncoder(s, g1)
+	e2 := NewEncoder(s, g2)
+	l1 := e1.Lit(f1)
+	l2 := e2.Lit(f2)
+	// Tie the PIs together.
+	for i := 0; i < 2; i++ {
+		p1 := e1.Lit(g1.PI(i))
+		p2 := e2.Lit(g2.PI(i))
+		s.AddClause(p1.Not(), p2)
+		s.AddClause(p1, p2.Not())
+	}
+	// AND != OR is satisfiable (e.g. a=1,b=0).
+	s.AddClause(l1, l2)             // at least one true
+	s.AddClause(l1.Not(), l2.Not()) // not both -> XOR
+	if got := s.Solve(); got != sat.Sat {
+		t.Fatalf("AND xor OR should be satisfiable: %v", got)
+	}
+}

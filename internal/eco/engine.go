@@ -1,0 +1,373 @@
+package eco
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"ecopatch/internal/aig"
+	"ecopatch/internal/netlist"
+)
+
+// SupportAlgo selects the patch-support minimization algorithm (§3.4).
+type SupportAlgo int
+
+// Support algorithms, in increasing effort order.
+const (
+	// SupportAnalyzeFinal uses the raw assumption core returned by
+	// the SAT solver (MiniSat analyze_final) — the paper's baseline,
+	// Table 1 columns 7–9.
+	SupportAnalyzeFinal SupportAlgo = iota
+	// SupportMinimize runs the minimize_assumptions procedure of
+	// Algorithm 1 — Table 1 columns 10–12 (contest winner).
+	SupportMinimize
+	// SupportExact runs SAT-prune, the exact minimum-cost support
+	// computation of §3.4.2 — Table 1 columns 13–15.
+	SupportExact
+)
+
+func (a SupportAlgo) String() string {
+	switch a {
+	case SupportAnalyzeFinal:
+		return "analyze_final"
+	case SupportMinimize:
+		return "minimize_assumptions"
+	case SupportExact:
+		return "SAT_prune"
+	}
+	return "unknown"
+}
+
+// PatchMethod selects how the patch function is derived once the
+// support is known.
+type PatchMethod int
+
+// Patch computation methods.
+const (
+	// PatchCubeEnum enumerates prime cubes with the SAT solver (§3.5).
+	PatchCubeEnum PatchMethod = iota
+	// PatchInterpolation computes a Craig interpolant from the proof
+	// of expression (3) — the prior-work [15] baseline.
+	PatchInterpolation
+)
+
+func (m PatchMethod) String() string {
+	if m == PatchInterpolation {
+		return "interpolation"
+	}
+	return "cube_enumeration"
+}
+
+// Options configures the engine. The zero value is NOT the default;
+// use DefaultOptions.
+type Options struct {
+	Support SupportAlgo
+	Patch   PatchMethod
+
+	// Window enables structural pruning (§3.3). Disabling it is the
+	// E9 ablation: divisors and miter outputs span the whole netlist.
+	Window bool
+	// LastGasp enables the greedy divisor-replacement pass after
+	// support minimization (§3.4.1, last paragraph).
+	LastGasp bool
+	// CEGARMin enables max-flow/min-cut improvement of structural
+	// patches (§3.6.3).
+	CEGARMin bool
+	// FunctionalMatch extends CEGAR_min's equivalence detection from
+	// structural (shared AIG nodes) to functional: candidate pairs
+	// are found by 256-bit simulation signatures and confirmed by
+	// SAT, the "functional resubstitution" variant of §3.6.3.
+	FunctionalMatch bool
+	// UseQBF validates target sufficiency with the 2QBF CEGAR solver
+	// and reuses its countermoves for move-guided structural patches
+	// (§3.2 alternative and §3.6.2). When false, sufficiency is
+	// checked by cofactor expansion.
+	UseQBF bool
+	// ForceStructural skips SAT-based patch computation entirely,
+	// exercising the timeout path of §3.6 deterministically.
+	ForceStructural bool
+
+	// ConfBudget caps SAT conflicts per call; exceeding it triggers
+	// the structural fallback, like the paper's timeouts. <=0 means
+	// unlimited.
+	ConfBudget int64
+	// MaxQuantExpand caps the number of remaining targets quantified
+	// by full 2^r cofactor expansion; beyond it the engine uses the
+	// QBF countermoves (move-guided quantification). Default 8.
+	MaxQuantExpand int
+	// MaxCubes caps cube enumeration per target before falling back
+	// to the structural method. Default 20000.
+	MaxCubes int
+	// ExactTimeout caps the wall-clock time of the SAT_prune
+	// hitting-set search per target; on expiry the engine degrades to
+	// minimize_assumptions (mirroring the paper's observation that
+	// SAT_prune trades scalability for quality). Default 30s.
+	ExactTimeout time.Duration
+
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+// DefaultOptions returns the configuration matching the paper's
+// best flow (minimize_assumptions + cube enumeration + windowing).
+func DefaultOptions() Options {
+	return Options{
+		Support:         SupportMinimize,
+		Patch:           PatchCubeEnum,
+		Window:          true,
+		LastGasp:        true,
+		CEGARMin:        true,
+		FunctionalMatch: true,
+		UseQBF:          true,
+		MaxQuantExpand:  8,
+		MaxCubes:        20000,
+		ExactTimeout:    30 * time.Second,
+	}
+}
+
+// TargetPatch describes the patch computed for one target.
+type TargetPatch struct {
+	Target     string
+	Support    []string // impl signal names feeding the patch
+	Cost       int      // sum of support weights (each signal counted once globally)
+	Gates      int      // AND nodes of the factored patch cone
+	Cubes      int      // SOP cubes (0 for structural patches)
+	Structural bool     // true when derived by the §3.6 fallback
+}
+
+// Stats aggregates engine counters for the experiment harness.
+type Stats struct {
+	SATCalls        int64
+	Conflicts       int64
+	MinimizeCalls   int // SAT calls spent inside support minimization
+	MiterCopies     int // cofactor copies built for universal quantification
+	QBFCopies       int // copies used by the 2QBF CEGAR check
+	Divisors        int // candidate divisors offered to support selection
+	WindowPOs       int // outputs kept by structural pruning
+	StructuralFixes int // targets patched by the structural fallback
+	CubesEnumerated int
+}
+
+// Result is the outcome of Solve.
+type Result struct {
+	Feasible bool // target set sufficient (expression (1) UNSAT)
+	Verified bool // patched implementation equivalent to spec
+
+	Patches []TargetPatch
+	// Patch is the synthesized patch module: inputs are the union of
+	// supports, outputs are the target signals.
+	Patch *netlist.Netlist
+
+	TotalCost  int // cost of the union of all patch supports
+	TotalGates int // AND nodes of the combined patch logic
+
+	Stats   Stats
+	Elapsed time.Duration
+}
+
+// divisor is one candidate support signal.
+type divisor struct {
+	name string
+	edge aig.Lit // value in the working AIG (function of x only)
+	cost int
+}
+
+// engine carries the per-solve state.
+type engine struct {
+	inst *Instance
+	opt  Options
+
+	w       *aig.AIG
+	xPIs    []int // PI positions in w for the shared inputs
+	tPIs    []int // PI positions in w for the targets
+	targets []string
+
+	implPOs   []aig.Lit
+	specPOs   []aig.Lit
+	miter     aig.Lit // M(t, x) over the window outputs
+	fullMiter aig.Lit // M(t, x) over every output (feasibility check)
+
+	fullQuantForced bool // retry pass: ignore move guidance
+	moveGuided      bool // set when a patch used move-guided quantification
+
+	sigEdge  map[string]aig.Lit
+	divisors []divisor // sorted by ascending cost
+
+	patches []aig.Lit // per-target patch edge in w (function of x)
+	done    []bool
+
+	// Per-target results: a standalone AIG (PIs = Support order, one
+	// PO) so the patch can be rebuilt in any destination graph.
+	targetPatches []TargetPatch
+	patchAIGs     []*aig.AIG
+
+	usedSignals map[string]bool // support already paid for
+
+	moves [][]bool // QBF countermoves over the targets
+
+	stats Stats
+	res   *Result
+}
+
+func (e *engine) logf(format string, args ...any) {
+	if e.opt.Log != nil {
+		fmt.Fprintf(e.opt.Log, format+"\n", args...)
+	}
+}
+
+// Solve runs the full ECO flow on the instance.
+func Solve(inst *Instance, opt Options) (*Result, error) {
+	start := time.Now()
+	if err := inst.Check(); err != nil {
+		return nil, err
+	}
+	if opt.MaxQuantExpand <= 0 {
+		opt.MaxQuantExpand = 8
+	}
+	if opt.MaxCubes <= 0 {
+		opt.MaxCubes = 20000
+	}
+	e := &engine{inst: inst, opt: opt, res: &Result{}}
+	if err := e.setup(); err != nil {
+		return nil, err
+	}
+	feasible, err := e.checkFeasible()
+	if err != nil {
+		return nil, err
+	}
+	e.res.Feasible = feasible
+	if !feasible {
+		e.res.Stats = e.stats
+		e.res.Elapsed = time.Since(start)
+		return e.res, nil
+	}
+	if err := e.rectifyAll(false); err != nil {
+		return nil, err
+	}
+	ok, err := e.verify()
+	if err != nil {
+		return nil, err
+	}
+	if !ok && e.usedMoveGuidance() {
+		// Move-guided quantification is an approximation of the full
+		// certificate construction; redo with full expansion.
+		e.logf("move-guided patch failed verification; retrying with full expansion")
+		if err := e.rectifyAll(true); err != nil {
+			return nil, err
+		}
+		ok, err = e.verify()
+		if err != nil {
+			return nil, err
+		}
+	}
+	e.res.Verified = ok
+	e.finish()
+	e.res.Stats = e.stats
+	e.res.Elapsed = time.Since(start)
+	return e.res, nil
+}
+
+// setup builds the working AIG: implementation (targets exposed as
+// PIs), specification sharing the inputs, the windowed miter, and the
+// candidate divisors.
+func (e *engine) setup() error {
+	implRes, err := netlist.ToAIG(e.inst.Impl)
+	if err != nil {
+		return err
+	}
+	specRes, err := netlist.ToAIG(e.inst.Spec)
+	if err != nil {
+		return err
+	}
+	e.targets = implRes.Targets
+	k := len(e.targets)
+
+	w := aig.New()
+	e.w = w
+	nIn := len(e.inst.Impl.Inputs)
+	piMap := make([]aig.Lit, implRes.G.NumPIs())
+	for i := 0; i < nIn; i++ {
+		e.xPIs = append(e.xPIs, w.NumPIs())
+		piMap[i] = w.AddPI(e.inst.Impl.Inputs[i])
+	}
+	for i := 0; i < k; i++ {
+		e.tPIs = append(e.tPIs, w.NumPIs())
+		piMap[nIn+i] = w.AddPI(e.targets[i])
+	}
+
+	// Transfer all named implementation signals (divisor candidates)
+	// and the implementation outputs.
+	names := make([]string, 0, len(implRes.Signals))
+	for name := range implRes.Signals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	roots := make([]aig.Lit, 0, len(names)+implRes.G.NumPOs())
+	for _, n := range names {
+		roots = append(roots, implRes.Signals[n])
+	}
+	for i := 0; i < implRes.G.NumPOs(); i++ {
+		roots = append(roots, implRes.G.PO(i))
+	}
+	moved := aig.Transfer(w, implRes.G, piMap, roots)
+	e.sigEdge = make(map[string]aig.Lit, len(names))
+	for i, n := range names {
+		e.sigEdge[n] = moved[i]
+	}
+	e.implPOs = moved[len(names):]
+
+	// Specification shares the x PIs.
+	specMap := make([]aig.Lit, specRes.G.NumPIs())
+	for i := 0; i < nIn; i++ {
+		specMap[i] = w.PI(e.xPIs[i])
+	}
+	specRoots := make([]aig.Lit, specRes.G.NumPOs())
+	for i := range specRoots {
+		specRoots[i] = specRes.G.PO(i)
+	}
+	e.specPOs = aig.Transfer(w, specRes.G, specMap, specRoots)
+
+	e.patches = make([]aig.Lit, k)
+	e.done = make([]bool, k)
+	e.usedSignals = make(map[string]bool)
+
+	e.buildWindowAndDivisors()
+	return nil
+}
+
+// finish assembles the patch netlist and totals.
+func (e *engine) finish() {
+	e.res.Patches = e.res.Patches[:0]
+	union := make(map[string]bool)
+	// Patch module AIG: PIs are the union of supports.
+	pg := aig.New()
+	pin := make(map[string]aig.Lit)
+	totalCost := 0
+
+	for i, t := range e.targets {
+		tp := e.targetPatches[i]
+		for _, s := range tp.Support {
+			if !union[s] {
+				union[s] = true
+				totalCost += e.inst.Weights.Cost(s)
+				pin[s] = pg.AddPI(s)
+			}
+		}
+		// Rebuild this patch inside pg over its support PIs.
+		inputs := make([]aig.Lit, len(tp.Support))
+		for j, s := range tp.Support {
+			inputs[j] = pin[s]
+		}
+		root := aig.Transfer(pg, e.patchAIGs[i], inputs, []aig.Lit{e.patchAIGs[i].PO(0)})[0]
+		pg.AddPO(t, root)
+	}
+	e.res.TotalCost = totalCost
+	allPOs := make([]aig.Lit, pg.NumPOs())
+	for i := range allPOs {
+		allPOs[i] = pg.PO(i)
+	}
+	e.res.TotalGates = pg.ConeSize(allPOs)
+	e.res.Patch = netlist.FromAIG(pg, "patch")
+	e.res.Patches = append(e.res.Patches, e.targetPatches...)
+}

@@ -1,0 +1,238 @@
+package eco
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ecopatch/internal/sat"
+)
+
+// exactSupport implements SAT-prune (§3.4.2): an exact minimum-cost
+// support for the current target. The paper describes one solver that
+// alternately blocks cost-dominated and infeasible divisor subsets
+// until UNSAT; this is realized here as the equivalent implicit
+// hitting-set loop:
+//
+//   - an exact branch-and-bound hitting-set enumerator proposes the
+//     cheapest divisor subset hitting all known "cores";
+//   - a SAT call on expression (2) checks whether the subset can
+//     express the patch;
+//   - an infeasible subset yields a new core from the SAT model: the
+//     divisors outside the subset that distinguish the discovered
+//     onset/offset pair (any sufficient support must contain one).
+//
+// When the proposal is feasible it is provably cost-minimum: every
+// feasible support hits all cores, and the proposal is the cheapest
+// hitting set.
+func (e *engine) exactSupport(s *sat.Solver, fixed []sat.Lit, divs []divisor,
+	auxs []sat.Lit, d1s, d2s []sat.Lit) ([]int, error) {
+	costs := make([]int64, len(divs))
+	for j := range divs {
+		costs[j] = int64(divs[j].cost)
+	}
+	timeout := e.opt.ExactTimeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	var cores [][]int
+	const maxIters = 4000
+	for iter := 0; iter < maxIters; iter++ {
+		if time.Now().After(deadline) {
+			return nil, errBudget
+		}
+		sel := minHittingSet(cores, costs, deadline)
+		assumps := append([]sat.Lit(nil), fixed...)
+		for _, j := range sel {
+			assumps = append(assumps, auxs[j])
+		}
+		e.stats.SATCalls++
+		switch s.Solve(assumps...) {
+		case sat.Unsat:
+			sort.Ints(sel)
+			return sel, nil
+		case sat.Unknown:
+			return nil, errBudget
+		}
+		// Infeasible: derive a core from the model. The model exposes
+		// an onset/offset pair agreeing on sel; a valid support must
+		// include some divisor distinguishing the pair.
+		inSel := make(map[int]bool, len(sel))
+		for _, j := range sel {
+			inSel[j] = true
+		}
+		var core []int
+		for j := range divs {
+			if inSel[j] {
+				continue
+			}
+			if s.ModelBool(d1s[j]) != s.ModelBool(d2s[j]) {
+				core = append(core, j)
+			}
+		}
+		if len(core) == 0 {
+			return nil, fmt.Errorf("eco: SAT_prune found no distinguishing divisor (full set insufficient)")
+		}
+		cores = append(cores, core)
+	}
+	return nil, errBudget
+}
+
+// minHittingSet computes a minimum-cost hitting set of the cores by
+// branch and bound with a disjoint-core lower bound. With no cores
+// the empty set is returned. When the deadline expires mid-search the
+// best set found so far (completed greedily if necessary) is returned;
+// the outer loop's own deadline check then converts the lost
+// optimality guarantee into the documented degrade path.
+func minHittingSet(cores [][]int, costs []int64, deadline time.Time) []int {
+	if len(cores) == 0 {
+		return nil
+	}
+	var best []int
+	bestCost := int64(1) << 62
+	chosen := make(map[int]bool)
+	nodes := 0
+	expired := false
+
+	snapshot := func(costSoFar int64) {
+		best = best[:0]
+		for j, on := range chosen {
+			if on {
+				best = append(best, j)
+			}
+		}
+		best = append([]int(nil), best...)
+		bestCost = costSoFar
+	}
+
+	// uncovered returns the smallest uncovered core and a lower bound
+	// from greedily collected disjoint uncovered cores.
+	uncovered := func() (pick []int, lb int64) {
+		usedVar := make(map[int]bool)
+		for _, c := range cores {
+			hit := false
+			for _, j := range c {
+				if chosen[j] {
+					hit = true
+					break
+				}
+			}
+			if hit {
+				continue
+			}
+			if pick == nil || len(c) < len(pick) {
+				pick = c
+			}
+			disjoint := true
+			minC := int64(1) << 62
+			for _, j := range c {
+				if usedVar[j] {
+					disjoint = false
+					break
+				}
+				if costs[j] < minC {
+					minC = costs[j]
+				}
+			}
+			if disjoint {
+				lb += minC
+				for _, j := range c {
+					usedVar[j] = true
+				}
+			}
+		}
+		return pick, lb
+	}
+
+	var rec func(costSoFar int64)
+	rec = func(costSoFar int64) {
+		nodes++
+		if expired || costSoFar >= bestCost {
+			return
+		}
+		if nodes&1023 == 0 && time.Now().After(deadline) {
+			expired = true
+			return
+		}
+		pick, lb := uncovered()
+		if pick == nil {
+			snapshot(costSoFar)
+			return
+		}
+		if costSoFar+lb >= bestCost {
+			return
+		}
+		order := append([]int(nil), pick...)
+		sort.Slice(order, func(a, b int) bool { return costs[order[a]] < costs[order[b]] })
+		for _, j := range order {
+			if chosen[j] {
+				continue
+			}
+			chosen[j] = true
+			rec(costSoFar + costs[j])
+			chosen[j] = false
+		}
+	}
+	// Seed the bound with a greedy solution so pruning bites early.
+	greedy := greedyHittingSet(cores, costs)
+	for _, j := range greedy {
+		chosen[j] = true
+	}
+	var gc int64
+	for _, j := range greedy {
+		gc += costs[j]
+	}
+	snapshot(gc)
+	for _, j := range greedy {
+		chosen[j] = false
+	}
+	rec(0)
+	sort.Ints(best)
+	return best
+}
+
+// greedyHittingSet repeatedly picks the element covering the most
+// uncovered cores per unit cost.
+func greedyHittingSet(cores [][]int, costs []int64) []int {
+	covered := make([]bool, len(cores))
+	var out []int
+	for {
+		gain := make(map[int]float64)
+		remaining := 0
+		for ci, c := range cores {
+			if covered[ci] {
+				continue
+			}
+			remaining++
+			for _, j := range c {
+				w := costs[j]
+				if w <= 0 {
+					w = 1
+				}
+				gain[j] += 1 / float64(w)
+			}
+		}
+		if remaining == 0 {
+			return out
+		}
+		bestJ, bestG := -1, -1.0
+		for j, g := range gain {
+			if g > bestG || (g == bestG && j < bestJ) {
+				bestJ, bestG = j, g
+			}
+		}
+		out = append(out, bestJ)
+		for ci, c := range cores {
+			if covered[ci] {
+				continue
+			}
+			for _, j := range c {
+				if j == bestJ {
+					covered[ci] = true
+					break
+				}
+			}
+		}
+	}
+}

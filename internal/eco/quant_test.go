@@ -1,0 +1,96 @@
+package eco
+
+import (
+	"testing"
+)
+
+// quantEngine builds a minimal engine over a 3-target instance for
+// white-box quantification tests.
+func quantEngine(t *testing.T, maxExpand int, moves [][]bool) *engine {
+	t.Helper()
+	impl := `
+module m (a, b, c, f, g2, h);
+input a, b, c;
+output f, g2, h;
+and (f, a, t_0);
+or  (g2, b, t_1);
+xor (h, c, t_2);
+endmodule`
+	spec := `
+module m (a, b, c, f, g2, h);
+input a, b, c;
+output f, g2, h;
+and (f, a, b);
+or  (g2, b, c);
+xor (h, c, a);
+endmodule`
+	inst := mustInstance(t, impl, spec, nil)
+	opt := DefaultOptions()
+	opt.MaxQuantExpand = maxExpand
+	e := &engine{inst: inst, opt: opt, res: &Result{}}
+	if err := e.setup(); err != nil {
+		t.Fatal(err)
+	}
+	e.moves = moves
+	e.rectifyAllInit()
+	return e
+}
+
+func TestQuantAssignmentsFullExpansion(t *testing.T) {
+	e := quantEngine(t, 8, nil)
+	assigns, guided := e.quantAssignments([]int{1, 2})
+	if guided {
+		t.Fatal("full expansion misreported as move-guided")
+	}
+	if len(assigns) != 4 {
+		t.Fatalf("2 remaining targets need 4 cofactors, got %d", len(assigns))
+	}
+	seen := map[[2]bool]bool{}
+	for _, a := range assigns {
+		seen[[2]bool{a[0], a[1]}] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("cofactor assignments not distinct: %v", assigns)
+	}
+	// No remaining targets: exactly one (empty) assignment.
+	single, guided := e.quantAssignments(nil)
+	if guided || len(single) != 1 {
+		t.Fatalf("empty remaining set: %v guided=%v", single, guided)
+	}
+}
+
+func TestQuantAssignmentsMoveGuided(t *testing.T) {
+	moves := [][]bool{
+		{true, false, true},
+		{true, false, true}, // duplicate projection
+		{false, true, true},
+	}
+	e := quantEngine(t, 1, moves)
+	assigns, guided := e.quantAssignments([]int{0, 1})
+	if !guided {
+		t.Fatal("expected move-guided quantification")
+	}
+	// Projections {10, 01} plus the always-included 00 and 11.
+	if len(assigns) != 4 {
+		t.Fatalf("expected 4 deduped assignments, got %d: %v", len(assigns), assigns)
+	}
+	// Forcing full expansion overrides guidance.
+	e.fullQuantForced = true
+	_, guided = e.quantAssignments([]int{0, 1})
+	if guided {
+		t.Fatal("forced full expansion still move-guided")
+	}
+}
+
+func TestSelfPIMapIdentity(t *testing.T) {
+	e := quantEngine(t, 8, nil)
+	m := e.selfPIMap()
+	if len(m) != e.w.NumPIs() {
+		t.Fatalf("map size %d, PIs %d", len(m), e.w.NumPIs())
+	}
+	for i, l := range m {
+		if l != e.w.PI(i) {
+			t.Fatalf("entry %d not identity", i)
+		}
+	}
+}

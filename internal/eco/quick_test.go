@@ -1,0 +1,69 @@
+package eco
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickSolveAlwaysVerifiesOrRefutes is the end-to-end engine
+// property: on any random tiny instance, Solve either proves
+// infeasibility or produces a patch that passes both the internal and
+// the independent (netlist-splice) verification, under every support
+// algorithm.
+func TestQuickSolveAlwaysVerifiesOrRefutes(t *testing.T) {
+	algos := []SupportAlgo{SupportAnalyzeFinal, SupportMinimize, SupportExact}
+	f := func(seed int64, algoPick uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := randomTinyInstance(t, rng)
+		if inst == nil {
+			return true
+		}
+		opt := DefaultOptions()
+		opt.Support = algos[int(algoPick)%len(algos)]
+		res, err := Solve(inst, opt)
+		if err != nil {
+			return false
+		}
+		if !res.Feasible {
+			return true // refutation is a legitimate outcome
+		}
+		if !res.Verified {
+			return false
+		}
+		ok, err := VerifyPatch(inst, res.Patch)
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCostMonotonicity: the exact algorithm never produces a
+// costlier result than minimize_assumptions on single-target
+// instances (it is a strict refinement there).
+func TestQuickCostMonotonicity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := randomTinyInstance(t, rng)
+		if inst == nil {
+			return true
+		}
+		optM := DefaultOptions()
+		optM.Support = SupportMinimize
+		resM, err := Solve(inst, optM)
+		if err != nil || !resM.Feasible {
+			return err == nil
+		}
+		optE := DefaultOptions()
+		optE.Support = SupportExact
+		resE, err := Solve(inst, optE)
+		if err != nil {
+			return false
+		}
+		return resE.TotalCost <= resM.TotalCost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

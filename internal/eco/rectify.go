@@ -1,0 +1,348 @@
+package eco
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"ecopatch/internal/aig"
+	"ecopatch/internal/cnf"
+	"ecopatch/internal/sat"
+	"ecopatch/internal/synth"
+)
+
+// errBudget reports that a SAT budget was exhausted; the caller falls
+// back to the structural method, mirroring the paper's timeout path.
+var errBudget = errors.New("eco: SAT budget exhausted")
+
+// errTooManyCubes reports cube-enumeration blowup.
+var errTooManyCubes = errors.New("eco: cube enumeration exceeded MaxCubes")
+
+func (e *engine) usedMoveGuidance() bool { return e.moveGuided }
+
+// rectifyAll runs the Theorem-1 sequence: one-target ECO per target,
+// substituting each patch before the next target is processed.
+func (e *engine) rectifyAll(forceFullQuant bool) error {
+	e.fullQuantForced = forceFullQuant
+	e.moveGuided = false
+	e.rectifyAllInit()
+	for i := range e.targets {
+		if err := e.rectifyOne(i); err != nil {
+			return err
+		}
+		e.done[i] = true
+	}
+	return nil
+}
+
+// rectifyOne computes the patch for target i.
+func (e *engine) rectifyOne(i int) error {
+	m0, m1 := e.cofactorMiters(i)
+	if e.opt.ForceStructural {
+		return e.structuralPatch(i, m0)
+	}
+	err := e.satPatch(i, m0, m1)
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, errBudget) || errors.Is(err, errTooManyCubes) || errors.Is(err, errInsufficient) {
+		e.logf("target %s: SAT path failed (%v); using structural patch", e.targets[i], err)
+		return e.structuralPatch(i, m0)
+	}
+	return err
+}
+
+// errInsufficient reports that the divisor set cannot express the
+// patch (expression (2) satisfiable).
+var errInsufficient = errors.New("eco: divisor set insufficient")
+
+// satPatch runs the SAT-based flow for one target: the two-copy
+// extended miter of expression (2), support selection, and patch
+// function computation.
+func (e *engine) satPatch(i int, m0, m1 aig.Lit) error {
+	s := sat.New()
+	if e.opt.ConfBudget > 0 {
+		s.SetConfBudget(e.opt.ConfBudget)
+	}
+	enc1 := cnf.NewEncoder(s, e.w)
+	enc2 := cnf.NewEncoder(s, e.w)
+	r1 := enc1.Lit(m0)
+	r2 := enc2.Lit(m1)
+
+	divs := e.orderedDivisors()
+	if e.opt.Support == SupportAnalyzeFinal {
+		// The baseline of Table 1 is cost-oblivious: divisors are
+		// offered in structural (name) order, so the analyze_final
+		// core has no reason to prefer cheap signals.
+		divs = append([]divisor(nil), e.divisors...)
+		sort.Slice(divs, func(a, b int) bool { return divs[a].name < divs[b].name })
+	}
+	auxs := make([]sat.Lit, len(divs))
+	d1s := make([]sat.Lit, len(divs))
+	d2s := make([]sat.Lit, len(divs))
+	for j, d := range divs {
+		d1s[j] = enc1.Lit(d.edge)
+		d2s[j] = enc2.Lit(d.edge)
+		a := sat.PosLit(s.NewVar())
+		// a -> (d1 == d2)
+		s.AddClause(a.Not(), d1s[j].Not(), d2s[j])
+		s.AddClause(a.Not(), d1s[j], d2s[j].Not())
+		auxs[j] = a
+	}
+	fixed := []sat.Lit{r1, r2}
+
+	// Expression (2): UNSAT under all equalities iff the divisors can
+	// express a patch.
+	e.stats.SATCalls++
+	switch s.Solve(append(append([]sat.Lit{}, fixed...), auxs...)...) {
+	case sat.Sat:
+		return errInsufficient
+	case sat.Unknown:
+		return errBudget
+	}
+	// Capture the analyze_final core now; later Solve calls clobber it.
+	coreIdx := e.coreSupport(s, auxs)
+
+	selected, err := e.selectSupport(s, fixed, divs, auxs, d1s, d2s, coreIdx)
+	if err != nil {
+		return err
+	}
+	if e.opt.LastGasp {
+		selected, err = e.lastGasp(s, fixed, divs, auxs, selected)
+		if err != nil {
+			return err
+		}
+	}
+
+	var sop *synth.SOP
+	var patch *aig.AIG
+	support := make([]string, len(selected))
+	for jj, j := range selected {
+		support[jj] = divs[j].name
+	}
+	if e.opt.Patch == PatchInterpolation {
+		patch, err = e.interpolatePatch(m0, m1, divs, selected)
+		if err != nil {
+			return err
+		}
+	} else {
+		sop, err = e.enumerateCubes(s, r1, r2, divs, selected, d1s, d2s)
+		if err != nil {
+			return err
+		}
+		// Remove cubes the rest of the cover already subsumes (later,
+		// larger primes can swallow earlier ones).
+		sop.MakeIrredundant()
+		patch = aig.New()
+		inputs := make([]aig.Lit, len(selected))
+		for jj, j := range selected {
+			inputs[jj] = patch.AddPI(divs[j].name)
+		}
+		patch.AddPO(e.targets[i], synth.BuildAIG(patch, inputs, sop))
+	}
+
+	e.installPatch(i, patch, support, false)
+	if sop != nil {
+		e.targetPatches[i].Cubes = len(sop.Cubes)
+	}
+	return nil
+}
+
+// installPatch records the standalone patch AIG for target i, builds
+// its edge inside the working AIG, and accounts for costs.
+func (e *engine) installPatch(i int, patch *aig.AIG, support []string, structural bool) {
+	// Post-synthesis optimization (balance + refactor + cleanup),
+	// standing in for the ABC synthesis step of §3.5.
+	patch = synth.Optimize(patch)
+	// Drop support PIs the synthesized patch does not actually use.
+	usedPI := make(map[int]bool)
+	for _, p := range patch.SupportPIs([]aig.Lit{patch.PO(0)}) {
+		usedPI[p] = true
+	}
+	if len(usedPI) < patch.NumPIs() {
+		slim := aig.New()
+		var slimSupport []string
+		piMap := make([]aig.Lit, patch.NumPIs())
+		for p := 0; p < patch.NumPIs(); p++ {
+			if usedPI[p] {
+				piMap[p] = slim.AddPI(patch.PIName(p))
+				slimSupport = append(slimSupport, support[p])
+			} else {
+				piMap[p] = aig.ConstFalse // unused: value irrelevant
+			}
+		}
+		root := aig.Transfer(slim, patch, piMap, []aig.Lit{patch.PO(0)})[0]
+		slim.AddPO(patch.POName(0), root)
+		patch, support = slim, slimSupport
+	}
+
+	e.patchAIGs[i] = patch
+	cost := 0
+	for _, sname := range support {
+		if !e.usedSignals[sname] {
+			cost += e.inst.Weights.Cost(sname)
+		}
+		e.usedSignals[sname] = true
+	}
+	// Edge in the working AIG over the support signal edges.
+	inW := make([]aig.Lit, len(support))
+	for j, sname := range support {
+		inW[j] = e.sigEdge[sname]
+	}
+	e.patches[i] = aig.Transfer(e.w, patch, inW, []aig.Lit{patch.PO(0)})[0]
+	e.targetPatches[i] = TargetPatch{
+		Target:     e.targets[i],
+		Support:    support,
+		Cost:       cost,
+		Gates:      patch.ConeSize([]aig.Lit{patch.PO(0)}),
+		Structural: structural,
+	}
+	sort.Strings(e.targetPatches[i].Support)
+	// Keep the patch AIG's PI order aligned with Support after sort.
+	e.patchAIGs[i] = reorderPIs(patch, e.targetPatches[i].Support)
+	e.logf("target %s: |support|=%d cost=%d gates=%d structural=%v",
+		e.targets[i], len(support), cost, e.targetPatches[i].Gates, structural)
+}
+
+// reorderPIs rebuilds the patch AIG with PIs in the given name order.
+func reorderPIs(patch *aig.AIG, order []string) *aig.AIG {
+	pos := make(map[string]int, patch.NumPIs())
+	for p := 0; p < patch.NumPIs(); p++ {
+		pos[patch.PIName(p)] = p
+	}
+	out := aig.New()
+	piMap := make([]aig.Lit, patch.NumPIs())
+	for _, name := range order {
+		piMap[pos[name]] = out.AddPI(name)
+	}
+	root := aig.Transfer(out, patch, piMap, []aig.Lit{patch.PO(0)})[0]
+	out.AddPO(patch.POName(0), root)
+	return out
+}
+
+// selectSupport dispatches on the configured support algorithm and
+// returns indices into divs.
+func (e *engine) selectSupport(s *sat.Solver, fixed []sat.Lit, divs []divisor,
+	auxs []sat.Lit, d1s, d2s []sat.Lit, coreIdx []int) ([]int, error) {
+	switch e.opt.Support {
+	case SupportAnalyzeFinal:
+		return coreIdx, nil
+	case SupportMinimize:
+		return e.minimizeSupport(s, fixed, auxs, divs, coreIdx)
+	case SupportExact:
+		sel, err := e.exactSupport(s, fixed, divs, auxs, d1s, d2s)
+		if errors.Is(err, errBudget) {
+			// Exact search over budget: degrade to minimal.
+			e.logf("SAT_prune over budget; degrading to minimize_assumptions")
+			return e.minimizeSupport(s, fixed, auxs, divs, coreIdx)
+		}
+		return sel, err
+	}
+	return nil, fmt.Errorf("eco: unknown support algorithm %v", e.opt.Support)
+}
+
+// coreSupport implements the baseline: the assumption core from the
+// solver's final conflict (analyze_final).
+func (e *engine) coreSupport(s *sat.Solver, auxs []sat.Lit) []int {
+	var out []int
+	for j, a := range auxs {
+		if s.Failed(a) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// minimizeSupport runs minimize_assumptions (Algorithm 1) over the
+// equality selectors, ordered by ascending cost. Two minimizations
+// are performed — one over the full divisor order and one shrinking
+// the solver's analyze_final core — and the cheaper result wins, so
+// the cost-aware method never loses to the baseline on a target.
+func (e *engine) minimizeSupport(s *sat.Solver, fixed []sat.Lit, auxs []sat.Lit,
+	divs []divisor, coreIdx []int) ([]int, error) {
+	idx := make(map[sat.Lit]int, len(auxs))
+	for j, a := range auxs {
+		idx[a] = j
+	}
+	run := func(arr []sat.Lit) ([]int, error) {
+		m := &minimizer{s: s, fixed: fixed, calls: &e.stats.MinimizeCalls}
+		kept, err := m.minimize(arr)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]int, 0, kept)
+		for _, a := range arr[:kept] {
+			out = append(out, idx[a])
+		}
+		sort.Ints(out)
+		return out, nil
+	}
+	cost := func(sel []int) int {
+		c := 0
+		for _, j := range sel {
+			c += divs[j].cost
+		}
+		return c
+	}
+
+	full, err := run(append([]sat.Lit(nil), auxs...))
+	if err != nil {
+		return nil, err
+	}
+	coreArr := make([]sat.Lit, 0, len(coreIdx))
+	for _, j := range coreIdx {
+		coreArr = append(coreArr, auxs[j]) // ascending cost preserved
+	}
+	shrunk, err := run(coreArr)
+	if err != nil {
+		return nil, err
+	}
+	if cost(shrunk) < cost(full) || (cost(shrunk) == cost(full) && len(shrunk) < len(full)) {
+		return shrunk, nil
+	}
+	return full, nil
+}
+
+// lastGasp greedily tries to replace each selected divisor with a
+// cheaper unselected one (§3.4.1, last paragraph).
+func (e *engine) lastGasp(s *sat.Solver, fixed []sat.Lit, divs []divisor, auxs []sat.Lit, selected []int) ([]int, error) {
+	inSel := make(map[int]bool, len(selected))
+	for _, j := range selected {
+		inSel[j] = true
+	}
+	// Try most expensive selected first.
+	order := append([]int(nil), selected...)
+	sort.Slice(order, func(a, b int) bool { return divs[order[a]].cost > divs[order[b]].cost })
+	for _, j := range order {
+		for j2 := range divs {
+			if inSel[j2] || divs[j2].cost >= divs[j].cost {
+				continue
+			}
+			assumps := append([]sat.Lit(nil), fixed...)
+			for _, k := range selected {
+				if k == j {
+					assumps = append(assumps, auxs[j2])
+				} else {
+					assumps = append(assumps, auxs[k])
+				}
+			}
+			e.stats.SATCalls++
+			st := s.Solve(assumps...)
+			if st == sat.Unknown {
+				return selected, nil // keep what we have
+			}
+			if st == sat.Unsat {
+				inSel[j] = false
+				inSel[j2] = true
+				for k := range selected {
+					if selected[k] == j {
+						selected[k] = j2
+					}
+				}
+				break
+			}
+		}
+	}
+	sort.Ints(selected)
+	return selected, nil
+}

@@ -1,0 +1,182 @@
+package eco
+
+import (
+	"testing"
+)
+
+// TestFunctionalMatchFindsNonStructuralEquiv builds an instance where
+// the cheap equivalent of the patch logic is computed through a
+// redundant double-XOR, so it does NOT share AIG nodes with the patch
+// cone; only the functional (simulation + SAT) matcher can find it.
+func TestFunctionalMatchFindsNonStructuralEquiv(t *testing.T) {
+	impl := `
+module m (a, b, c, f, g2);
+input a, b, c;
+output f, g2;
+wire w1, w2, wAlias;
+and (w1, b, c);
+xor (w2, w1, c);
+xor (wAlias, w2, c);
+and (f, a, t_0);
+buf (g2, wAlias);
+endmodule`
+	spec := `
+module m (a, b, c, f, g2);
+input a, b, c;
+output f, g2;
+wire w1, w2, wAlias, wp;
+and (w1, b, c);
+xor (w2, w1, c);
+xor (wAlias, w2, c);
+and (wp, b, c);
+and (f, a, wp);
+buf (g2, wAlias);
+endmodule`
+	// wAlias == b&c functionally but via (w1^c)^c, a distinct AIG
+	// structure whose support stays inside the window. Only wAlias is
+	// cheap; everything else is expensive.
+	costs := map[string]int{
+		"a": 50, "b": 50, "c": 50,
+		"w1": 40, "w2": 45, "wAlias": 1, "f": 99, "g2": 99,
+	}
+
+	solve := func(functional bool) *Result {
+		inst := mustInstance(t, impl, spec, costs)
+		opt := DefaultOptions()
+		opt.ForceStructural = true
+		opt.CEGARMin = true
+		opt.FunctionalMatch = functional
+		res, err := Solve(inst, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Verified {
+			t.Fatalf("functional=%v: not verified", functional)
+		}
+		return res
+	}
+
+	plain := solve(false)
+	fn := solve(true)
+	if fn.TotalCost >= plain.TotalCost {
+		t.Fatalf("functional matching did not help: %d vs %d (support %v vs %v)",
+			fn.TotalCost, plain.TotalCost, fn.Patches[0].Support, plain.Patches[0].Support)
+	}
+	// The functional run should discover the cost-1 alias for the
+	// b&c part of the cone: cost a(50) + wAlias(1).
+	if fn.TotalCost > 51 {
+		t.Fatalf("functional cost %d, expected 51 via wAlias (support %v)",
+			fn.TotalCost, fn.Patches[0].Support)
+	}
+}
+
+// TestStructuralPatchConstantMiter covers the degenerate case where
+// the miter cofactor is constant (no onset): the patch is a constant
+// and needs no support.
+func TestStructuralPatchConstantMiter(t *testing.T) {
+	impl := `
+module m (a, f);
+input a;
+output f;
+wire u;
+and (u, a, t_0);
+or  (f, a, u);
+endmodule`
+	// Spec equals impl with t_0 := 0 (or anything): f = a regardless.
+	spec := `
+module m (a, f);
+input a;
+output f;
+buf (f, a);
+endmodule`
+	inst := mustInstance(t, impl, spec, nil)
+	opt := DefaultOptions()
+	opt.ForceStructural = true
+	res, err := Solve(inst, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatal("not verified")
+	}
+	if len(res.Patches[0].Support) != 0 || res.TotalCost != 0 {
+		t.Fatalf("constant patch expected: support=%v cost=%d",
+			res.Patches[0].Support, res.TotalCost)
+	}
+}
+
+// TestBudgetTriggersStructuralFallback drives the engine's timeout
+// path end to end: a one-conflict budget forces every target through
+// §3.6, and the result must still verify.
+func TestBudgetTriggersStructuralFallback(t *testing.T) {
+	impl := `
+module m (a, b, c, f, g2);
+input a, b, c;
+output f, g2;
+and (f, a, t_0);
+or  (g2, c, t_1);
+endmodule`
+	spec := `
+module m (a, b, c, f, g2);
+input a, b, c;
+output f, g2;
+wire w1, w2;
+xor (w1, b, c);
+and (f, a, w1);
+and (w2, a, b);
+or  (g2, c, w2);
+endmodule`
+	inst := mustInstance(t, impl, spec, nil)
+	opt := DefaultOptions()
+	opt.ConfBudget = 1
+	res, err := Solve(inst, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatal("budget fallback result not verified")
+	}
+	if res.Stats.StructuralFixes == 0 {
+		t.Fatal("expected structural fallbacks under a 1-conflict budget")
+	}
+}
+
+// TestMoveGuidedFallbackVerifies exercises move-guided quantification
+// (MaxQuantExpand below the target count) on a 4-target instance; the
+// engine must deliver a verified result either via the guided patches
+// or via the automatic full-expansion retry.
+func TestMoveGuidedFallbackVerifies(t *testing.T) {
+	impl := `
+module m (a, b, c, d, f, g2, h, k);
+input a, b, c, d;
+output f, g2, h, k;
+and (f, a, t_0);
+or  (g2, b, t_1);
+xor (h, c, t_2);
+and (k, d, t_3);
+endmodule`
+	spec := `
+module m (a, b, c, d, f, g2, h, k);
+input a, b, c, d;
+output f, g2, h, k;
+wire w1, w2, w3, w4;
+or  (w1, b, c);
+and (f, a, w1);
+and (w2, a, c);
+or  (g2, b, w2);
+xor (w3, a, d);
+xor (h, c, w3);
+or  (w4, a, b);
+and (k, d, w4);
+endmodule`
+	inst := mustInstance(t, impl, spec, nil)
+	opt := DefaultOptions()
+	opt.MaxQuantExpand = 1 // force move-guided quantification
+	res, err := Solve(inst, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || !res.Verified {
+		t.Fatalf("feasible=%v verified=%v", res.Feasible, res.Verified)
+	}
+}

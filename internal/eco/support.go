@@ -1,0 +1,115 @@
+package eco
+
+import "ecopatch/internal/sat"
+
+// minimizer implements procedure minimize_assumptions (Algorithm 1 of
+// the paper): given a formula UNSAT under fixed ∪ A, it permutes A in
+// place so that a minimal prefix of A keeps the formula UNSAT, and
+// returns that prefix length. The recursion bisects A, giving
+// O(max{log N, M}) SAT calls for N assumptions and M kept — versus
+// O(N) for the naive one-at-a-time loop (see minimizeLinear).
+//
+// Because callers pass A in ascending cost order, the minimality is
+// cost-aware: a kept assumption cannot be replaced by a cheaper one
+// earlier in the order (the LEXUNSAT property the paper cites).
+type minimizer struct {
+	s     *sat.Solver
+	fixed []sat.Lit
+	calls *int
+}
+
+func (m *minimizer) solve(extra []sat.Lit) (sat.Status, error) {
+	if m.calls != nil {
+		*m.calls++
+	}
+	assumps := make([]sat.Lit, 0, len(m.fixed)+len(extra))
+	assumps = append(assumps, m.fixed...)
+	assumps = append(assumps, extra...)
+	st := m.s.Solve(assumps...)
+	if st == sat.Unknown {
+		return st, errBudget
+	}
+	return st, nil
+}
+
+// minimize reduces A (permuting it) and returns the kept prefix size.
+func (m *minimizer) minimize(A []sat.Lit) (int, error) {
+	if len(A) == 0 {
+		return 0, nil
+	}
+	if len(A) == 1 {
+		// Is the assumption needed at all?
+		st, err := m.solve(nil)
+		if err != nil {
+			return 0, err
+		}
+		if st == sat.Unsat {
+			return 0, nil
+		}
+		return 1, nil
+	}
+	mid := (len(A) + 1) / 2
+	low, high := A[:mid], A[mid:]
+
+	// Try the lower half alone.
+	st, err := m.solve(low)
+	if err != nil {
+		return 0, err
+	}
+	if st == sat.Unsat {
+		return m.minimize(low)
+	}
+
+	// Minimize the higher half while assuming all of the lower half.
+	savedLen := len(m.fixed)
+	m.fixed = append(m.fixed, low...)
+	sHigh, err := m.minimize(high)
+	m.fixed = m.fixed[:savedLen]
+	if err != nil {
+		return 0, err
+	}
+
+	// Reorder: selected high entries first, then the lower half.
+	newA := make([]sat.Lit, 0, len(A))
+	newA = append(newA, high[:sHigh]...)
+	newA = append(newA, low...)
+	newA = append(newA, high[sHigh:]...)
+	copy(A, newA)
+
+	// Minimize the lower half while assuming the selected high part.
+	m.fixed = append(m.fixed, A[:sHigh]...)
+	sLow, err := m.minimize(A[sHigh : sHigh+len(low)])
+	m.fixed = m.fixed[:savedLen]
+	if err != nil {
+		return 0, err
+	}
+	return sHigh + sLow, nil
+}
+
+// minimizeLinear is the naive O(N) comparison point (experiment E5):
+// walk the assumptions once, dropping each that is unnecessary given
+// the current partial selection and the untested tail.
+func minimizeLinear(s *sat.Solver, fixed []sat.Lit, A []sat.Lit, calls *int) (int, error) {
+	kept := 0
+	for i := 0; i < len(A); i++ {
+		// Assume everything kept so far plus the untouched tail,
+		// skipping A[i].
+		assumps := make([]sat.Lit, 0, len(fixed)+len(A))
+		assumps = append(assumps, fixed...)
+		assumps = append(assumps, A[:kept]...)
+		assumps = append(assumps, A[i+1:]...)
+		if calls != nil {
+			*calls++
+		}
+		switch s.Solve(assumps...) {
+		case sat.Unsat:
+			// A[i] unnecessary: drop it.
+		case sat.Sat:
+			A[kept] = A[i]
+			kept++
+		default:
+			return 0, errBudget
+		}
+	}
+	return kept, nil
+}

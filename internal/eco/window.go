@@ -1,0 +1,159 @@
+package eco
+
+import (
+	"sort"
+	"strings"
+
+	"ecopatch/internal/aig"
+)
+
+// buildWindowAndDivisors implements the structural pruning of §3.3:
+//   - window POs: implementation outputs reachable from the targets;
+//   - window PIs: inputs in the TFI of those outputs (in either
+//     netlist);
+//   - divisors: named implementation signals outside the TFO of the
+//     targets whose support lies within the window PIs.
+//
+// With Options.Window disabled (the E9 ablation) the window spans the
+// whole netlist. In both cases the feasibility miter (fullMiter)
+// covers every output.
+func (e *engine) buildWindowAndDivisors() {
+	impl, spec := e.inst.Impl, e.inst.Spec
+	tfo := impl.TransitiveFanout(e.targets)
+
+	var winPOIdx []int
+	for i, o := range impl.Outputs {
+		if !e.opt.Window || tfo[o] {
+			winPOIdx = append(winPOIdx, i)
+		}
+	}
+	if len(winPOIdx) == 0 {
+		// Degenerate: targets reach no output; patching is vacuous but
+		// keep the full miter so verification still means something.
+		for i := range impl.Outputs {
+			winPOIdx = append(winPOIdx, i)
+		}
+	}
+	e.stats.WindowPOs = len(winPOIdx)
+
+	full := aig.ConstFalse
+	win := aig.ConstFalse
+	inWin := make(map[int]bool, len(winPOIdx))
+	for _, i := range winPOIdx {
+		inWin[i] = true
+	}
+	for i := range e.implPOs {
+		x := e.w.Xor(e.implPOs[i], e.specPOs[i])
+		full = e.w.Or(full, x)
+		if inWin[i] {
+			win = e.w.Or(win, x)
+		}
+	}
+	e.miter = win
+	e.fullMiter = full
+
+	// Window PIs.
+	winPI := make(map[string]bool)
+	if e.opt.Window {
+		var winOutNames []string
+		for _, i := range winPOIdx {
+			winOutNames = append(winOutNames, impl.Outputs[i])
+		}
+		implTFI := impl.TransitiveFanin(winOutNames)
+		specTFI := spec.TransitiveFanin(winOutNames)
+		for _, in := range impl.Inputs {
+			if implTFI[in] || specTFI[in] {
+				winPI[in] = true
+			}
+		}
+	} else {
+		for _, in := range impl.Inputs {
+			winPI[in] = true
+		}
+	}
+
+	// Per-node check: cone contains only window-PI inputs (no target
+	// PIs, no out-of-window PIs).
+	allowedPI := make([]bool, e.w.NumPIs())
+	for i, in := range impl.Inputs {
+		if winPI[in] {
+			allowedPI[e.xPIs[i]] = true
+		}
+	}
+	okNode := make([]bool, e.w.NumNodes())
+	for idx := 0; idx < e.w.NumNodes(); idx++ {
+		switch {
+		case e.w.IsConst(idx):
+			okNode[idx] = true
+		case e.w.IsPI(idx):
+			okNode[idx] = allowedPI[e.w.PIIndex(idx)]
+		default:
+			f0, f1 := e.w.Fanins(idx)
+			okNode[idx] = okNode[f0.Node()] && okNode[f1.Node()]
+		}
+	}
+
+	isTarget := make(map[string]bool, len(e.targets))
+	for _, t := range e.targets {
+		isTarget[t] = true
+	}
+	seenEdge := make(map[aig.Lit]int) // edge -> index in e.divisors
+	e.divisors = e.divisors[:0]
+	names := make([]string, 0, len(e.sigEdge))
+	for name := range e.sigEdge {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		edge := e.sigEdge[name]
+		switch {
+		case isTarget[name] || strings.HasPrefix(name, "t_"):
+			continue
+		case tfo[name]:
+			continue // inside the targets' TFO: would create a loop
+		case edge.Node() == 0:
+			continue // constant signal: useless as support
+		case !okNode[edge.Node()]:
+			continue // support escapes the window
+		}
+		cost := e.inst.Weights.Cost(name)
+		if j, ok := seenEdge[edge]; ok {
+			// Same function available under several names: keep the
+			// cheapest.
+			if cost < e.divisors[j].cost {
+				e.divisors[j] = divisor{name: name, edge: edge, cost: cost}
+			}
+			continue
+		}
+		seenEdge[edge] = len(e.divisors)
+		e.divisors = append(e.divisors, divisor{name: name, edge: edge, cost: cost})
+	}
+	sort.Slice(e.divisors, func(a, b int) bool {
+		if e.divisors[a].cost != e.divisors[b].cost {
+			return e.divisors[a].cost < e.divisors[b].cost
+		}
+		return e.divisors[a].name < e.divisors[b].name
+	})
+	e.stats.Divisors = len(e.divisors)
+	e.logf("window: %d/%d POs, %d divisors", len(winPOIdx), len(impl.Outputs), len(e.divisors))
+}
+
+// orderedDivisors returns the divisors with effective costs applied
+// (signals already used by earlier patches are free, reflecting the
+// union-cost objective of the contest), sorted ascending.
+func (e *engine) orderedDivisors() []divisor {
+	divs := make([]divisor, len(e.divisors))
+	copy(divs, e.divisors)
+	for i := range divs {
+		if e.usedSignals[divs[i].name] {
+			divs[i].cost = 0
+		}
+	}
+	sort.SliceStable(divs, func(a, b int) bool {
+		if divs[a].cost != divs[b].cost {
+			return divs[a].cost < divs[b].cost
+		}
+		return divs[a].name < divs[b].name
+	})
+	return divs
+}

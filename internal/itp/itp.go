@@ -1,0 +1,128 @@
+// Package itp computes Craig interpolants from resolution refutations
+// using McMillan's construction. The paper's predecessor [15] derives
+// ECO patch functions as interpolants of the unsatisfiable two-copy
+// miter (expression (3)); this package reproduces that baseline so the
+// cube-enumeration method of §3.5 can be compared against "general
+// interpolation" (experiment E7 in DESIGN.md).
+package itp
+
+import (
+	"fmt"
+
+	"ecopatch/internal/aig"
+	"ecopatch/internal/sat"
+)
+
+// Interpolant builds, in dst, a circuit I over the shared variables
+// such that A ⇒ I and I ∧ B is unsatisfiable, where A and B are the
+// two clause partitions recorded in the proof. varEdge maps the shared
+// SAT variables to dst edges; every shared variable occurring in the
+// proof must be present.
+func Interpolant(p *sat.Proof, dst *aig.AIG, varEdge map[sat.Var]aig.Lit) (aig.Lit, error) {
+	if !p.HasFinal() {
+		return 0, fmt.Errorf("itp: proof has no refutation (formula not proved UNSAT)")
+	}
+	global := p.GlobalVars()
+
+	partial := make(map[int32]aig.Lit)
+	litEdge := func(l sat.Lit) (aig.Lit, error) {
+		e, ok := varEdge[l.Var()]
+		if !ok {
+			return 0, fmt.Errorf("itp: shared variable %d has no edge mapping", l.Var())
+		}
+		return e.XorCompl(l.Sign()), nil
+	}
+
+	// Collect the clause ids the final derivation transitively needs,
+	// then process them in ascending id order (chains only reference
+	// smaller ids), avoiding recursion on deep proofs.
+	needed := make(map[int32]bool)
+	work := append([]int32(nil), p.FinalChain...)
+	for len(work) > 0 {
+		id := work[len(work)-1]
+		work = work[:len(work)-1]
+		if needed[id] {
+			continue
+		}
+		needed[id] = true
+		if chain, _, ok := p.Chain(id); ok {
+			work = append(work, chain...)
+		}
+	}
+	order := make([]int32, 0, len(needed))
+	for id := int32(1); id <= p.MaxID(); id++ {
+		if needed[id] {
+			order = append(order, id)
+		}
+	}
+
+	itpOf := func(id int32) (aig.Lit, error) {
+		e, ok := partial[id]
+		if !ok {
+			return 0, fmt.Errorf("itp: clause %d used before computed", id)
+		}
+		return e, nil
+	}
+
+	for _, id := range order {
+		if p.RootPart(id) != 0 {
+			var e aig.Lit
+			switch p.RootPart(id) {
+			case sat.PartA:
+				e = aig.ConstFalse
+				for _, l := range p.RootLits(id) {
+					if global[l.Var()] {
+						le, err := litEdge(l)
+						if err != nil {
+							return 0, err
+						}
+						e = dst.Or(e, le)
+					}
+				}
+			case sat.PartB:
+				e = aig.ConstTrue
+			}
+			partial[id] = e
+			continue
+		}
+		chain, pivots, ok := p.Chain(id)
+		if !ok {
+			return 0, fmt.Errorf("itp: unknown clause id %d", id)
+		}
+		e, err := resolveChain(p, dst, global, chain, pivots, itpOf)
+		if err != nil {
+			return 0, err
+		}
+		partial[id] = e
+	}
+
+	return resolveChain(p, dst, global, p.FinalChain, p.FinalPivots, itpOf)
+}
+
+// resolveChain combines partial interpolants along one resolution
+// chain: OR at A-local pivots, AND at global pivots (McMillan).
+func resolveChain(p *sat.Proof, dst *aig.AIG, global map[sat.Var]bool,
+	chain []int32, pivots []sat.Var, itpOf func(int32) (aig.Lit, error)) (aig.Lit, error) {
+	if len(chain) == 0 {
+		return 0, fmt.Errorf("itp: empty resolution chain")
+	}
+	if len(chain) != len(pivots)+1 {
+		return 0, fmt.Errorf("itp: malformed chain: %d antecedents, %d pivots", len(chain), len(pivots))
+	}
+	acc, err := itpOf(chain[0])
+	if err != nil {
+		return 0, err
+	}
+	for k, id := range chain[1:] {
+		next, err := itpOf(id)
+		if err != nil {
+			return 0, err
+		}
+		if global[pivots[k]] {
+			acc = dst.And(acc, next)
+		} else {
+			acc = dst.Or(acc, next)
+		}
+	}
+	return acc, nil
+}

@@ -1,0 +1,293 @@
+package itp
+
+import (
+	"math/rand"
+	"testing"
+
+	"ecopatch/internal/aig"
+	"ecopatch/internal/sat"
+)
+
+// checkInterpolant verifies the two Craig properties by exhaustive
+// enumeration over nVars total variables:
+//   - every assignment satisfying A satisfies I (projected on shared),
+//   - no assignment satisfies both I and B.
+func checkInterpolant(t *testing.T, nVars int, aCl, bCl [][]sat.Lit, shared []sat.Var,
+	g *aig.AIG, root aig.Lit, sharedEdge map[sat.Var]aig.Lit) {
+	t.Helper()
+	evalClauses := func(cls [][]sat.Lit, m int) bool {
+		for _, c := range cls {
+			ok := false
+			for _, l := range c {
+				if (m>>uint(l.Var())&1 == 1) != l.Sign() {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	for m := 0; m < 1<<uint(nVars); m++ {
+		// Evaluate I on the shared projection.
+		in := make([]bool, g.NumPIs())
+		for i, v := range shared {
+			_ = i
+			e := sharedEdge[v]
+			in[g.PIIndex(e.Node())] = m>>uint(v)&1 == 1
+		}
+		iv := g.EvalLit(root, in)
+		if evalClauses(aCl, m) && !iv {
+			t.Fatalf("A(%b) but not I: interpolant too strong", m)
+		}
+		if evalClauses(bCl, m) && iv {
+			t.Fatalf("B(%b) and I: interpolant too weak", m)
+		}
+	}
+}
+
+// buildAndInterpolate adds A then B to a proof-logging solver and
+// computes the interpolant if UNSAT. Returns ok=false when the
+// combined formula is satisfiable.
+func buildAndInterpolate(t *testing.T, nVars int, aCl, bCl [][]sat.Lit, shared []sat.Var) (ok bool) {
+	t.Helper()
+	s := sat.New()
+	p := s.StartProof()
+	for i := 0; i < nVars; i++ {
+		s.NewVar()
+	}
+	for _, c := range aCl {
+		s.AddClause(c...)
+	}
+	p.BeginB()
+	bOK := true
+	for _, c := range bCl {
+		if !s.AddClause(c...) {
+			bOK = false
+			break
+		}
+	}
+	if bOK && s.Solve() != sat.Unsat {
+		return false
+	}
+	g := aig.New()
+	sharedEdge := make(map[sat.Var]aig.Lit)
+	for _, v := range shared {
+		sharedEdge[v] = g.AddPI("s")
+	}
+	root, err := Interpolant(p, g, sharedEdge)
+	if err != nil {
+		t.Fatalf("Interpolant: %v", err)
+	}
+	checkInterpolant(t, nVars, aCl, bCl, shared, g, root, sharedEdge)
+	return true
+}
+
+func lit(v int, neg bool) sat.Lit { return sat.MkLit(sat.Var(v), neg) }
+
+func TestSimpleInterpolant(t *testing.T) {
+	// A: (x0) (¬x0 ∨ s)   [forces s]
+	// B: (¬s ∨ x2) (¬x2)  [forces ¬s]
+	// shared: s = var 1.
+	aCl := [][]sat.Lit{{lit(0, false)}, {lit(0, true), lit(1, false)}}
+	bCl := [][]sat.Lit{{lit(1, true), lit(2, false)}, {lit(2, true)}}
+	if !buildAndInterpolate(t, 3, aCl, bCl, []sat.Var{1}) {
+		t.Fatal("instance unexpectedly SAT")
+	}
+}
+
+func TestInterpolantTwoSharedVars(t *testing.T) {
+	// A forces s0 XOR s1 (via local var x0), B forces s0 == s1.
+	// A: (x0∨s0∨s1)(x0∨¬s0∨¬s1)(¬x0∨s0∨s1)(¬x0∨¬s0∨¬s1)  => s0 xor s1
+	aCl := [][]sat.Lit{
+		{lit(2, false), lit(0, false), lit(1, false)},
+		{lit(2, false), lit(0, true), lit(1, true)},
+		{lit(2, true), lit(0, false), lit(1, false)},
+		{lit(2, true), lit(0, true), lit(1, true)},
+	}
+	// B: (s0∨¬s1)(¬s0∨s1) => s0 == s1
+	bCl := [][]sat.Lit{
+		{lit(0, false), lit(1, true)},
+		{lit(0, true), lit(1, false)},
+	}
+	if !buildAndInterpolate(t, 3, aCl, bCl, []sat.Var{0, 1}) {
+		t.Fatal("instance unexpectedly SAT")
+	}
+}
+
+func TestSatInstanceHasNoFinal(t *testing.T) {
+	s := sat.New()
+	p := s.StartProof()
+	v := s.NewVar()
+	s.AddClause(sat.PosLit(v))
+	if s.Solve() != sat.Sat {
+		t.Fatal("should be SAT")
+	}
+	g := aig.New()
+	if _, err := Interpolant(p, g, nil); err == nil {
+		t.Fatal("expected error for SAT instance")
+	}
+}
+
+func TestRandomInterpolants(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	unsatSeen := 0
+	for iter := 0; iter < 400 && unsatSeen < 60; iter++ {
+		// Variables: 0..nShared-1 shared, then A-locals, then B-locals.
+		nShared := 1 + rng.Intn(3)
+		nALoc := rng.Intn(3)
+		nBLoc := rng.Intn(3)
+		nVars := nShared + nALoc + nBLoc
+		randClause := func(local int, nLocal int) []sat.Lit {
+			k := 1 + rng.Intn(3)
+			c := make([]sat.Lit, 0, k)
+			for j := 0; j < k; j++ {
+				var v int
+				if nLocal > 0 && rng.Intn(2) == 0 {
+					v = local + rng.Intn(nLocal)
+				} else {
+					v = rng.Intn(nShared)
+				}
+				c = append(c, lit(v, rng.Intn(2) == 1))
+			}
+			return c
+		}
+		var aCl, bCl [][]sat.Lit
+		for i := 0; i < 2+rng.Intn(6); i++ {
+			aCl = append(aCl, randClause(nShared, nALoc))
+		}
+		for i := 0; i < 2+rng.Intn(6); i++ {
+			bCl = append(bCl, randClause(nShared+nALoc, nBLoc))
+		}
+		shared := make([]sat.Var, nShared)
+		for i := range shared {
+			shared[i] = sat.Var(i)
+		}
+		if buildAndInterpolate(t, nVars, aCl, bCl, shared) {
+			unsatSeen++
+		}
+	}
+	if unsatSeen < 10 {
+		t.Fatalf("only %d UNSAT instances; test too weak", unsatSeen)
+	}
+}
+
+func TestInterpolantOfMiterIsPatchLike(t *testing.T) {
+	// ECO-flavoured use: A = onset copy (f must be 1), B = offset copy
+	// (f must be 0), shared = divisor variables. Take f = d0 & d1:
+	// A says (d0,d1) is in the onset, B says it is in the offset;
+	// interpolant must separate them, i.e. I(d) must itself be a
+	// function with onset ⊇ {11} and offset ⊇ {00,01,10}: exactly AND.
+	s := sat.New()
+	p := s.StartProof()
+	d0 := s.NewVar()
+	d1 := s.NewVar()
+	fA := s.NewVar() // A-local output var
+	fB := s.NewVar() // B-local output var
+	// A: fA <-> d0&d1, fA = 1.
+	aCl := [][]sat.Lit{
+		{sat.NegLit(fA), sat.PosLit(d0)},
+		{sat.NegLit(fA), sat.PosLit(d1)},
+		{sat.PosLit(fA), sat.NegLit(d0), sat.NegLit(d1)},
+		{sat.PosLit(fA)},
+	}
+	for _, c := range aCl {
+		s.AddClause(c...)
+	}
+	p.BeginB()
+	bCl := [][]sat.Lit{
+		{sat.NegLit(fB), sat.PosLit(d0)},
+		{sat.NegLit(fB), sat.PosLit(d1)},
+		{sat.PosLit(fB), sat.NegLit(d0), sat.NegLit(d1)},
+		{sat.NegLit(fB)},
+	}
+	for _, c := range bCl {
+		s.AddClause(c...)
+	}
+	if s.Solve() != sat.Unsat {
+		t.Fatal("onset/offset overlap should be UNSAT")
+	}
+	g := aig.New()
+	e0, e1 := g.AddPI("d0"), g.AddPI("d1")
+	root, err := Interpolant(p, g, map[sat.Var]aig.Lit{d0: e0, d1: e1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// I must be exactly AND here (onset {11} forced, offset all others).
+	for m := 0; m < 4; m++ {
+		in := []bool{m&1 == 1, m&2 == 2}
+		want := in[0] && in[1]
+		if g.EvalLit(root, in) != want {
+			t.Fatalf("interpolant(%v) = %v, want %v", in, g.EvalLit(root, in), want)
+		}
+	}
+}
+
+// TestXorChainInterpolant forces deep resolution proofs: A defines
+// s = x1 ⊕ x2 ⊕ ... ⊕ xk through a chain of Tseitin-style XOR
+// constraints, B asserts the complementary parity. The refutation
+// exercises learnt-clause chains and the level-0 cone bookkeeping.
+func TestXorChainInterpolant(t *testing.T) {
+	for _, k := range []int{3, 5, 8} {
+		s := sat.New()
+		p := s.StartProof()
+		// Variables: x1..xk (A-local), chain c1..ck with ck == shared s.
+		xs := make([]sat.Var, k)
+		for i := range xs {
+			xs[i] = s.NewVar()
+		}
+		cs := make([]sat.Var, k)
+		for i := range cs {
+			cs[i] = s.NewVar()
+		}
+		addXorDef := func(z, a, b sat.Var) {
+			// z = a ⊕ b
+			s.AddClause(sat.NegLit(z), sat.PosLit(a), sat.PosLit(b))
+			s.AddClause(sat.NegLit(z), sat.NegLit(a), sat.NegLit(b))
+			s.AddClause(sat.PosLit(z), sat.NegLit(a), sat.PosLit(b))
+			s.AddClause(sat.PosLit(z), sat.PosLit(a), sat.NegLit(b))
+		}
+		// c1 = x1 (buf), ci = c(i-1) ⊕ xi.
+		s.AddClause(sat.NegLit(cs[0]), sat.PosLit(xs[0]))
+		s.AddClause(sat.PosLit(cs[0]), sat.NegLit(xs[0]))
+		for i := 1; i < k; i++ {
+			addXorDef(cs[i], cs[i-1], xs[i])
+		}
+		// Pin all xs true so the parity of ck is k mod 2 — forced by A.
+		for i := range xs {
+			s.AddClause(sat.PosLit(xs[i]))
+		}
+		shared := cs[k-1]
+		p.BeginB()
+		// B asserts the opposite parity of the shared variable.
+		if k%2 == 1 {
+			s.AddClause(sat.NegLit(shared))
+		} else {
+			s.AddClause(sat.PosLit(shared))
+		}
+		if got := s.Solve(); got != sat.Unsat {
+			t.Fatalf("k=%d: expected UNSAT, got %v", k, got)
+		}
+		g := aig.New()
+		e := g.AddPI("s")
+		root, err := Interpolant(p, g, map[sat.Var]aig.Lit{shared: e})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		// The interpolant over {shared} must be exactly "shared has
+		// the parity A forces": I(v) = v if k odd else !v.
+		want := func(v bool) bool {
+			if k%2 == 1 {
+				return v
+			}
+			return !v
+		}
+		for _, v := range []bool{false, true} {
+			if g.EvalLit(root, []bool{v}) != want(v) {
+				t.Fatalf("k=%d: interpolant(%v) wrong", k, v)
+			}
+		}
+	}
+}

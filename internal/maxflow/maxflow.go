@@ -1,0 +1,212 @@
+// Package maxflow implements Dinic's maximum-flow algorithm with a
+// node-capacity helper. The ECO engine uses it for the CEGAR_min step
+// (§3.6.3 of the paper): finding a minimum-weight cut of signals
+// through which a structural patch can be re-expressed.
+package maxflow
+
+// Inf is a capacity effectively acting as infinity.
+const Inf int64 = 1 << 60
+
+type edge struct {
+	to  int
+	cap int64
+	rev int // index of the reverse edge in adj[to]
+}
+
+// Graph is a flow network over nodes 0..n-1.
+type Graph struct {
+	adj   [][]edge
+	level []int
+	iter  []int
+}
+
+// New returns an empty flow network with n nodes.
+func New(n int) *Graph {
+	return &Graph{adj: make([][]edge, n)}
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// AddEdge adds a directed edge u->v with the given capacity.
+func (g *Graph) AddEdge(u, v int, cap int64) {
+	g.adj[u] = append(g.adj[u], edge{to: v, cap: cap, rev: len(g.adj[v])})
+	g.adj[v] = append(g.adj[v], edge{to: u, cap: 0, rev: len(g.adj[u]) - 1})
+}
+
+func (g *Graph) bfs(s, t int) bool {
+	g.level = make([]int, len(g.adj))
+	for i := range g.level {
+		g.level[i] = -1
+	}
+	queue := []int{s}
+	g.level[s] = 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range g.adj[u] {
+			if e.cap > 0 && g.level[e.to] < 0 {
+				g.level[e.to] = g.level[u] + 1
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return g.level[t] >= 0
+}
+
+func (g *Graph) dfs(u, t int, f int64) int64 {
+	if u == t {
+		return f
+	}
+	for ; g.iter[u] < len(g.adj[u]); g.iter[u]++ {
+		e := &g.adj[u][g.iter[u]]
+		if e.cap > 0 && g.level[e.to] == g.level[u]+1 {
+			d := g.dfs(e.to, t, min64(f, e.cap))
+			if d > 0 {
+				e.cap -= d
+				g.adj[e.to][e.rev].cap += d
+				return d
+			}
+		}
+	}
+	return 0
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxFlow computes the maximum s-t flow. The graph's residual
+// capacities are updated in place, enabling MinCutReachable afterwards.
+func (g *Graph) MaxFlow(s, t int) int64 {
+	var flow int64
+	for g.bfs(s, t) {
+		g.iter = make([]int, len(g.adj))
+		for {
+			f := g.dfs(s, t, Inf)
+			if f == 0 {
+				break
+			}
+			flow += f
+		}
+	}
+	return flow
+}
+
+// MinCutReachable returns, after MaxFlow, the set of nodes reachable
+// from s in the residual graph. Edges from this set to its complement
+// form a minimum cut.
+func (g *Graph) MinCutReachable(s int) []bool {
+	reach := make([]bool, len(g.adj))
+	stack := []int{s}
+	reach[s] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.adj[u] {
+			if e.cap > 0 && !reach[e.to] {
+				reach[e.to] = true
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	return reach
+}
+
+// NodeGraph builds flow networks where the capacity sits on nodes
+// rather than edges, via the standard node-splitting construction:
+// node i becomes in-node 2i and out-node 2i+1 joined by an edge of
+// the node's capacity; original edges connect out-nodes to in-nodes
+// with infinite capacity.
+type NodeGraph struct {
+	G *Graph
+	n int
+}
+
+// NewNodeGraph returns a node-capacitated network over n nodes.
+func NewNodeGraph(n int, nodeCap func(i int) int64) *NodeGraph {
+	ng := &NodeGraph{G: New(2 * n), n: n}
+	for i := 0; i < n; i++ {
+		ng.G.AddEdge(2*i, 2*i+1, nodeCap(i))
+	}
+	return ng
+}
+
+// In returns the flow-node receiving edges into original node i.
+func (ng *NodeGraph) In(i int) int { return 2 * i }
+
+// Out returns the flow-node emitting edges out of original node i.
+func (ng *NodeGraph) Out(i int) int { return 2*i + 1 }
+
+// Connect adds an infinite-capacity edge from original node u to
+// original node v.
+func (ng *NodeGraph) Connect(u, v int) {
+	ng.G.AddEdge(ng.Out(u), ng.In(v), Inf)
+}
+
+// MinVertexCut computes the minimum-weight set of original nodes
+// separating s from t (s and t themselves excluded; they should be
+// given infinite capacity). It returns the cut nodes and the total
+// flow value.
+func (ng *NodeGraph) MinVertexCut(s, t int) ([]int, int64) {
+	flow := ng.G.MaxFlow(ng.Out(s), ng.In(t))
+	reach := ng.G.MinCutReachable(ng.Out(s))
+	var cut []int
+	for i := 0; i < ng.n; i++ {
+		// A node is in the cut when its internal edge crosses the
+		// reachable boundary: in-node reachable, out-node not.
+		if reach[ng.In(i)] && !reach[ng.Out(i)] {
+			cut = append(cut, i)
+		}
+	}
+	return cut, flow
+}
+
+// CanReachSink returns, after MaxFlow, the set of nodes that can
+// still reach t in the residual graph. Its complement is the
+// source side of the sink-nearest minimum cut.
+func (g *Graph) CanReachSink(t int) []bool {
+	// Reverse adjacency over residual edges.
+	inEdges := make([][]int, len(g.adj)) // node -> predecessors via residual edge
+	for v := range g.adj {
+		for _, e := range g.adj[v] {
+			if e.cap > 0 {
+				inEdges[e.to] = append(inEdges[e.to], v)
+			}
+		}
+	}
+	reach := make([]bool, len(g.adj))
+	reach[t] = true
+	queue := []int{t}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range inEdges[u] {
+			if !reach[v] {
+				reach[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return reach
+}
+
+// MinVertexCutNearSink is MinVertexCut using the sink-nearest minimum
+// cut: among all minimum-weight vertex cuts it returns the one whose
+// nodes sit closest to t. For the CEGAR_min application this keeps
+// the rebuilt patch cone (the logic above the cut) as small as
+// possible at equal cost.
+func (ng *NodeGraph) MinVertexCutNearSink(s, t int) ([]int, int64) {
+	flow := ng.G.MaxFlow(ng.Out(s), ng.In(t))
+	reach := ng.G.CanReachSink(ng.In(t))
+	var cut []int
+	for i := 0; i < ng.n; i++ {
+		if !reach[ng.In(i)] && reach[ng.Out(i)] {
+			cut = append(cut, i)
+		}
+	}
+	return cut, flow
+}

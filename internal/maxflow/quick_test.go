@@ -1,0 +1,94 @@
+package maxflow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickMaxFlowMinCutDuality: on random graphs the Dinic flow
+// equals the brute-force minimum cut, and the residual-reachability
+// cut is saturated.
+func TestQuickMaxFlowMinCutDuality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(4)
+		var edges [][3]int64
+		for i := 0; i < 2*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			edges = append(edges, [3]int64{int64(u), int64(v), int64(1 + rng.Intn(7))})
+		}
+		g := New(n)
+		for _, e := range edges {
+			g.AddEdge(int(e[0]), int(e[1]), e[2])
+		}
+		flow := g.MaxFlow(0, n-1)
+		if flow != bruteForceMinCut(n, edges, 0, n-1) {
+			return false
+		}
+		// The source-side reachable set must induce a cut of exactly
+		// the flow value.
+		reach := g.MinCutReachable(0)
+		var w int64
+		for _, e := range edges {
+			if reach[e[0]] && !reach[e[1]] {
+				w += e[2]
+			}
+		}
+		return w == flow
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickVertexCutSidesAgree: source-side and sink-side vertex cuts
+// have the same weight (both are minimum cuts).
+func TestQuickVertexCutSidesAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(4)
+		caps := make([]int64, n)
+		for i := range caps {
+			caps[i] = int64(1 + rng.Intn(5))
+		}
+		caps[0], caps[n-1] = Inf, Inf
+		type conn struct{ u, v int }
+		var conns []conn
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				conns = append(conns, conn{u, v})
+			}
+		}
+		build := func() *NodeGraph {
+			ng := NewNodeGraph(n, func(i int) int64 { return caps[i] })
+			for _, c := range conns {
+				ng.Connect(c.u, c.v)
+			}
+			return ng
+		}
+		cutA, flowA := build().MinVertexCut(0, n-1)
+		cutB, flowB := build().MinVertexCutNearSink(0, n-1)
+		if flowA != flowB {
+			return false
+		}
+		if flowA >= Inf {
+			return true // no finite cut: nothing more to compare
+		}
+		wa, wb := int64(0), int64(0)
+		for _, i := range cutA {
+			wa += caps[i]
+		}
+		for _, i := range cutB {
+			wb += caps[i]
+		}
+		return wa == flowA && wb == flowA
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

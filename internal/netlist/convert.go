@@ -1,0 +1,237 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+
+	"ecopatch/internal/aig"
+)
+
+// AIGResult is the outcome of converting a netlist to an AIG.
+type AIGResult struct {
+	G *aig.AIG
+	// Signals maps every named signal (inputs, wires, gate outputs,
+	// and undriven target points) to its AIG edge. Target points are
+	// represented as extra AIG primary inputs placed after the module
+	// inputs.
+	Signals map[string]aig.Lit
+	// Targets lists the undriven signals, in Targets() order; their
+	// PI positions in G are len(Inputs) + index.
+	Targets []string
+}
+
+// ToAIG converts a netlist to an AIG. Module inputs become the first
+// PIs in declaration order; undriven signals (target points) become
+// additional PIs. Gates are processed in dependency order;
+// combinational cycles are reported as errors.
+func ToAIG(n *Netlist) (*AIGResult, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	g := aig.New()
+	sig := make(map[string]aig.Lit)
+	for _, in := range n.Inputs {
+		sig[in] = g.AddPI(in)
+	}
+	targets := n.Targets()
+	targetSet := make(map[string]bool)
+	for _, t := range targets {
+		sig[t] = g.AddPI(t)
+		targetSet[t] = true
+	}
+	// Any other undriven signal is an error unless it is a target.
+	for _, u := range n.UndrivenSignals() {
+		if !targetSet[u] {
+			return nil, fmt.Errorf("netlist: signal %q is read but never driven (and is not a t_* target)", u)
+		}
+	}
+
+	// Topological processing of gates via Kahn's algorithm on the
+	// signal dependency graph.
+	gateOf := make(map[string]int) // output signal -> gate index
+	for i, gt := range n.Gates {
+		if gt.Kind == GateDff {
+			return nil, fmt.Errorf("netlist: sequential gate %q: convert with internal/seq first", gt.Name)
+		}
+		gateOf[gt.Out] = i
+	}
+	indeg := make([]int, len(n.Gates))
+	dependents := make(map[int][]int) // gate -> gates reading its output
+	var ready []int
+	for i, gt := range n.Gates {
+		for _, in := range gt.Ins {
+			if j, ok := gateOf[in]; ok {
+				indeg[i]++
+				dependents[j] = append(dependents[j], i)
+			}
+		}
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	processed := 0
+	for len(ready) > 0 {
+		i := ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		gt := n.Gates[i]
+		out, err := buildGate(g, sig, gt)
+		if err != nil {
+			return nil, err
+		}
+		sig[gt.Out] = out
+		processed++
+		for _, j := range dependents[i] {
+			indeg[j]--
+			if indeg[j] == 0 {
+				ready = append(ready, j)
+			}
+		}
+	}
+	if processed != len(n.Gates) {
+		return nil, fmt.Errorf("netlist: combinational cycle among gates")
+	}
+	for _, o := range n.Outputs {
+		l, ok := sig[o]
+		if !ok {
+			return nil, fmt.Errorf("netlist: output %q undriven", o)
+		}
+		g.AddPO(o, l)
+	}
+	return &AIGResult{G: g, Signals: sig, Targets: targets}, nil
+}
+
+func inputEdge(sig map[string]aig.Lit, name string) (aig.Lit, error) {
+	switch name {
+	case Const0:
+		return aig.ConstFalse, nil
+	case Const1:
+		return aig.ConstTrue, nil
+	}
+	l, ok := sig[name]
+	if !ok {
+		return 0, fmt.Errorf("netlist: unknown signal %q", name)
+	}
+	return l, nil
+}
+
+func buildGate(g *aig.AIG, sig map[string]aig.Lit, gt Gate) (aig.Lit, error) {
+	ins := make([]aig.Lit, len(gt.Ins))
+	for i, name := range gt.Ins {
+		l, err := inputEdge(sig, name)
+		if err != nil {
+			return 0, err
+		}
+		ins[i] = l
+	}
+	switch gt.Kind {
+	case GateNot:
+		return ins[0].Not(), nil
+	case GateBuf:
+		return ins[0], nil
+	case GateAnd:
+		return g.AndN(ins...), nil
+	case GateNand:
+		return g.AndN(ins...).Not(), nil
+	case GateOr:
+		return g.OrN(ins...), nil
+	case GateNor:
+		return g.OrN(ins...).Not(), nil
+	case GateXor, GateXnor:
+		acc := ins[0]
+		for _, l := range ins[1:] {
+			acc = g.Xor(acc, l)
+		}
+		if gt.Kind == GateXnor {
+			acc = acc.Not()
+		}
+		return acc, nil
+	}
+	return 0, fmt.Errorf("netlist: unsupported gate kind %v", gt.Kind)
+}
+
+// FromAIG converts an AIG back to a netlist of and/not/buf gates.
+// AND nodes become and-gates named n<idx>; inverted edges materialize
+// not-gates. PIs and POs keep their AIG names.
+func FromAIG(g *aig.AIG, moduleName string) *Netlist {
+	n := &Netlist{Name: moduleName}
+	nameOf := make(map[int]string) // node -> signal name
+	for i := 0; i < g.NumPIs(); i++ {
+		nm := g.PIName(i)
+		n.Inputs = append(n.Inputs, nm)
+		nameOf[g.PI(i).Node()] = nm
+	}
+	inverted := make(map[string]string) // signal -> its inverter output
+	usedNames := make(map[string]bool)
+	for _, nm := range n.Inputs {
+		usedNames[nm] = true
+	}
+	fresh := func(base string) string {
+		nm := base
+		for k := 0; usedNames[nm]; k++ {
+			nm = fmt.Sprintf("%s_%d", base, k)
+		}
+		usedNames[nm] = true
+		return nm
+	}
+	edgeName := func(l aig.Lit) string {
+		if l == aig.ConstFalse {
+			return Const0
+		}
+		if l == aig.ConstTrue {
+			return Const1
+		}
+		base := nameOf[l.Node()]
+		if !l.Compl() {
+			return base
+		}
+		if inv, ok := inverted[base]; ok {
+			return inv
+		}
+		inv := fresh(base + "_n")
+		n.Wires = append(n.Wires, inv)
+		n.Gates = append(n.Gates, Gate{Kind: GateNot, Out: inv, Ins: []string{base}})
+		inverted[base] = inv
+		return inv
+	}
+
+	// Emit AND gates in topological (index) order over the PO cones.
+	roots := make([]aig.Lit, g.NumPOs())
+	for i := range roots {
+		roots[i] = g.PO(i)
+	}
+	for _, idx := range g.ConeNodes(roots) {
+		if !g.IsAnd(idx) {
+			continue
+		}
+		f0, f1 := g.Fanins(idx)
+		nm := fresh(fmt.Sprintf("n%d", idx))
+		nameOf[idx] = nm
+		n.Wires = append(n.Wires, nm)
+		n.Gates = append(n.Gates, Gate{Kind: GateAnd, Out: nm, Ins: []string{edgeName(f0), edgeName(f1)}})
+	}
+	for i := 0; i < g.NumPOs(); i++ {
+		po := g.PO(i)
+		nm := g.POName(i)
+		if usedNames[nm] {
+			nm = fresh(nm)
+		}
+		usedNames[nm] = true
+		n.Outputs = append(n.Outputs, nm)
+		kind := GateBuf
+		src := po
+		if po.Compl() {
+			kind = GateNot
+			src = po.Regular()
+		}
+		var srcName string
+		switch {
+		case src == aig.ConstFalse:
+			srcName = Const0
+		default:
+			srcName = nameOf[src.Node()]
+		}
+		n.Gates = append(n.Gates, Gate{Kind: kind, Out: nm, Ins: []string{srcName}})
+	}
+	sort.Strings(n.Wires)
+	return n
+}

@@ -1,0 +1,115 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ecopatch/internal/aig"
+)
+
+// randomNetlist builds a valid random netlist for property tests.
+func randomNetlist(rng *rand.Rand) *Netlist {
+	nIn := 2 + rng.Intn(4)
+	n := &Netlist{Name: "q"}
+	pool := []string{}
+	for i := 0; i < nIn; i++ {
+		nm := "i" + string(rune('a'+i))
+		n.Inputs = append(n.Inputs, nm)
+		pool = append(pool, nm)
+	}
+	kinds := []GateKind{GateAnd, GateOr, GateXor, GateNand, GateNor, GateXnor}
+	for i := 0; i < 2+rng.Intn(12); i++ {
+		w := "w" + string(rune('a'+i))
+		n.Wires = append(n.Wires, w)
+		a := pool[rng.Intn(len(pool))]
+		b := pool[rng.Intn(len(pool))]
+		if rng.Intn(6) == 0 {
+			n.Gates = append(n.Gates, Gate{Kind: GateNot, Out: w, Ins: []string{a}})
+		} else {
+			n.Gates = append(n.Gates, Gate{Kind: kinds[rng.Intn(len(kinds))], Out: w, Ins: []string{a, b}})
+		}
+		pool = append(pool, w)
+	}
+	n.Outputs = append(n.Outputs, "y")
+	n.Gates = append(n.Gates, Gate{Kind: GateBuf, Out: "y", Ins: []string{pool[len(pool)-1]}})
+	return n
+}
+
+// TestQuickWriteParseSemantics: writing and re-parsing any valid
+// netlist preserves its Boolean function.
+func TestQuickWriteParseSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n1 := randomNetlist(rng)
+		if n1.Validate() != nil {
+			return true
+		}
+		n2, err := ParseString(n1.String())
+		if err != nil {
+			return false
+		}
+		r1, err := ToAIG(n1)
+		if err != nil {
+			return false
+		}
+		r2, err := ToAIG(n2)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 40; trial++ {
+			in := make([]bool, r1.G.NumPIs())
+			for i := range in {
+				in[i] = rng.Intn(2) == 1
+			}
+			o1, o2 := r1.G.Eval(in), r2.G.Eval(in)
+			for i := range o1 {
+				if o1[i] != o2[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickFromAIGSemantics: converting any AIG to a netlist and back
+// preserves its function.
+func TestQuickFromAIGSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := aig.New()
+		var pool []aig.Lit
+		nPI := 2 + rng.Intn(4)
+		for i := 0; i < nPI; i++ {
+			pool = append(pool, g.AddPI("x"+string(rune('a'+i))))
+		}
+		for i := 0; i < 2+rng.Intn(20); i++ {
+			a := pool[rng.Intn(len(pool))].XorCompl(rng.Intn(2) == 1)
+			b := pool[rng.Intn(len(pool))].XorCompl(rng.Intn(2) == 1)
+			pool = append(pool, g.And(a, b))
+		}
+		g.AddPO("y", pool[len(pool)-1].XorCompl(rng.Intn(2) == 1))
+		nl := FromAIG(g, "rt")
+		back, err := ToAIG(nl)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 40; trial++ {
+			in := make([]bool, nPI)
+			for i := range in {
+				in[i] = rng.Intn(2) == 1
+			}
+			if g.Eval(in)[0] != back.G.Eval(in)[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+package netlist
+
+// TransitiveFanout returns the set of signals in the transitive
+// fanout of the given start signals (the starts themselves included).
+// Used by the ECO engine's structural pruning (§3.3): divisor
+// candidates must lie outside the TFO of the targets.
+func (n *Netlist) TransitiveFanout(starts []string) map[string]bool {
+	// readers[s] = gates that read signal s.
+	readers := make(map[string][]int)
+	for i, g := range n.Gates {
+		for _, in := range g.Ins {
+			readers[in] = append(readers[in], i)
+		}
+	}
+	tfo := make(map[string]bool)
+	var stack []string
+	for _, s := range starts {
+		if !tfo[s] {
+			tfo[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, gi := range readers[s] {
+			out := n.Gates[gi].Out
+			if !tfo[out] {
+				tfo[out] = true
+				stack = append(stack, out)
+			}
+		}
+	}
+	return tfo
+}
+
+// TransitiveFanin returns the set of signals in the transitive fanin
+// of the given start signals (the starts themselves included).
+func (n *Netlist) TransitiveFanin(starts []string) map[string]bool {
+	driver := make(map[string]int)
+	for i, g := range n.Gates {
+		driver[g.Out] = i
+	}
+	tfi := make(map[string]bool)
+	var stack []string
+	for _, s := range starts {
+		if !tfi[s] {
+			tfi[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		gi, ok := driver[s]
+		if !ok {
+			continue // PI, target or constant
+		}
+		for _, in := range n.Gates[gi].Ins {
+			if !IsConstToken(in) && !tfi[in] {
+				tfi[in] = true
+				stack = append(stack, in)
+			}
+		}
+	}
+	return tfi
+}

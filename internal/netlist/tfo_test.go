@@ -1,0 +1,61 @@
+package netlist
+
+import "testing"
+
+func TestTransitiveFanout(t *testing.T) {
+	n, err := ParseString(`
+module m (a, b, f, g2);
+input a, b;
+output f, g2;
+wire w1, w2;
+and (w1, a, b);
+or  (w2, w1, b);
+buf (f, w2);
+not (g2, b);
+endmodule`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tfo := n.TransitiveFanout([]string{"w1"})
+	for _, want := range []string{"w1", "w2", "f"} {
+		if !tfo[want] {
+			t.Errorf("TFO missing %q", want)
+		}
+	}
+	for _, not := range []string{"a", "b", "g2"} {
+		if tfo[not] {
+			t.Errorf("TFO wrongly contains %q", not)
+		}
+	}
+	// From an input: everything reading it transitively.
+	tfoB := n.TransitiveFanout([]string{"b"})
+	for _, want := range []string{"b", "w1", "w2", "f", "g2"} {
+		if !tfoB[want] {
+			t.Errorf("TFO(b) missing %q", want)
+		}
+	}
+}
+
+func TestTransitiveFanin(t *testing.T) {
+	n, err := ParseString(`
+module m (a, b, c, f, g2);
+input a, b, c;
+output f, g2;
+wire w1;
+and (w1, a, b);
+buf (f, w1);
+not (g2, c);
+endmodule`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tfi := n.TransitiveFanin([]string{"f"})
+	for _, want := range []string{"f", "w1", "a", "b"} {
+		if !tfi[want] {
+			t.Errorf("TFI missing %q", want)
+		}
+	}
+	if tfi["c"] || tfi["g2"] {
+		t.Error("TFI leaked into unrelated cone")
+	}
+}

@@ -1,0 +1,84 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Weights maps signal names of the old implementation to their
+// resource cost. Signals absent from the map default to DefaultWeight.
+type Weights struct {
+	Costs   map[string]int
+	Default int
+}
+
+// DefaultWeight is the cost assumed for signals not listed in the
+// weight file (the contest files list every signal, so this is a
+// safety net).
+const DefaultWeight = 1
+
+// NewWeights returns an empty weight table.
+func NewWeights() *Weights {
+	return &Weights{Costs: make(map[string]int), Default: DefaultWeight}
+}
+
+// Cost returns the cost of a signal.
+func (w *Weights) Cost(signal string) int {
+	if c, ok := w.Costs[signal]; ok {
+		return c
+	}
+	return w.Default
+}
+
+// Set assigns a cost to a signal.
+func (w *Weights) Set(signal string, cost int) { w.Costs[signal] = cost }
+
+// ParseWeights reads "<signal> <cost>" lines. Blank lines and lines
+// starting with '#' or '//' are ignored.
+func ParseWeights(r io.Reader) (*Weights, error) {
+	w := NewWeights()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "//") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("weights: line %d: expected '<signal> <cost>', got %q", lineNo, line)
+		}
+		cost, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("weights: line %d: bad cost %q: %w", lineNo, fields[1], err)
+		}
+		if cost < 0 {
+			return nil, fmt.Errorf("weights: line %d: negative cost %d", lineNo, cost)
+		}
+		w.Costs[fields[0]] = cost
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("weights: %w", err)
+	}
+	return w, nil
+}
+
+// WriteWeights emits the weight table sorted by signal name.
+func WriteWeights(out io.Writer, w *Weights) error {
+	names := make([]string, 0, len(w.Costs))
+	for n := range w.Costs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	bw := bufio.NewWriter(out)
+	for _, n := range names {
+		fmt.Fprintf(bw, "%s %d\n", n, w.Costs[n])
+	}
+	return bw.Flush()
+}

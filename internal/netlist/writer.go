@@ -1,0 +1,45 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Write emits the netlist in the contest's structural-Verilog subset.
+func Write(w io.Writer, n *Netlist) error {
+	bw := bufio.NewWriter(w)
+	ports := append(append([]string{}, n.Inputs...), n.Outputs...)
+	fmt.Fprintf(bw, "module %s (%s);\n", n.Name, strings.Join(ports, ", "))
+	writeDecl(bw, "input", n.Inputs)
+	writeDecl(bw, "output", n.Outputs)
+	writeDecl(bw, "wire", n.Wires)
+	for _, g := range n.Gates {
+		if g.Name != "" {
+			fmt.Fprintf(bw, "%s %s (%s, %s);\n", g.Kind, g.Name, g.Out, strings.Join(g.Ins, ", "))
+		} else {
+			fmt.Fprintf(bw, "%s (%s, %s);\n", g.Kind, g.Out, strings.Join(g.Ins, ", "))
+		}
+	}
+	fmt.Fprintln(bw, "endmodule")
+	return bw.Flush()
+}
+
+func writeDecl(w io.Writer, kw string, ids []string) {
+	const perLine = 10
+	for i := 0; i < len(ids); i += perLine {
+		j := i + perLine
+		if j > len(ids) {
+			j = len(ids)
+		}
+		fmt.Fprintf(w, "%s %s;\n", kw, strings.Join(ids[i:j], ", "))
+	}
+}
+
+// String renders the netlist to a string (for tests and debugging).
+func (n *Netlist) String() string {
+	var sb strings.Builder
+	_ = Write(&sb, n)
+	return sb.String()
+}

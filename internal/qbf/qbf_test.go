@@ -1,0 +1,301 @@
+package qbf
+
+import (
+	"math/rand"
+	"testing"
+
+	"ecopatch/internal/aig"
+)
+
+// solveBrute decides ∃x∀t φ by enumeration.
+func solveBrute(g *aig.AIG, root aig.Lit, xPIs, tPIs []int) bool {
+	n := g.NumPIs()
+	in := make([]bool, n)
+	var tryX func(i int) bool
+	var allT func(i int) bool
+	allT = func(i int) bool {
+		if i == len(tPIs) {
+			return g.EvalLit(root, in)
+		}
+		in[tPIs[i]] = false
+		if !allT(i + 1) {
+			return false
+		}
+		in[tPIs[i]] = true
+		return allT(i + 1)
+	}
+	tryX = func(i int) bool {
+		if i == len(xPIs) {
+			return allT(0)
+		}
+		in[xPIs[i]] = false
+		if tryX(i + 1) {
+			return true
+		}
+		in[xPIs[i]] = true
+		return tryX(i + 1)
+	}
+	return tryX(0)
+}
+
+func TestTautologyOverT(t *testing.T) {
+	// φ = t OR !t = const true: ∃x∀t φ holds trivially.
+	g := aig.New()
+	tv := g.AddPI("t")
+	g.AddPI("x")
+	root := g.Or(tv, tv.Not())
+	res, err := Solve(g, root, []int{1}, []int{0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatal("tautology should hold")
+	}
+}
+
+func TestNoWitness(t *testing.T) {
+	// φ = (x == t): for any x, choosing t = !x falsifies φ.
+	g := aig.New()
+	tv := g.AddPI("t")
+	x := g.AddPI("x")
+	root := g.Xnor(x, tv)
+	res, err := Solve(g, root, []int{1}, []int{0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatalf("x==t should not admit a witness; got witness %v", res.Witness)
+	}
+	if len(res.Moves) == 0 {
+		t.Fatal("refutation must collect countermoves")
+	}
+}
+
+func TestWitnessCorrect(t *testing.T) {
+	// φ = x OR t: x=1 is a witness.
+	g := aig.New()
+	tv := g.AddPI("t")
+	x := g.AddPI("x")
+	root := g.Or(x, tv)
+	res, err := Solve(g, root, []int{1}, []int{0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatal("x|t should hold with x=1")
+	}
+	if len(res.Witness) != 1 || !res.Witness[0] {
+		t.Fatalf("witness = %v, want [true]", res.Witness)
+	}
+}
+
+func TestWitnessIsVerifiable(t *testing.T) {
+	// Random instances: whenever Holds, the witness must satisfy
+	// φ(t, witness) for all t by brute force.
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 60; iter++ {
+		g := aig.New()
+		nX, nT := 1+rng.Intn(3), 1+rng.Intn(3)
+		var xPIs, tPIs []int
+		var pool []aig.Lit
+		for i := 0; i < nT; i++ {
+			tPIs = append(tPIs, g.NumPIs())
+			pool = append(pool, g.AddPI("t"))
+		}
+		for i := 0; i < nX; i++ {
+			xPIs = append(xPIs, g.NumPIs())
+			pool = append(pool, g.AddPI("x"))
+		}
+		for i := 0; i < 12; i++ {
+			a := pool[rng.Intn(len(pool))].XorCompl(rng.Intn(2) == 1)
+			b := pool[rng.Intn(len(pool))].XorCompl(rng.Intn(2) == 1)
+			pool = append(pool, g.And(a, b))
+		}
+		root := pool[len(pool)-1].XorCompl(rng.Intn(2) == 1)
+
+		res, err := Solve(g, root, xPIs, tPIs, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := solveBrute(g, root, xPIs, tPIs)
+		if res.Holds != want {
+			t.Fatalf("iter %d: CEGAR=%v brute=%v", iter, res.Holds, want)
+		}
+		if res.Holds {
+			// Check witness against every t assignment.
+			in := make([]bool, g.NumPIs())
+			for i, p := range xPIs {
+				in[p] = res.Witness[i]
+			}
+			for m := 0; m < 1<<uint(nT); m++ {
+				for i, p := range tPIs {
+					in[p] = m>>uint(i)&1 == 1
+				}
+				if !g.EvalLit(root, in) {
+					t.Fatalf("iter %d: witness %v fails at t-minterm %b", iter, res.Witness, m)
+				}
+			}
+		}
+	}
+}
+
+func TestMovesCertifyRefutation(t *testing.T) {
+	// When refuted, for every x some collected move must falsify φ.
+	rng := rand.New(rand.NewSource(29))
+	refuted := 0
+	for iter := 0; iter < 60 && refuted < 20; iter++ {
+		g := aig.New()
+		nX, nT := 1+rng.Intn(2), 1+rng.Intn(3)
+		var xPIs, tPIs []int
+		var pool []aig.Lit
+		for i := 0; i < nT; i++ {
+			tPIs = append(tPIs, g.NumPIs())
+			pool = append(pool, g.AddPI("t"))
+		}
+		for i := 0; i < nX; i++ {
+			xPIs = append(xPIs, g.NumPIs())
+			pool = append(pool, g.AddPI("x"))
+		}
+		for i := 0; i < 10; i++ {
+			a := pool[rng.Intn(len(pool))].XorCompl(rng.Intn(2) == 1)
+			b := pool[rng.Intn(len(pool))].XorCompl(rng.Intn(2) == 1)
+			pool = append(pool, g.And(a, b))
+		}
+		root := pool[len(pool)-1]
+		res, err := Solve(g, root, xPIs, tPIs, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Holds {
+			continue
+		}
+		refuted++
+		in := make([]bool, g.NumPIs())
+		for xm := 0; xm < 1<<uint(nX); xm++ {
+			for i, p := range xPIs {
+				in[p] = xm>>uint(i)&1 == 1
+			}
+			covered := false
+			for _, mv := range res.Moves {
+				for i, p := range tPIs {
+					in[p] = mv[i]
+				}
+				if !g.EvalLit(root, in) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("iter %d: x-minterm %b not refuted by any move", iter, xm)
+			}
+		}
+	}
+	if refuted == 0 {
+		t.Fatal("no refuted instances generated; weak test")
+	}
+}
+
+func TestCopiesFewerThanFullExpansion(t *testing.T) {
+	// With k universal variables, CEGAR should essentially never need
+	// the full 2^k copies on easy structured formulas.
+	g := aig.New()
+	const k = 6
+	var ts []aig.Lit
+	var tPIs []int
+	for i := 0; i < k; i++ {
+		tPIs = append(tPIs, g.NumPIs())
+		ts = append(ts, g.AddPI("t"))
+	}
+	var xPIs []int
+	x := g.AddPI("x")
+	xPIs = append(xPIs, g.NumPIs()-1)
+	// φ = x OR (t0 & t1 & ... & tk-1): holds with x=1.
+	root := g.Or(x, g.AndN(ts...))
+	res, err := Solve(g, root, xPIs, tPIs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatal("should hold")
+	}
+	if res.Copies >= 1<<k {
+		t.Fatalf("copies = %d, expected far fewer than %d", res.Copies, 1<<k)
+	}
+}
+
+func TestOverlapRejected(t *testing.T) {
+	g := aig.New()
+	g.AddPI("a")
+	if _, err := Solve(g, aig.ConstTrue, []int{0}, []int{0}, Options{}); err == nil {
+		t.Fatal("overlapping x/t not rejected")
+	}
+}
+
+func TestBuildCountermodel(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	built := 0
+	for iter := 0; iter < 80 && built < 25; iter++ {
+		g := aig.New()
+		nX, nT := 1+rng.Intn(3), 1+rng.Intn(3)
+		var xPIs, tPIs []int
+		var pool []aig.Lit
+		for i := 0; i < nT; i++ {
+			tPIs = append(tPIs, g.NumPIs())
+			pool = append(pool, g.AddPI("t"))
+		}
+		for i := 0; i < nX; i++ {
+			xPIs = append(xPIs, g.NumPIs())
+			pool = append(pool, g.AddPI("x"))
+		}
+		for i := 0; i < 12; i++ {
+			a := pool[rng.Intn(len(pool))].XorCompl(rng.Intn(2) == 1)
+			b := pool[rng.Intn(len(pool))].XorCompl(rng.Intn(2) == 1)
+			pool = append(pool, g.And(a, b))
+		}
+		root := pool[len(pool)-1].XorCompl(rng.Intn(2) == 1)
+		res, err := Solve(g, root, xPIs, tPIs, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Holds || len(res.Moves) == 0 {
+			continue
+		}
+		cm, err := BuildCountermodel(g, root, xPIs, tPIs, res.Moves)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		built++
+		// Spot-check by evaluation: for random x, φ(t(x), x) is false.
+		for trial := 0; trial < 32; trial++ {
+			in := make([]bool, g.NumPIs())
+			for _, p := range xPIs {
+				in[p] = rng.Intn(2) == 1
+			}
+			for j, p := range tPIs {
+				in[p] = cm.G.EvalLit(cm.T[j], in)
+			}
+			if g.EvalLit(root, in) {
+				t.Fatalf("iter %d: countermodel fails at %v", iter, in)
+			}
+		}
+	}
+	if built < 5 {
+		t.Fatalf("only %d countermodels built; weak test", built)
+	}
+}
+
+func TestBuildCountermodelRejectsBadMoves(t *testing.T) {
+	// φ = t XOR x: for each x only one t falsifies; a single move
+	// cannot certify the refutation for both x values.
+	g := aig.New()
+	tv := g.AddPI("t")
+	x := g.AddPI("x")
+	root := g.Xor(tv, x)
+	// ∃x∀t (t⊕x) is false; the CEGAR needs both moves. Give only one.
+	if _, err := BuildCountermodel(g, root, []int{1}, []int{0}, [][]bool{{false}}); err == nil {
+		t.Fatal("incomplete move set accepted as certificate")
+	}
+	if _, err := BuildCountermodel(g, root, []int{1}, []int{0}, nil); err == nil {
+		t.Fatal("empty move set accepted")
+	}
+}

@@ -1,0 +1,67 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkPigeonholeUnsat measures refutation throughput on the
+// classic hard family PHP(n+1, n).
+func BenchmarkPigeonholeUnsat(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New()
+		pigeonhole(s, 8, 7)
+		if s.Solve() != Unsat {
+			b.Fatal("PHP(8,7) must be UNSAT")
+		}
+	}
+}
+
+// BenchmarkRandom3SAT measures mixed SAT/UNSAT solving near the phase
+// transition (clause/variable ratio ≈ 4.2).
+func BenchmarkRandom3SAT(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const nVars = 120
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for v := 0; v < nVars; v++ {
+			s.NewVar()
+		}
+		for c := 0; c < nVars*42/10; c++ {
+			s.AddClause(
+				MkLit(Var(rng.Intn(nVars)), rng.Intn(2) == 1),
+				MkLit(Var(rng.Intn(nVars)), rng.Intn(2) == 1),
+				MkLit(Var(rng.Intn(nVars)), rng.Intn(2) == 1),
+			)
+		}
+		s.Solve()
+	}
+}
+
+// BenchmarkIncrementalAssumptions measures assumption-based reuse of
+// one solver across many queries, the access pattern of
+// minimize_assumptions.
+func BenchmarkIncrementalAssumptions(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	s := New()
+	const n = 200
+	lits := make([]Lit, n)
+	for i := range lits {
+		lits[i] = PosLit(s.NewVar())
+	}
+	for c := 0; c < 3*n; c++ {
+		s.AddClause(
+			lits[rng.Intn(n)].XorSign(rng.Intn(2) == 1),
+			lits[rng.Intn(n)].XorSign(rng.Intn(2) == 1),
+			lits[rng.Intn(n)].XorSign(rng.Intn(2) == 1),
+		)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var assumps []Lit
+		for v := 0; v < n; v += 7 {
+			assumps = append(assumps, lits[v].XorSign(i%2 == 0))
+		}
+		s.Solve(assumps...)
+	}
+}

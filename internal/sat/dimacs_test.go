@@ -1,0 +1,97 @@
+package sat
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParseDIMACSBasic(t *testing.T) {
+	src := `
+c a comment
+p cnf 3 3
+1 -2 0
+2 3 0
+-1 0
+`
+	s, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumVars() != 3 {
+		t.Fatalf("vars = %d", s.NumVars())
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("got %v", got)
+	}
+	// -1 forces x1 false; clause (1 -2) forces x2 false; (2 3) forces x3.
+	if s.ModelValue(PosLit(0)) != LFalse || s.ModelValue(PosLit(1)) != LFalse ||
+		s.ModelValue(PosLit(2)) != LTrue {
+		t.Fatal("model wrong")
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	cases := []string{
+		"p cnf x 3\n1 0\n",
+		"p dnf 3 3\n",
+		"p cnf 2 1\n1 b 0\n",
+		"p cnf 2 1\n1 2\n", // missing terminator
+	}
+	for i, src := range cases {
+		if _, err := ParseDIMACS(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for iter := 0; iter < 50; iter++ {
+		nVars := 3 + rng.Intn(8)
+		s1 := New()
+		for i := 0; i < nVars; i++ {
+			s1.NewVar()
+		}
+		clauses := randomClauses(rng, nVars, 2+rng.Intn(4*nVars), 3)
+		for _, c := range clauses {
+			if !s1.AddClause(c...) {
+				break
+			}
+		}
+		var sb strings.Builder
+		if err := s1.WriteDIMACS(&sb); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := ParseDIMACS(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("iter %d: %v\n%s", iter, err, sb.String())
+		}
+		r1, r2 := s1.Solve(), s2.Solve()
+		if r1 != r2 {
+			t.Fatalf("iter %d: original %v, round-trip %v\n%s", iter, r1, r2, sb.String())
+		}
+	}
+}
+
+func TestDIMACSPreservesUnits(t *testing.T) {
+	s1 := New()
+	a, b := PosLit(s1.NewVar()), PosLit(s1.NewVar())
+	s1.AddClause(a)
+	s1.AddClause(a.Not(), b)
+	s1.Solve()
+	var sb strings.Builder
+	if err := s1.WriteDIMACS(&sb); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ParseDIMACS(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Solve() != Sat {
+		t.Fatal("round trip lost satisfiability")
+	}
+	if s2.ModelValue(PosLit(0)) != LTrue || s2.ModelValue(PosLit(1)) != LTrue {
+		t.Fatal("units not preserved")
+	}
+}

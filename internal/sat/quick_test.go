@@ -1,0 +1,93 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickCoreProperty: for any random formula and assumption set,
+// an Unsat answer yields a core that (1) only contains assumptions
+// and (2) is itself Unsat.
+func TestQuickCoreProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 3 + rng.Intn(10)
+		s := New()
+		for i := 0; i < nVars; i++ {
+			s.NewVar()
+		}
+		for _, c := range randomClauses(rng, nVars, 4*nVars, 3) {
+			if !s.AddClause(c...) {
+				return true // globally UNSAT during construction: fine
+			}
+		}
+		var assumps []Lit
+		for v := 0; v < nVars; v++ {
+			if rng.Intn(2) == 0 {
+				assumps = append(assumps, MkLit(Var(v), rng.Intn(2) == 1))
+			}
+		}
+		if s.Solve(assumps...) != Unsat {
+			return true
+		}
+		core := append([]Lit(nil), s.Core()...)
+		inAssumps := func(l Lit) bool {
+			for _, a := range assumps {
+				if a == l {
+					return true
+				}
+			}
+			return false
+		}
+		for _, l := range core {
+			if !inAssumps(l) {
+				return false
+			}
+		}
+		return s.Solve(core...) == Unsat
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickModelProperty: Sat answers deliver genuine models that
+// honor the assumptions.
+func TestQuickModelProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 3 + rng.Intn(10)
+		s := New()
+		for i := 0; i < nVars; i++ {
+			s.NewVar()
+		}
+		clauses := randomClauses(rng, nVars, 3*nVars, 3)
+		for _, c := range clauses {
+			if !s.AddClause(c...) {
+				return true
+			}
+		}
+		var assumps []Lit
+		for v := 0; v < nVars; v += 2 {
+			if rng.Intn(3) == 0 {
+				assumps = append(assumps, MkLit(Var(v), rng.Intn(2) == 1))
+			}
+		}
+		if s.Solve(assumps...) != Sat {
+			return true
+		}
+		if !evalClauses(s.ModelValue, clauses) {
+			return false
+		}
+		for _, a := range assumps {
+			if s.ModelValue(a) != LTrue {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

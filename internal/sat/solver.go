@@ -1,0 +1,883 @@
+package sat
+
+// clause is a disjunction of literals. For watched clauses lits[0] and
+// lits[1] are the watched literals.
+type clause struct {
+	lits   []Lit
+	act    float32
+	id     int32 // proof id; 0 when proof logging is off
+	learnt bool
+}
+
+// watcher pairs a watched clause with a blocker literal: if the
+// blocker is already true the clause is satisfied and need not be
+// inspected.
+type watcher struct {
+	c       *clause
+	blocker Lit
+}
+
+// Stats collects solver counters, exposed for the experiment harness
+// (e.g. counting SAT calls made by minimize_assumptions).
+type Stats struct {
+	Starts       int64
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	SolveCalls   int64
+	Learnts      int64
+	Removed      int64
+}
+
+// Solver is an incremental CDCL SAT solver. The zero value is not
+// usable; create instances with New.
+type Solver struct {
+	clauses []*clause // problem clauses
+	learnts []*clause // learnt clauses
+
+	watches [][]watcher // indexed by Lit
+	assigns []LBool     // indexed by Var
+	level   []int32     // indexed by Var
+	reason  []*clause   // indexed by Var
+	seen    []byte      // scratch for analyze
+
+	trail    []Lit
+	trailLim []int32
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	order    *varHeap
+	polarity []bool // saved phases; true = last assigned false
+
+	clauseInc float64
+
+	okay bool // false once a top-level conflict proves UNSAT
+
+	model    []LBool
+	conflict []Lit // assumption core after Unsat under assumptions
+
+	// Budgets; negative means unlimited.
+	confBudget int64
+	propBudget int64
+
+	// Restart state.
+	lubyIdx int
+
+	analyzeStack []Lit
+	analyzeToClr []Lit
+	addTmp       []Lit
+
+	Stats Stats
+
+	proof    *Proof       // non-nil when proof logging is enabled
+	unitID   []int32      // proof id of the unit clause fixing a var at level 0
+	zeroNeed map[Var]bool // scratch: level-0 literals analyze dropped
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	s := &Solver{
+		varInc:     1,
+		clauseInc:  1,
+		okay:       true,
+		confBudget: -1,
+		propBudget: -1,
+	}
+	s.order = newVarHeap(&s.activity)
+	return s
+}
+
+// NumVars returns the number of variables created so far.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// NumClauses returns the number of problem clauses currently held.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// Okay reports whether the clause database is still consistent at the
+// top level (false once UNSAT has been proved without assumptions).
+func (s *Solver) Okay() bool { return s.okay }
+
+// NewVar creates a fresh variable and returns it.
+func (s *Solver) NewVar() Var {
+	v := Var(len(s.assigns))
+	s.assigns = append(s.assigns, LUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.seen = append(s.seen, 0)
+	s.activity = append(s.activity, 0)
+	s.polarity = append(s.polarity, true)
+	s.watches = append(s.watches, nil, nil)
+	s.unitID = append(s.unitID, 0)
+	s.order.insert(v)
+	return v
+}
+
+// EnsureVars creates variables until at least n exist.
+func (s *Solver) EnsureVars(n int) {
+	for len(s.assigns) < n {
+		s.NewVar()
+	}
+}
+
+// Value returns the current assignment of v (valid during search and,
+// after a Sat answer, for reading the model).
+func (s *Solver) Value(v Var) LBool { return s.assigns[v] }
+
+// LitValue returns the value of literal l under the current assignment.
+func (s *Solver) LitValue(l Lit) LBool {
+	val := s.assigns[l.Var()]
+	if val == LUndef {
+		return LUndef
+	}
+	if l.Sign() {
+		return val.Not()
+	}
+	return val
+}
+
+// ModelValue returns the value of l in the most recent model.
+// Valid only after Solve returned Sat. Variables created after that
+// Solve read as LUndef.
+func (s *Solver) ModelValue(l Lit) LBool {
+	if int(l.Var()) >= len(s.model) {
+		return LUndef
+	}
+	val := s.model[l.Var()]
+	if val == LUndef {
+		return LUndef
+	}
+	if l.Sign() {
+		return val.Not()
+	}
+	return val
+}
+
+// ModelBool returns the model value of l as a concrete bool,
+// treating an unconstrained variable as false.
+func (s *Solver) ModelBool(l Lit) bool { return s.ModelValue(l) == LTrue }
+
+// Failed reports, after Solve returned Unsat under assumptions,
+// whether assumption a participated in the final conflict
+// (MiniSat's analyze_final core membership test).
+func (s *Solver) Failed(a Lit) bool {
+	for _, l := range s.conflict {
+		if l == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Core returns the subset of assumption literals involved in the
+// final conflict of the last Unsat answer. The slice aliases internal
+// state and is valid until the next Solve call.
+func (s *Solver) Core() []Lit { return s.conflict }
+
+// SetConfBudget limits the number of conflicts in subsequent Solve
+// calls; negative means unlimited. The budget applies per call.
+func (s *Solver) SetConfBudget(n int64) { s.confBudget = n }
+
+// SetPropBudget limits the number of propagations in subsequent Solve
+// calls; negative means unlimited. The budget applies per call.
+func (s *Solver) SetPropBudget(n int64) { s.propBudget = n }
+
+func (s *Solver) decisionLevel() int32 { return int32(len(s.trailLim)) }
+
+// AddClause adds a clause over the given literals. It returns false
+// if the clause database became trivially unsatisfiable. The input
+// slice is not retained.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.okay {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		panic("sat: AddClause called during search")
+	}
+	// Sort, dedupe, detect tautologies and satisfied clauses. Literals
+	// already false at level 0 are dropped — except under proof
+	// logging, where dropping them would be an unrecorded resolution
+	// step, so they are kept and handled below.
+	s.addTmp = append(s.addTmp[:0], lits...)
+	sortLits(s.addTmp)
+	out := s.addTmp[:0]
+	var prev Lit = LitUndef
+	for _, l := range s.addTmp {
+		if int(l.Var()) >= len(s.assigns) {
+			panic("sat: literal over unknown variable")
+		}
+		switch {
+		case s.LitValue(l) == LTrue || l == prev.Not():
+			return true // satisfied or tautology
+		case l == prev:
+			continue // duplicate
+		case s.LitValue(l) == LFalse && s.proof == nil:
+			continue // falsified at level 0
+		}
+		out = append(out, l)
+		prev = l
+	}
+	if s.proof != nil {
+		s.proof.addRoot(out)
+		// Move non-false literals to the watch positions.
+		w := 0
+		for i, l := range out {
+			if s.LitValue(l) != LFalse {
+				out[i], out[w] = out[w], out[i]
+				w++
+				if w == 2 {
+					break
+				}
+			}
+		}
+		c := &clause{lits: append([]Lit(nil), out...), id: s.proof.lastID}
+		switch w {
+		case 0:
+			// All literals false at level 0: this clause refutes the
+			// formula outright.
+			s.addFinal(c)
+			s.okay = false
+			return false
+		case 1:
+			if len(out) == 1 {
+				s.unitID[out[0].Var()] = c.id
+				s.uncheckedEnqueue(out[0], nil)
+			} else {
+				s.clauses = append(s.clauses, c)
+				s.attachClause(c)
+				s.uncheckedEnqueue(out[0], c)
+			}
+			return s.propagateRoot()
+		default:
+			s.clauses = append(s.clauses, c)
+			s.attachClause(c)
+			return true
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.okay = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], nil)
+		return s.propagateRoot()
+	}
+	c := &clause{lits: append([]Lit(nil), out...)}
+	s.clauses = append(s.clauses, c)
+	s.attachClause(c)
+	return true
+}
+
+// propagateRoot runs propagation at decision level 0 and records the
+// refutation in the proof log if a conflict arises.
+func (s *Solver) propagateRoot() bool {
+	if confl := s.propagate(); confl != nil {
+		if s.proof != nil {
+			s.addFinal(confl)
+		}
+		s.okay = false
+	}
+	return s.okay
+}
+
+func sortLits(ls []Lit) {
+	// Insertion sort: clauses are short and this avoids interface
+	// overhead from sort.Slice on the hot path.
+	for i := 1; i < len(ls); i++ {
+		x := ls[i]
+		j := i - 1
+		for j >= 0 && ls[j] > x {
+			ls[j+1] = ls[j]
+			j--
+		}
+		ls[j+1] = x
+	}
+}
+
+func (s *Solver) attachClause(c *clause) {
+	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watcher{c, c.lits[1]})
+	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c, c.lits[0]})
+}
+
+func (s *Solver) detachClause(c *clause) {
+	s.removeWatch(c.lits[0].Not(), c)
+	s.removeWatch(c.lits[1].Not(), c)
+}
+
+func (s *Solver) removeWatch(l Lit, c *clause) {
+	ws := s.watches[l]
+	for i := range ws {
+		if ws[i].c == c {
+			ws[i] = ws[len(ws)-1]
+			s.watches[l] = ws[:len(ws)-1]
+			return
+		}
+	}
+}
+
+func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+	v := l.Var()
+	s.assigns[v] = liftBool(!l.Sign())
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation and returns the conflicting
+// clause, or nil if no conflict arose.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.Stats.Propagations++
+		ws := s.watches[p]
+		n := 0
+	nextWatcher:
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if s.LitValue(w.blocker) == LTrue {
+				ws[n] = w
+				n++
+				continue
+			}
+			c := w.c
+			lits := c.lits
+			// Make sure the false literal is lits[1].
+			if lits[0] == p.Not() {
+				lits[0], lits[1] = lits[1], lits[0]
+			}
+			first := lits[0]
+			if first != w.blocker && s.LitValue(first) == LTrue {
+				ws[n] = watcher{c, first}
+				n++
+				continue
+			}
+			// Look for a new literal to watch.
+			for k := 2; k < len(lits); k++ {
+				if s.LitValue(lits[k]) != LFalse {
+					lits[1], lits[k] = lits[k], lits[1]
+					s.watches[lits[1].Not()] = append(s.watches[lits[1].Not()], watcher{c, first})
+					continue nextWatcher
+				}
+			}
+			// Clause is unit or conflicting.
+			ws[n] = watcher{c, first}
+			n++
+			if s.LitValue(first) == LFalse {
+				// Conflict: copy remaining watchers back and stop.
+				for i++; i < len(ws); i++ {
+					ws[n] = ws[i]
+					n++
+				}
+				s.watches[p] = ws[:n]
+				s.qhead = len(s.trail)
+				return c
+			}
+			s.uncheckedEnqueue(first, c)
+		}
+		s.watches[p] = ws[:n]
+	}
+	return nil
+}
+
+func (s *Solver) newDecisionLevel() {
+	s.trailLim = append(s.trailLim, int32(len(s.trail)))
+}
+
+// cancelUntil backtracks to the given decision level.
+func (s *Solver) cancelUntil(lvl int32) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	bound := s.trailLim[lvl]
+	for i := len(s.trail) - 1; i >= int(bound); i-- {
+		v := s.trail[i].Var()
+		s.assigns[v] = LUndef
+		s.reason[v] = nil
+		s.polarity[v] = s.trail[i].Sign()
+		s.order.insert(v)
+	}
+	s.trail = s.trail[:bound]
+	s.qhead = len(s.trail)
+	s.trailLim = s.trailLim[:lvl]
+}
+
+func (s *Solver) varBumpActivity(v Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+		s.order.rebuild()
+	}
+	s.order.decrease(v)
+}
+
+func (s *Solver) varDecayActivity() { s.varInc /= 0.95 }
+
+func (s *Solver) claBumpActivity(c *clause) {
+	c.act += float32(s.clauseInc)
+	if c.act > 1e20 {
+		for _, lc := range s.learnts {
+			lc.act *= 1e-20
+		}
+		s.clauseInc *= 1e-20
+	}
+}
+
+func (s *Solver) claDecayActivity() { s.clauseInc /= 0.999 }
+
+// analyze derives a first-UIP learnt clause from the conflict and the
+// backtrack level. The returned slice is owned by the caller.
+func (s *Solver) analyze(confl *clause) (learnt []Lit, btLevel int32) {
+	learnt = append(learnt, LitUndef) // placeholder for the asserting literal
+	var p Lit = LitUndef
+	idx := len(s.trail) - 1
+	pathC := 0
+	var chain []int32
+	var pivots []Var
+	if s.proof != nil {
+		chain = append(chain, confl.id)
+	}
+	for {
+		if confl.learnt {
+			s.claBumpActivity(confl)
+		}
+		start := 0
+		if p != LitUndef {
+			start = 1
+		}
+		for _, q := range confl.lits[start:] {
+			v := q.Var()
+			if s.seen[v] == 0 && s.level[v] > 0 {
+				s.varBumpActivity(v)
+				s.seen[v] = 1
+				if s.level[v] >= s.decisionLevel() {
+					pathC++
+				} else {
+					learnt = append(learnt, q)
+				}
+			} else if s.level[v] == 0 && s.proof != nil {
+				// Dropping a level-0 literal is a resolution with the
+				// unit cone; remember to record it.
+				s.zeroNeed[v] = true
+			}
+		}
+		// Select next literal to look at.
+		for s.seen[s.trail[idx].Var()] == 0 {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		confl = s.reason[p.Var()]
+		s.seen[p.Var()] = 0
+		pathC--
+		if pathC == 0 {
+			break
+		}
+		if s.proof != nil && confl != nil {
+			chain = append(chain, confl.id)
+			pivots = append(pivots, p.Var())
+		}
+	}
+	learnt[0] = p.Not()
+
+	// Clause minimization: remove literals implied by the rest.
+	s.analyzeToClr = append(s.analyzeToClr[:0], learnt...)
+	for _, l := range learnt {
+		s.seen[l.Var()] = 1
+	}
+	if s.proof == nil {
+		// Minimization changes the resolution chain in ways the simple
+		// chain logger does not track, so skip it under proof logging.
+		j := 1
+		for i := 1; i < len(learnt); i++ {
+			l := learnt[i]
+			if s.reason[l.Var()] == nil || !s.litRedundant(l) {
+				learnt[j] = l
+				j++
+			}
+		}
+		learnt = learnt[:j]
+	}
+	for _, l := range s.analyzeToClr {
+		s.seen[l.Var()] = 0
+	}
+
+	// Compute backtrack level: second-highest level in the clause.
+	if len(learnt) == 1 {
+		btLevel = 0
+	} else {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = s.level[learnt[1].Var()]
+	}
+	if s.proof != nil {
+		chain, pivots = s.resolveZeroCone(chain, pivots)
+		s.proof.addLearnt(learnt, chain, pivots)
+	}
+	return learnt, btLevel
+}
+
+// litRedundant checks whether l is implied by the other literals of
+// the learnt clause (marked in seen), walking reasons recursively.
+func (s *Solver) litRedundant(l Lit) bool {
+	s.analyzeStack = append(s.analyzeStack[:0], l)
+	top := len(s.analyzeToClr)
+	for len(s.analyzeStack) > 0 {
+		v := s.analyzeStack[len(s.analyzeStack)-1].Var()
+		s.analyzeStack = s.analyzeStack[:len(s.analyzeStack)-1]
+		c := s.reason[v]
+		for _, q := range c.lits[1:] {
+			qv := q.Var()
+			if s.seen[qv] == 0 && s.level[qv] > 0 {
+				if s.reason[qv] != nil {
+					s.seen[qv] = 1
+					s.analyzeStack = append(s.analyzeStack, q)
+					s.analyzeToClr = append(s.analyzeToClr, q)
+				} else {
+					// Hit a decision: l is not redundant; undo marks.
+					for _, u := range s.analyzeToClr[top:] {
+						s.seen[u.Var()] = 0
+					}
+					s.analyzeToClr = s.analyzeToClr[:top]
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// analyzeFinal computes the assumption core given a failed assumption
+// literal p (whose complement was implied by earlier assumptions).
+// The core is expressed as the subset of assumption literals, as the
+// caller passed them, including p itself.
+func (s *Solver) analyzeFinal(p Lit) {
+	s.conflict = s.conflict[:0]
+	s.conflict = append(s.conflict, p)
+	if s.decisionLevel() == 0 {
+		return
+	}
+	s.seen[p.Var()] = 1
+	for i := len(s.trail) - 1; i >= int(s.trailLim[0]); i-- {
+		v := s.trail[i].Var()
+		if s.seen[v] == 0 {
+			continue
+		}
+		if s.reason[v] == nil {
+			if s.level[v] > 0 {
+				// A decision within the assumption levels is an
+				// assumption literal; report it as given. (If both a
+				// and ¬a were assumed, ¬p appears here and the core
+				// is {p, ¬p}, which is correct.)
+				s.conflict = append(s.conflict, s.trail[i])
+			}
+		} else {
+			for _, q := range s.reason[v].lits[1:] {
+				if s.level[q.Var()] > 0 {
+					s.seen[q.Var()] = 1
+				}
+			}
+		}
+		s.seen[v] = 0
+	}
+	s.seen[p.Var()] = 0
+}
+
+// analyzeFinalConflict computes the assumption core from a conflicting
+// clause found while propagating assumption-level decisions.
+func (s *Solver) analyzeFinalConflict(confl *clause) {
+	s.conflict = s.conflict[:0]
+	if s.decisionLevel() == 0 {
+		return
+	}
+	for _, q := range confl.lits {
+		if s.level[q.Var()] > 0 {
+			s.seen[q.Var()] = 1
+		}
+	}
+	for i := len(s.trail) - 1; i >= int(s.trailLim[0]); i-- {
+		v := s.trail[i].Var()
+		if s.seen[v] == 0 {
+			continue
+		}
+		if s.reason[v] == nil {
+			// Decisions below the conflict are assumption literals.
+			s.conflict = append(s.conflict, s.trail[i])
+		} else {
+			for _, q := range s.reason[v].lits[1:] {
+				if s.level[q.Var()] > 0 {
+					s.seen[q.Var()] = 1
+				}
+			}
+		}
+		s.seen[v] = 0
+	}
+}
+
+func (s *Solver) reduceDB() {
+	// Sort learnts by activity ascending (simple insertion-free
+	// approach: partial selection via two buckets around the median
+	// would do, but a full sort keeps behavior predictable).
+	ls := s.learnts
+	sortClausesByAct(ls)
+	extraLim := s.clauseInc / float64(len(ls)+1)
+	j := 0
+	for i, c := range ls {
+		locked := s.reason[c.lits[0].Var()] == c && s.LitValue(c.lits[0]) == LTrue
+		if len(c.lits) > 2 && !locked && (i < len(ls)/2 || float64(c.act) < extraLim) {
+			s.detachClause(c)
+			s.Stats.Removed++
+			continue
+		}
+		ls[j] = c
+		j++
+	}
+	s.learnts = ls[:j]
+}
+
+func sortClausesByAct(cs []*clause) {
+	// Shell sort: no allocations, adequate for periodic reduction.
+	for gap := len(cs) / 2; gap > 0; gap /= 2 {
+		for i := gap; i < len(cs); i++ {
+			c := cs[i]
+			j := i
+			for ; j >= gap && cs[j-gap].act > c.act; j -= gap {
+				cs[j] = cs[j-gap]
+			}
+			cs[j] = c
+		}
+	}
+}
+
+// luby computes the Luby restart sequence value for index i (1-based),
+// scaled by base.
+func luby(base float64, i int) float64 {
+	// Find the finite subsequence containing i and its position.
+	size, seq := 1, 0
+	for size < i+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != i {
+		size = (size - 1) / 2
+		seq--
+		i = i % size
+	}
+	p := 1.0
+	for k := 0; k < seq; k++ {
+		p *= 2
+	}
+	return base * p
+}
+
+// search runs CDCL until a model is found, the formula is refuted,
+// the per-restart conflict cap is hit, or the budget is exhausted.
+func (s *Solver) search(nofConflicts int64, assumptions []Lit) Status {
+	conflicts := int64(0)
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.Stats.Conflicts++
+			conflicts++
+			if s.decisionLevel() == 0 {
+				if s.proof != nil {
+					s.addFinal(confl)
+				}
+				s.okay = false
+				return Unsat
+			}
+			if s.decisionLevel() <= int32(len(assumptions)) {
+				// Conflict entirely above assumption decisions:
+				// derive the assumption core.
+				s.analyzeFinalConflict(confl)
+				// Also learn the clause so future calls benefit.
+				learnt, btLevel := s.analyze(confl)
+				s.cancelUntil(btLevel)
+				s.recordLearnt(learnt)
+				if len(s.conflict) == 0 {
+					s.okay = false
+				}
+				return Unsat
+			}
+			learnt, btLevel := s.analyze(confl)
+			s.cancelUntil(btLevel)
+			s.recordLearnt(learnt)
+			s.varDecayActivity()
+			s.claDecayActivity()
+			continue
+		}
+		// No conflict.
+		if nofConflicts >= 0 && conflicts >= nofConflicts {
+			s.cancelUntil(int32(len(assumptions)))
+			if s.decisionLevel() > 0 {
+				s.cancelUntil(0)
+			}
+			return Unknown
+		}
+		if s.budgetExhausted() {
+			s.cancelUntil(0)
+			return Unknown
+		}
+		if len(s.learnts) >= len(s.clauses)/2+10000 {
+			s.reduceDB()
+		}
+		// Assumptions act as forced decisions at the lowest levels.
+		var next Lit = LitUndef
+		for int(s.decisionLevel()) < len(assumptions) {
+			p := assumptions[s.decisionLevel()]
+			switch s.LitValue(p) {
+			case LTrue:
+				s.newDecisionLevel() // dummy level keeps indices aligned
+			case LFalse:
+				s.analyzeFinal(p)
+				return Unsat
+			default:
+				next = p
+			}
+			if next != LitUndef {
+				break
+			}
+		}
+		if next == LitUndef {
+			s.Stats.Decisions++
+			if s.order.empty() {
+				next = LitUndef
+			} else {
+				for !s.order.empty() {
+					v := s.order.removeMin()
+					if s.assigns[v] == LUndef {
+						next = MkLit(v, s.polarity[v])
+						break
+					}
+				}
+			}
+			if next == LitUndef {
+				// All variables assigned: model found.
+				s.model = append(s.model[:0], s.assigns...)
+				return Sat
+			}
+		}
+		s.newDecisionLevel()
+		s.uncheckedEnqueue(next, nil)
+	}
+}
+
+func (s *Solver) recordLearnt(learnt []Lit) {
+	s.Stats.Learnts++
+	if len(learnt) == 1 {
+		if s.proof != nil {
+			s.unitID[learnt[0].Var()] = s.proof.lastID
+		}
+		s.uncheckedEnqueue(learnt[0], nil)
+		return
+	}
+	c := &clause{lits: append([]Lit(nil), learnt...), learnt: true}
+	if s.proof != nil {
+		c.id = s.proof.lastID
+	}
+	s.learnts = append(s.learnts, c)
+	s.attachClause(c)
+	s.claBumpActivity(c)
+	s.uncheckedEnqueue(learnt[0], c)
+}
+
+func (s *Solver) budgetExhausted() bool {
+	return (s.confBudget >= 0 && s.Stats.Conflicts >= s.confBudget) ||
+		(s.propBudget >= 0 && s.Stats.Propagations >= s.propBudget)
+}
+
+// Solve decides satisfiability under the given assumptions.
+// After Unsat, Core/Failed expose the assumption core; after Sat,
+// ModelValue reads the model.
+func (s *Solver) Solve(assumptions ...Lit) Status {
+	s.Stats.SolveCalls++
+	s.conflict = s.conflict[:0]
+	if !s.okay {
+		return Unsat
+	}
+	// Reset per-call budgets relative to current counters.
+	confLimit := int64(-1)
+	if s.confBudget >= 0 {
+		confLimit = s.Stats.Conflicts + s.confBudget
+	}
+	propLimit := int64(-1)
+	if s.propBudget >= 0 {
+		propLimit = s.Stats.Propagations + s.propBudget
+	}
+	savedConf, savedProp := s.confBudget, s.propBudget
+	s.confBudget, s.propBudget = confLimit, propLimit
+	defer func() {
+		s.confBudget, s.propBudget = savedConf, savedProp
+		s.cancelUntil(0)
+	}()
+
+	status := Unknown
+	s.lubyIdx = 0
+	for status == Unknown {
+		restartLen := int64(luby(100, s.lubyIdx))
+		s.lubyIdx++
+		s.Stats.Starts++
+		status = s.searchGuarded(restartLen, assumptions)
+		if s.budgetExhaustedAbs() && status == Unknown {
+			break
+		}
+	}
+	return status
+}
+
+func (s *Solver) searchGuarded(nofConflicts int64, assumptions []Lit) Status {
+	st := s.search(nofConflicts, assumptions)
+	if st == Unknown {
+		// Restart: drop decisions but keep learnt clauses.
+		s.cancelUntil(0)
+	}
+	return st
+}
+
+func (s *Solver) budgetExhaustedAbs() bool {
+	return (s.confBudget >= 0 && s.Stats.Conflicts >= s.confBudget) ||
+		(s.propBudget >= 0 && s.Stats.Propagations >= s.propBudget)
+}
+
+// Simplify removes clauses satisfied at the top level. It may only be
+// called at decision level 0.
+func (s *Solver) Simplify() bool {
+	if !s.okay {
+		return false
+	}
+	if s.propagate() != nil {
+		s.okay = false
+		return false
+	}
+	s.clauses = s.simplifyList(s.clauses)
+	s.learnts = s.simplifyList(s.learnts)
+	return true
+}
+
+func (s *Solver) simplifyList(cs []*clause) []*clause {
+	j := 0
+	for _, c := range cs {
+		satisfied := false
+		for _, l := range c.lits {
+			if s.LitValue(l) == LTrue {
+				satisfied = true
+				break
+			}
+		}
+		if satisfied && s.reason[c.lits[0].Var()] != c {
+			s.detachClause(c)
+			continue
+		}
+		cs[j] = c
+		j++
+	}
+	return cs[:j]
+}

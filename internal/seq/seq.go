@@ -1,0 +1,328 @@
+// Package seq extends the combinational ECO engine to sequential
+// netlists (circuits with dff gates) — the direction the paper points
+// to via its reference [10] ("the proposed combinational ECO solution
+// can be extended to be sequential").
+//
+// Two constructions are provided:
+//
+//   - ToCombinational applies the classical state-blind reduction:
+//     every latch output becomes a pseudo primary input and every
+//     latch input a pseudo primary output, turning the sequential ECO
+//     into a combinational one over the transition relation. This is
+//     sound (a patch valid for every state is valid for every
+//     reachable state) but may be pessimistic when the fix is only
+//     needed on reachable states.
+//
+//   - Unroll expands the circuit over k time frames (initial state
+//     zero), which supports bounded sequential equivalence checking
+//     of the patched design.
+package seq
+
+import (
+	"fmt"
+
+	"ecopatch/internal/aig"
+	"ecopatch/internal/cec"
+	"ecopatch/internal/eco"
+	"ecopatch/internal/netlist"
+)
+
+// Latches returns the dff gates of a netlist in declaration order.
+func Latches(n *netlist.Netlist) []netlist.Gate {
+	var out []netlist.Gate
+	for _, g := range n.Gates {
+		if g.Kind == netlist.GateDff {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// IsSequential reports whether the netlist contains latches.
+func IsSequential(n *netlist.Netlist) bool { return len(Latches(n)) > 0 }
+
+// ToCombinational rewrites a sequential netlist into its transition
+// netlist: each dff (q, d) is removed; q joins the inputs and a fresh
+// output q$next buffers d. Combinational logic is untouched, so ECO
+// target points survive the rewrite.
+func ToCombinational(n *netlist.Netlist) (*netlist.Netlist, error) {
+	out := &netlist.Netlist{
+		Name:    n.Name + "_comb",
+		Inputs:  append([]string(nil), n.Inputs...),
+		Outputs: append([]string(nil), n.Outputs...),
+		Wires:   append([]string(nil), n.Wires...),
+	}
+	for _, g := range n.Gates {
+		if g.Kind != netlist.GateDff {
+			out.Gates = append(out.Gates, g)
+			continue
+		}
+		q, d := g.Out, g.Ins[0]
+		out.Inputs = append(out.Inputs, q)
+		next := q + "$next"
+		out.Outputs = append(out.Outputs, next)
+		out.Gates = append(out.Gates, netlist.Gate{
+			Kind: netlist.GateBuf, Out: next, Ins: []string{d},
+		})
+	}
+	// q was declared as a wire; it is an input now.
+	latchQ := make(map[string]bool)
+	for _, g := range Latches(n) {
+		latchQ[g.Out] = true
+	}
+	wires := out.Wires[:0]
+	for _, w := range out.Wires {
+		if !latchQ[w] {
+			wires = append(wires, w)
+		}
+	}
+	out.Wires = wires
+	return out, out.Validate()
+}
+
+// Unroll builds the k-frame combinational expansion of a sequential
+// netlist as an AIG: frame-f inputs are fresh PIs named
+// "<in>@<f>", frame-f outputs become POs "<out>@<f>", and latches are
+// initialized to zero in frame 0. Target points (t_* wires) become
+// per-frame PIs "<t>@<f>".
+func Unroll(n *netlist.Netlist, frames int) (*aig.AIG, error) {
+	if frames < 1 {
+		return nil, fmt.Errorf("seq: frames must be >= 1")
+	}
+	comb, err := ToCombinational(n)
+	if err != nil {
+		return nil, err
+	}
+	res, err := netlist.ToAIG(comb)
+	if err != nil {
+		return nil, err
+	}
+	latches := Latches(n)
+	poIndex := make(map[string]int, res.G.NumPOs())
+	for i := 0; i < res.G.NumPOs(); i++ {
+		poIndex[res.G.POName(i)] = i
+	}
+
+	u := aig.New()
+	// State edges carried between frames; zero-initialized.
+	state := make([]aig.Lit, len(latches))
+	for i := range state {
+		state[i] = aig.ConstFalse
+	}
+	for f := 0; f < frames; f++ {
+		piMap := make([]aig.Lit, res.G.NumPIs())
+		for i := 0; i < res.G.NumPIs(); i++ {
+			name := res.G.PIName(i)
+			if li := latchIndex(latches, name); li >= 0 {
+				piMap[i] = state[li]
+			} else {
+				piMap[i] = u.AddPI(fmt.Sprintf("%s@%d", name, f))
+			}
+		}
+		roots := make([]aig.Lit, res.G.NumPOs())
+		for i := range roots {
+			roots[i] = res.G.PO(i)
+		}
+		moved := aig.Transfer(u, res.G, piMap, roots)
+		for li, g := range latches {
+			state[li] = moved[poIndex[g.Out+"$next"]]
+		}
+		for _, o := range n.Outputs {
+			u.AddPO(fmt.Sprintf("%s@%d", o, f), moved[poIndex[o]])
+		}
+	}
+	return u, nil
+}
+
+func latchIndex(latches []netlist.Gate, q string) int {
+	for i, g := range latches {
+		if g.Out == q {
+			return i
+		}
+	}
+	return -1
+}
+
+// BoundedCEC checks sequential equivalence of two latch-compatible
+// netlists over k frames from the all-zero initial state.
+func BoundedCEC(a, b *netlist.Netlist, frames int) (cec.Result, error) {
+	ua, err := Unroll(a, frames)
+	if err != nil {
+		return cec.Result{}, err
+	}
+	ub, err := Unroll(b, frames)
+	if err != nil {
+		return cec.Result{}, err
+	}
+	return cec.CheckAIGs(ua, ub)
+}
+
+// Solve runs the sequential ECO flow: both netlists are reduced to
+// their transition netlists (state-blind), the combinational engine
+// computes the patches, and the patched sequential design is
+// re-checked by bounded equivalence over verifyFrames frames.
+//
+// The implementation and specification must have the same latch set
+// (matching q names); the patch may use latch outputs as support
+// signals — they are ordinary, weighted divisors of the transition
+// netlist.
+func Solve(inst *eco.Instance, opt eco.Options, verifyFrames int) (*eco.Result, error) {
+	if err := checkLatchCompatible(inst.Impl, inst.Spec); err != nil {
+		return nil, err
+	}
+	combImpl, err := ToCombinational(inst.Impl)
+	if err != nil {
+		return nil, err
+	}
+	combSpec, err := ToCombinational(inst.Spec)
+	if err != nil {
+		return nil, err
+	}
+	// The q$next pseudo-outputs are buffers of the latch-input
+	// signals; give them the same cost so support selection prefers
+	// the real signal name, and map any residual uses back afterwards.
+	weights := netlist.NewWeights()
+	for k, v := range inst.Weights.Costs {
+		weights.Set(k, v)
+	}
+	weights.Default = inst.Weights.Default
+	nextToD := make(map[string]string)
+	for _, g := range Latches(inst.Impl) {
+		if netlist.IsConstToken(g.Ins[0]) {
+			continue
+		}
+		nextToD[g.Out+"$next"] = g.Ins[0]
+		weights.Set(g.Out+"$next", inst.Weights.Cost(g.Ins[0]))
+	}
+	combInst := &eco.Instance{
+		Name:    inst.Name + "_seq",
+		Impl:    combImpl,
+		Spec:    combSpec,
+		Weights: weights,
+	}
+	res, err := eco.Solve(combInst, opt)
+	if err != nil {
+		return nil, err
+	}
+	if res.Patch != nil {
+		res.Patch = renameInputs(res.Patch, nextToD)
+		for i := range res.Patches {
+			for j, s := range res.Patches[i].Support {
+				if d, ok := nextToD[s]; ok {
+					res.Patches[i].Support[j] = d
+				}
+			}
+		}
+	}
+	if !res.Feasible || !res.Verified || verifyFrames < 1 {
+		return res, nil
+	}
+	// Splice the patch into the sequential implementation and check
+	// bounded equivalence as an independent end-to-end validation.
+	patched, err := splicePatch(inst.Impl, res.Patch)
+	if err != nil {
+		return nil, err
+	}
+	bc, err := BoundedCEC(patched, inst.Spec, verifyFrames)
+	if err != nil {
+		return nil, err
+	}
+	if !bc.Equivalent {
+		return nil, fmt.Errorf("seq: patched design differs within %d frames (transition-level verification passed; this indicates an engine bug)", verifyFrames)
+	}
+	return res, nil
+}
+
+func checkLatchCompatible(a, b *netlist.Netlist) error {
+	la, lb := Latches(a), Latches(b)
+	if len(la) != len(lb) {
+		return fmt.Errorf("seq: latch count mismatch: %d vs %d", len(la), len(lb))
+	}
+	seen := make(map[string]bool, len(la))
+	for _, g := range la {
+		seen[g.Out] = true
+	}
+	for _, g := range lb {
+		if !seen[g.Out] {
+			return fmt.Errorf("seq: spec latch %q missing in implementation", g.Out)
+		}
+	}
+	return nil
+}
+
+// splicePatch inlines a patch module (inputs = impl signals, outputs
+// = t_* targets) into the sequential implementation netlist.
+func splicePatch(impl *netlist.Netlist, patch *netlist.Netlist) (*netlist.Netlist, error) {
+	out := &netlist.Netlist{
+		Name:    impl.Name + "_patched",
+		Inputs:  append([]string(nil), impl.Inputs...),
+		Outputs: append([]string(nil), impl.Outputs...),
+		Wires:   append([]string(nil), impl.Wires...),
+		Gates:   append([]netlist.Gate(nil), impl.Gates...),
+	}
+	// Patch-internal wires are prefixed to avoid collisions; patch
+	// inputs refer to impl signals directly; patch outputs drive the
+	// formerly undriven t_* wires.
+	isInput := make(map[string]bool, len(patch.Inputs))
+	for _, in := range patch.Inputs {
+		isInput[in] = true
+	}
+	rename := func(s string) string {
+		if netlist.IsConstToken(s) || isInput[s] {
+			return s
+		}
+		for _, o := range patch.Outputs {
+			if s == o {
+				return s // targets keep their names
+			}
+		}
+		return "eco_patch$" + s
+	}
+	for _, w := range patch.Wires {
+		out.Wires = append(out.Wires, rename(w))
+	}
+	for _, g := range patch.Gates {
+		ng := netlist.Gate{Kind: g.Kind, Name: g.Name, Out: rename(g.Out)}
+		for _, in := range g.Ins {
+			ng.Ins = append(ng.Ins, rename(in))
+		}
+		out.Gates = append(out.Gates, ng)
+	}
+	return out, out.Validate()
+}
+
+// renameInputs rewrites patch-module input names through the mapping,
+// merging duplicates that arise when both an alias and its source were
+// inputs.
+func renameInputs(patch *netlist.Netlist, mapping map[string]string) *netlist.Netlist {
+	if len(mapping) == 0 {
+		return patch
+	}
+	rn := func(s string) string {
+		if d, ok := mapping[s]; ok {
+			return d
+		}
+		return s
+	}
+	out := &netlist.Netlist{
+		Name:    patch.Name,
+		Outputs: append([]string(nil), patch.Outputs...),
+		Wires:   append([]string(nil), patch.Wires...),
+	}
+	seen := make(map[string]bool)
+	for _, in := range patch.Inputs {
+		nm := rn(in)
+		if !seen[nm] {
+			seen[nm] = true
+			out.Inputs = append(out.Inputs, nm)
+		}
+	}
+	for _, g := range patch.Gates {
+		ng := netlist.Gate{Kind: g.Kind, Name: g.Name, Out: g.Out}
+		for _, in := range g.Ins {
+			ng.Ins = append(ng.Ins, rn(in))
+		}
+		out.Gates = append(out.Gates, ng)
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+package seq
+
+import (
+	"testing"
+
+	"ecopatch/internal/eco"
+	"ecopatch/internal/netlist"
+)
+
+// counterSrc is a 2-bit counter with enable: q1q0 increments when en.
+const counterSrc = `
+module ctr (en, q0o, q1o);
+input en;
+output q0o, q1o;
+wire q0, q1, d0, d1, tgl1;
+dff (q0, d0);
+dff (q1, d1);
+xor (d0, q0, en);
+and (tgl1, q0, en);
+xor (d1, q1, tgl1);
+buf (q0o, q0);
+buf (q1o, q1);
+endmodule`
+
+func parse(t *testing.T, src string) *netlist.Netlist {
+	t.Helper()
+	n, err := netlist.ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestLatchesAndIsSequential(t *testing.T) {
+	n := parse(t, counterSrc)
+	ls := Latches(n)
+	if len(ls) != 2 || !IsSequential(n) {
+		t.Fatalf("latches = %d", len(ls))
+	}
+	comb := parse(t, `
+module m (a, f);
+input a;
+output f;
+not (f, a);
+endmodule`)
+	if IsSequential(comb) {
+		t.Fatal("combinational circuit reported sequential")
+	}
+}
+
+func TestToCombinationalShape(t *testing.T) {
+	n := parse(t, counterSrc)
+	c, err := ToCombinational(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Inputs) != 1+2 {
+		t.Fatalf("inputs = %v", c.Inputs)
+	}
+	if len(c.Outputs) != 2+2 {
+		t.Fatalf("outputs = %v", c.Outputs)
+	}
+	res, err := netlist.ToAIG(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transition semantics: next q0 = q0^en; next q1 = q1^(q0&en).
+	for m := 0; m < 8; m++ {
+		en := m&1 == 1
+		q0 := m&2 == 2
+		q1 := m&4 == 4
+		out := res.G.Eval([]bool{en, q0, q1})
+		// Outputs order: q0o, q1o, q0$next, q1$next.
+		if out[0] != q0 || out[1] != q1 {
+			t.Fatalf("visible outputs wrong at %d", m)
+		}
+		if out[2] != (q0 != en) {
+			t.Fatalf("q0$next wrong at %d", m)
+		}
+		if out[3] != (q1 != (q0 && en)) {
+			t.Fatalf("q1$next wrong at %d", m)
+		}
+	}
+}
+
+// simulateCounter computes the expected counter outputs per frame.
+func simulateCounter(enables []bool) [][2]bool {
+	q0, q1 := false, false
+	out := make([][2]bool, len(enables))
+	for f, en := range enables {
+		out[f] = [2]bool{q0, q1} // outputs observe the current state
+		nq0 := q0 != en
+		nq1 := q1 != (q0 && en)
+		q0, q1 = nq0, nq1
+	}
+	return out
+}
+
+func TestUnrollMatchesSimulation(t *testing.T) {
+	n := parse(t, counterSrc)
+	const frames = 5
+	u, err := Unroll(n, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.NumPIs() != frames || u.NumPOs() != 2*frames {
+		t.Fatalf("unroll shape: %d PIs, %d POs", u.NumPIs(), u.NumPOs())
+	}
+	for pattern := 0; pattern < 1<<frames; pattern++ {
+		in := make([]bool, frames)
+		for f := range in {
+			in[f] = pattern>>uint(f)&1 == 1
+		}
+		want := simulateCounter(in)
+		out := u.Eval(in)
+		for f := 0; f < frames; f++ {
+			if out[2*f] != want[f][0] || out[2*f+1] != want[f][1] {
+				t.Fatalf("pattern %05b frame %d: got (%v,%v) want %v",
+					pattern, f, out[2*f], out[2*f+1], want[f])
+			}
+		}
+	}
+}
+
+func TestBoundedCEC(t *testing.T) {
+	a := parse(t, counterSrc)
+	b := parse(t, counterSrc)
+	res, err := BoundedCEC(a, b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent {
+		t.Fatal("identical counters not equivalent")
+	}
+	// A counter whose second bit toggles unconditionally differs.
+	c := parse(t, `
+module ctr (en, q0o, q1o);
+input en;
+output q0o, q1o;
+wire q0, q1, d0, d1;
+dff (q0, d0);
+dff (q1, d1);
+xor (d0, q0, en);
+not (d1, q1);
+buf (q0o, q0);
+buf (q1o, q1);
+endmodule`)
+	res, err = BoundedCEC(a, c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Equivalent {
+		t.Fatal("different counters reported equivalent")
+	}
+}
+
+func TestSequentialECO(t *testing.T) {
+	// Implementation: the toggle condition of q1 was cut out (t_0).
+	impl := parse(t, `
+module ctr (en, q0o, q1o);
+input en;
+output q0o, q1o;
+wire q0, q1, d0, d1;
+dff (q0, d0);
+dff (q1, d1);
+xor (d0, q0, en);
+xor (d1, q1, t_0);
+buf (q0o, q0);
+buf (q1o, q1);
+endmodule`)
+	spec := parse(t, counterSrc)
+	w := netlist.NewWeights()
+	for _, s := range []string{"en", "q0", "q1", "d0", "d1"} {
+		w.Set(s, 5)
+	}
+	// The output buffers alias the state bits; price them up so the
+	// canonical names win dedup.
+	w.Set("q0o", 6)
+	w.Set("q1o", 6)
+	inst := &eco.Instance{Name: "seqctr", Impl: impl, Spec: spec, Weights: w}
+	res, err := Solve(inst, eco.DefaultOptions(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || !res.Verified {
+		t.Fatalf("feasible=%v verified=%v", res.Feasible, res.Verified)
+	}
+	// The patch computes q0&en; valid supports draw from the
+	// transition-netlist signals {q0, en, d0} (d0 = q0^en combines
+	// with either input).
+	if len(res.Patches) != 1 {
+		t.Fatalf("patches = %d", len(res.Patches))
+	}
+	for _, s := range res.Patches[0].Support {
+		if s != "q0" && s != "en" && s != "d0" {
+			t.Fatalf("unexpected support signal %q", s)
+		}
+	}
+}
+
+func TestSequentialECOInfeasible(t *testing.T) {
+	// The target cannot influence q0o at all, but q0's next-state
+	// function differs: infeasible.
+	impl := parse(t, `
+module m (en, q0o);
+input en;
+output q0o;
+wire q0, d0, dead;
+dff (q0, d0);
+buf (d0, en);
+and (dead, t_0, en);
+buf (q0o, q0);
+endmodule`)
+	spec := parse(t, `
+module m (en, q0o);
+input en;
+output q0o;
+wire q0, d0;
+dff (q0, d0);
+not (d0, en);
+buf (q0o, q0);
+endmodule`)
+	inst := &eco.Instance{
+		Name: "inf", Impl: impl, Spec: spec, Weights: netlist.NewWeights(),
+	}
+	res, err := Solve(inst, eco.DefaultOptions(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Fatal("unfixable sequential change reported feasible")
+	}
+}
+
+func TestLatchMismatchRejected(t *testing.T) {
+	impl := parse(t, counterSrc)
+	spec := parse(t, `
+module ctr (en, q0o, q1o);
+input en;
+output q0o, q1o;
+wire q0, d0;
+dff (q0, d0);
+xor (d0, q0, en);
+buf (q0o, q0);
+buf (q1o, q0);
+endmodule`)
+	inst := &eco.Instance{
+		Name: "mismatch", Impl: impl, Spec: spec, Weights: netlist.NewWeights(),
+	}
+	if _, err := Solve(inst, eco.DefaultOptions(), 2); err == nil {
+		t.Fatal("latch mismatch not rejected")
+	}
+}

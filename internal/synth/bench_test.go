@@ -1,0 +1,69 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"ecopatch/internal/aig"
+)
+
+// BenchmarkIsopTT measures truth-table ISOP over 6 variables.
+func BenchmarkIsopTT(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	fs := make([]TT, 256)
+	for i := range fs {
+		fs[i] = TT(rng.Uint64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := fs[i%len(fs)]
+		IsopTT(f, f, 6)
+	}
+}
+
+// BenchmarkFactor measures quick-factor synthesis of random covers.
+func BenchmarkFactor(b *testing.B) {
+	rng := rand.New(rand.NewSource(19))
+	sops := make([]*SOP, 64)
+	for i := range sops {
+		s := NewSOP(12)
+		for c := 0; c < 24; c++ {
+			cb := NewCube(12)
+			for v := 0; v < 12; v++ {
+				cb[v] = CubeLit(rng.Intn(3))
+			}
+			s.AddCube(cb)
+		}
+		sops[i] = s
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := sops[i%len(sops)]
+		g := aig.New()
+		ins := make([]aig.Lit, s.NVars)
+		for j := range ins {
+			ins[j] = g.AddPI("x")
+		}
+		BuildAIG(g, ins, s)
+	}
+}
+
+// BenchmarkRefactor measures the cone-resynthesis pass.
+func BenchmarkRefactor(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	g := aig.New()
+	pool := make([]aig.Lit, 0, 5016)
+	for i := 0; i < 16; i++ {
+		pool = append(pool, g.AddPI("x"))
+	}
+	for i := 0; i < 5000; i++ {
+		x := pool[rng.Intn(len(pool))].XorCompl(rng.Intn(2) == 1)
+		y := pool[rng.Intn(len(pool))].XorCompl(rng.Intn(2) == 1)
+		pool = append(pool, g.And(x, y))
+	}
+	g.AddPO("f", pool[len(pool)-1])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Refactor(g)
+	}
+}

@@ -1,0 +1,130 @@
+package synth
+
+import "ecopatch/internal/aig"
+
+// BuildAIG synthesizes the SOP into dst as a factored multi-level
+// circuit and returns the root edge. inputs[i] is the dst edge used
+// for SOP variable i. The factoring is the classic "quick factor"
+// algebraic division: extract the common cube, then divide by the
+// most frequent literal recursively. Structural hashing in dst
+// provides additional sharing.
+func BuildAIG(dst *aig.AIG, inputs []aig.Lit, s *SOP) aig.Lit {
+	if len(inputs) != s.NVars {
+		panic("synth: BuildAIG input count mismatch")
+	}
+	if s.IsConstTrue() {
+		return aig.ConstTrue
+	}
+	return factor(dst, inputs, s.Cubes)
+}
+
+// litEdge maps a (variable, polarity) pair to a dst edge.
+func litEdge(inputs []aig.Lit, v int, pol CubeLit) aig.Lit {
+	if pol == Neg {
+		return inputs[v].Not()
+	}
+	return inputs[v]
+}
+
+func factor(dst *aig.AIG, inputs []aig.Lit, cubes []Cube) aig.Lit {
+	switch len(cubes) {
+	case 0:
+		return aig.ConstFalse
+	case 1:
+		acc := aig.ConstTrue
+		for v, pol := range cubes[0] {
+			if pol != Dash {
+				acc = dst.And(acc, litEdge(inputs, v, pol))
+			}
+		}
+		return acc
+	}
+	// Common-cube extraction.
+	common := cubes[0].Clone()
+	for _, c := range cubes[1:] {
+		for v := range common {
+			if common[v] != Dash && common[v] != c[v] {
+				common[v] = Dash
+			}
+		}
+	}
+	if common.NumLits() > 0 {
+		rest := make([]Cube, len(cubes))
+		for i, c := range cubes {
+			r := c.Clone()
+			for v, pol := range common {
+				if pol != Dash {
+					r[v] = Dash
+				}
+			}
+			rest[i] = r
+		}
+		cc := aig.ConstTrue
+		for v, pol := range common {
+			if pol != Dash {
+				cc = dst.And(cc, litEdge(inputs, v, pol))
+			}
+		}
+		return dst.And(cc, factor(dst, inputs, rest))
+	}
+	// Best literal: highest occurrence count; ties broken by lowest
+	// variable index and positive polarity for determinism.
+	bestV, bestPol, bestCount := -1, Dash, 1
+	nv := len(cubes[0])
+	for v := 0; v < nv; v++ {
+		posN, negN := 0, 0
+		for _, c := range cubes {
+			switch c[v] {
+			case Pos:
+				posN++
+			case Neg:
+				negN++
+			}
+		}
+		if posN > bestCount {
+			bestV, bestPol, bestCount = v, Pos, posN
+		}
+		if negN > bestCount {
+			bestV, bestPol, bestCount = v, Neg, negN
+		}
+	}
+	if bestV < 0 {
+		// No literal occurs twice: plain OR of cube ANDs.
+		acc := aig.ConstFalse
+		for _, c := range cubes {
+			acc = dst.Or(acc, factor(dst, inputs, []Cube{c}))
+		}
+		return acc
+	}
+	// Divide: F = l*Q + R.
+	var quotient, remainder []Cube
+	for _, c := range cubes {
+		if c[bestV] == bestPol {
+			q := c.Clone()
+			q[bestV] = Dash
+			quotient = append(quotient, q)
+		} else {
+			remainder = append(remainder, c)
+		}
+	}
+	l := litEdge(inputs, bestV, bestPol)
+	return dst.Or(dst.And(l, factor(dst, inputs, quotient)), factor(dst, inputs, remainder))
+}
+
+// FromOnset builds an SOP containing one full minterm cube per onset
+// entry. Each onset entry is an assignment to all NVars variables.
+func FromOnset(nVars int, onset [][]bool) *SOP {
+	s := NewSOP(nVars)
+	for _, m := range onset {
+		c := NewCube(nVars)
+		for i, v := range m {
+			if v {
+				c[i] = Pos
+			} else {
+				c[i] = Neg
+			}
+		}
+		s.AddCube(c)
+	}
+	return s
+}

@@ -1,0 +1,97 @@
+package synth
+
+// CoverContains reports whether cube c is entirely covered by the
+// union of the given cubes. It is the classical recursive tautology
+// reduction: find a covering or intersecting cube and split c on one
+// of its bound variables. maxSplits bounds the recursion (the check
+// conservatively answers false when the budget runs out).
+func CoverContains(cubes []Cube, c Cube, maxSplits int) bool {
+	return coverContains(cubes, c, &maxSplits)
+}
+
+func coverContains(cubes []Cube, c Cube, budget *int) bool {
+	if *budget <= 0 {
+		return false
+	}
+	*budget--
+	var splitVar = -1
+	for _, o := range cubes {
+		if o.Covers(c) {
+			return true
+		}
+		if o.Disjoint(c) {
+			continue
+		}
+		// o intersects c but does not cover it: some variable is
+		// bound in o and free in c; split c there.
+		for v := range c {
+			if c[v] == Dash && o[v] != Dash {
+				splitVar = v
+				break
+			}
+		}
+		if splitVar >= 0 {
+			break
+		}
+	}
+	if splitVar < 0 {
+		// No cube covers c and every intersecting cube binds no new
+		// variable — impossible unless nothing intersects: uncovered.
+		return false
+	}
+	c0 := c.Clone()
+	c0[splitVar] = Neg
+	if !coverContains(cubes, c0, budget) {
+		return false
+	}
+	c1 := c.Clone()
+	c1[splitVar] = Pos
+	return coverContains(cubes, c1, budget)
+}
+
+// MakeIrredundant removes cubes that are covered by the union of the
+// remaining cubes (a stronger cleanup than RemoveContained, which
+// only checks single-cube containment). Larger cubes are kept
+// preferentially. The per-cube check budget keeps the pass linear-ish
+// on large covers.
+func (s *SOP) MakeIrredundant() {
+	if len(s.Cubes) < 2 {
+		return
+	}
+	// Try to remove the most-literal (smallest) cubes first.
+	order := make([]int, len(s.Cubes))
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort by descending literal count (stable).
+	for i := 1; i < len(order); i++ {
+		x := order[i]
+		j := i - 1
+		for ; j >= 0 && s.Cubes[order[j]].NumLits() < s.Cubes[x].NumLits(); j-- {
+			order[j+1] = order[j]
+		}
+		order[j+1] = x
+	}
+	removed := make([]bool, len(s.Cubes))
+	for _, i := range order {
+		var others []Cube
+		for j, c := range s.Cubes {
+			if j != i && !removed[j] {
+				others = append(others, c)
+			}
+		}
+		if len(others) == 0 {
+			break
+		}
+		if CoverContains(others, s.Cubes[i], 2000) {
+			removed[i] = true
+		}
+	}
+	keep := s.Cubes[:0]
+	for j, c := range s.Cubes {
+		if !removed[j] {
+			keep = append(keep, c)
+		}
+	}
+	s.Cubes = keep
+}

@@ -1,0 +1,113 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCoverContainsBasic(t *testing.T) {
+	// c = x0 covered by {x0&x1, x0&!x1}.
+	c := cubeOf(2, map[int]CubeLit{0: Pos})
+	cubes := []Cube{
+		cubeOf(2, map[int]CubeLit{0: Pos, 1: Pos}),
+		cubeOf(2, map[int]CubeLit{0: Pos, 1: Neg}),
+	}
+	if !CoverContains(cubes, c, 1000) {
+		t.Fatal("split cover not detected")
+	}
+	// Not covered when one half is missing.
+	if CoverContains(cubes[:1], c, 1000) {
+		t.Fatal("half cover reported as full")
+	}
+	// Direct containment.
+	if !CoverContains([]Cube{NewCube(2)}, c, 1000) {
+		t.Fatal("universal cube must cover everything")
+	}
+	// Disjoint cube covers nothing.
+	if CoverContains([]Cube{cubeOf(2, map[int]CubeLit{0: Neg})}, c, 1000) {
+		t.Fatal("disjoint cube reported as covering")
+	}
+}
+
+func TestCoverContainsBudget(t *testing.T) {
+	c := NewCube(8)
+	var cubes []Cube
+	for m := 0; m < 256; m++ {
+		cc := NewCube(8)
+		for v := 0; v < 8; v++ {
+			if m>>uint(v)&1 == 1 {
+				cc[v] = Pos
+			} else {
+				cc[v] = Neg
+			}
+		}
+		cubes = append(cubes, cc)
+	}
+	// Full minterm cover: covered with enough budget, "false" with a
+	// tiny one (conservative).
+	if !CoverContains(cubes, c, 1<<20) {
+		t.Fatal("full minterm cover not detected")
+	}
+	if CoverContains(cubes, c, 3) {
+		t.Fatal("budget-limited check must be conservative")
+	}
+}
+
+func TestMakeIrredundantRemovesUnionCovered(t *testing.T) {
+	// f = x0 + !x0&x1 + x1  — the middle term is inside x1; the last
+	// two make "x1", and "x0&x1" style redundancies get caught too.
+	s := NewSOP(2)
+	s.AddCube(cubeOf(2, map[int]CubeLit{0: Pos}))
+	s.AddCube(cubeOf(2, map[int]CubeLit{0: Neg, 1: Pos})) // ⊆ x0 ∪ x1
+	s.AddCube(cubeOf(2, map[int]CubeLit{1: Pos}))
+	before := make([]bool, 4)
+	for m := 0; m < 4; m++ {
+		before[m] = s.Eval([]bool{m&1 == 1, m&2 == 2})
+	}
+	s.MakeIrredundant()
+	if len(s.Cubes) != 2 {
+		t.Fatalf("cubes after irredundant: %d, want 2 (%s)", len(s.Cubes), s)
+	}
+	for m := 0; m < 4; m++ {
+		if s.Eval([]bool{m&1 == 1, m&2 == 2}) != before[m] {
+			t.Fatalf("function changed at %d", m)
+		}
+	}
+}
+
+func TestMakeIrredundantPreservesFunctionRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for iter := 0; iter < 150; iter++ {
+		nv := 2 + rng.Intn(5)
+		s := NewSOP(nv)
+		for i := 0; i < 1+rng.Intn(10); i++ {
+			c := NewCube(nv)
+			for v := 0; v < nv; v++ {
+				c[v] = CubeLit(rng.Intn(3))
+			}
+			s.AddCube(c)
+		}
+		before := make([]bool, 1<<uint(nv))
+		for m := range before {
+			in := make([]bool, nv)
+			for i := range in {
+				in[i] = m>>uint(i)&1 == 1
+			}
+			before[m] = s.Eval(in)
+		}
+		nBefore := len(s.Cubes)
+		s.MakeIrredundant()
+		if len(s.Cubes) > nBefore {
+			t.Fatal("irredundant grew the cover")
+		}
+		for m := range before {
+			in := make([]bool, nv)
+			for i := range in {
+				in[i] = m>>uint(i)&1 == 1
+			}
+			if s.Eval(in) != before[m] {
+				t.Fatalf("iter %d: function changed at minterm %d", iter, m)
+			}
+		}
+	}
+}

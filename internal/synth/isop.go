@@ -1,0 +1,139 @@
+package synth
+
+// Truth-table utilities and the Minato-Morreale irredundant
+// sum-of-products computation over functions of up to 6 variables
+// (packed into one uint64). Used by the AIG refactoring pass to
+// re-synthesize small cones.
+
+// TT is a truth table over up to 6 variables: bit m holds f(m), with
+// variable i contributing bit i of the minterm index m.
+type TT uint64
+
+// ttVarMasks[i] has bit m set iff minterm m has variable i = 1.
+var ttVarMasks = [6]TT{
+	0xaaaaaaaaaaaaaaaa,
+	0xcccccccccccccccc,
+	0xf0f0f0f0f0f0f0f0,
+	0xff00ff00ff00ff00,
+	0xffff0000ffff0000,
+	0xffffffff00000000,
+}
+
+// ttSpace returns the mask of valid minterms for n variables.
+func ttSpace(n int) TT {
+	if n >= 6 {
+		return ^TT(0)
+	}
+	return TT(1)<<(1<<uint(n)) - 1
+}
+
+// TTVar returns the truth table of variable i (within 6 vars).
+func TTVar(i int) TT { return ttVarMasks[i] }
+
+// Cofactor0 fixes variable v to 0 (result replicated over both
+// halves so masks stay aligned).
+func (t TT) Cofactor0(v int) TT {
+	m := ttVarMasks[v]
+	lo := t & ^TT(m)
+	return lo | lo<<(1<<uint(v))
+}
+
+// Cofactor1 fixes variable v to 1.
+func (t TT) Cofactor1(v int) TT {
+	m := ttVarMasks[v]
+	hi := t & TT(m)
+	return hi | hi>>(1<<uint(v))
+}
+
+// DependsOn reports whether the function depends on variable v.
+func (t TT) DependsOn(v int, nVars int) bool {
+	space := ttSpace(nVars)
+	return (t.Cofactor0(v)^t.Cofactor1(v))&space != 0
+}
+
+// EvalCubeTT returns the truth table of a cube over nVars variables.
+func EvalCubeTT(c Cube) TT {
+	t := ^TT(0)
+	for v, pol := range c {
+		switch pol {
+		case Pos:
+			t &= ttVarMasks[v]
+		case Neg:
+			t &= ^ttVarMasks[v]
+		}
+	}
+	return t
+}
+
+// SOPToTT evaluates an SOP (over ≤6 variables) to a truth table.
+func SOPToTT(s *SOP) TT {
+	var t TT
+	for _, c := range s.Cubes {
+		t |= EvalCubeTT(c)
+	}
+	return t & ttSpace(s.NVars)
+}
+
+// IsopTT computes an irredundant sum-of-products cover F with
+// lower ⊆ F ⊆ upper using the Minato-Morreale recursion. lower and
+// upper are truth tables over nVars variables (lower ⊆ upper must
+// hold; minterms in upper\lower are don't-cares).
+func IsopTT(lower, upper TT, nVars int) *SOP {
+	space := ttSpace(nVars)
+	lower &= space
+	upper &= space
+	if lower&^upper != 0 {
+		panic("synth: IsopTT lower not contained in upper")
+	}
+	s := NewSOP(nVars)
+	cubes, _ := isopRec(lower, upper, nVars, nVars)
+	s.Cubes = cubes
+	return s
+}
+
+// isopRec returns the cover cubes and the function they compute.
+func isopRec(lower, upper TT, v int, nVars int) ([]Cube, TT) {
+	if lower == 0 {
+		return nil, 0
+	}
+	space := ttSpace(nVars)
+	if upper&space == space {
+		return []Cube{NewCube(nVars)}, space
+	}
+	// Find the top variable both bounds depend on.
+	v--
+	for v >= 0 {
+		if lower.DependsOn(v, nVars) || upper.DependsOn(v, nVars) {
+			break
+		}
+		v--
+	}
+	if v < 0 {
+		// No dependence but lower != 0 and upper != space: lower must
+		// be constant-true over the space — handled above; reaching
+		// here means lower ⊆ upper forces upper == space.
+		return []Cube{NewCube(nVars)}, space
+	}
+	l0, l1 := lower.Cofactor0(v), lower.Cofactor1(v)
+	u0, u1 := upper.Cofactor0(v), upper.Cofactor1(v)
+
+	// Cubes that must carry literal ¬v / v.
+	c0, f0 := isopRec(l0&^u1, u0, v, nVars)
+	c1, f1 := isopRec(l1&^u0, u1, v, nVars)
+	// Remaining onset handled without a v literal.
+	lNew := (l0 &^ f0) | (l1 &^ f1)
+	c2, f2 := isopRec(lNew, u0&u1, v, nVars)
+
+	var out []Cube
+	for _, c := range c0 {
+		c[v] = Neg
+		out = append(out, c)
+	}
+	for _, c := range c1 {
+		c[v] = Pos
+		out = append(out, c)
+	}
+	out = append(out, c2...)
+	fn := (f0 & ^TT(ttVarMasks[v])) | (f1 & TT(ttVarMasks[v])) | f2
+	return out, fn & ttSpace(nVars)
+}

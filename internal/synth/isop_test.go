@@ -1,0 +1,112 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTTBasics(t *testing.T) {
+	// 2-var space: minterms 0..3.
+	space := ttSpace(2)
+	if space != 0xf {
+		t.Fatalf("space(2) = %x", space)
+	}
+	a := TTVar(0) & space // 1010
+	b := TTVar(1) & space // 1100
+	if a != 0xa || b != 0xc {
+		t.Fatalf("vars wrong: %x %x", a, b)
+	}
+	and := a & b
+	if and != 0x8 {
+		t.Fatalf("and = %x", and)
+	}
+	if !and.DependsOn(0, 2) || !and.DependsOn(1, 2) {
+		t.Fatal("dependence wrong")
+	}
+	if (a&^TTVar(1)).DependsOn(1, 2) == false {
+		// a&!b depends on b
+		t.Fatal("a&!b should depend on b")
+	}
+	c0 := and.Cofactor0(0) & space
+	c1 := and.Cofactor1(0) & space
+	if c0 != 0 {
+		t.Fatalf("(a&b)|a=0 should be 0, got %x", c0)
+	}
+	if c1 != b {
+		t.Fatalf("(a&b)|a=1 should be b, got %x", c1)
+	}
+}
+
+func TestEvalCubeTT(t *testing.T) {
+	c := cubeOf(3, map[int]CubeLit{0: Pos, 2: Neg})
+	tt := EvalCubeTT(c) & ttSpace(3)
+	for m := 0; m < 8; m++ {
+		want := (m&1 == 1) && (m&4 == 0)
+		if (tt>>uint(m)&1 == 1) != want {
+			t.Fatalf("cube TT wrong at minterm %d", m)
+		}
+	}
+}
+
+func TestIsopExactCover(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for iter := 0; iter < 300; iter++ {
+		nVars := 1 + rng.Intn(6)
+		space := ttSpace(nVars)
+		f := TT(rng.Uint64()) & space
+		s := IsopTT(f, f, nVars)
+		if got := SOPToTT(s); got != f {
+			t.Fatalf("iter %d: ISOP(%x) computed %x (nVars=%d, cover %s)",
+				iter, f, got, nVars, s)
+		}
+	}
+}
+
+func TestIsopRespectsDontCares(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for iter := 0; iter < 300; iter++ {
+		nVars := 1 + rng.Intn(6)
+		space := ttSpace(nVars)
+		lower := TT(rng.Uint64()) & space
+		upper := (lower | TT(rng.Uint64())) & space
+		s := IsopTT(lower, upper, nVars)
+		got := SOPToTT(s)
+		if lower&^got != 0 {
+			t.Fatalf("iter %d: cover misses onset bits %x", iter, lower&^got)
+		}
+		if got&^upper != 0 {
+			t.Fatalf("iter %d: cover exceeds upper bound by %x", iter, got&^upper)
+		}
+	}
+}
+
+func TestIsopConstants(t *testing.T) {
+	s := IsopTT(0, 0, 3)
+	if !s.IsConstFalse() {
+		t.Fatal("ISOP of empty onset must be const false")
+	}
+	space := ttSpace(3)
+	s = IsopTT(space, space, 3)
+	if !s.IsConstTrue() || len(s.Cubes) != 1 {
+		t.Fatalf("ISOP of full onset must be one universal cube: %s", s)
+	}
+}
+
+func TestIsopDontCareSimplifies(t *testing.T) {
+	// onset = {11}, dc = {10, 01, 00}: the cover may be the universal
+	// cube (1 cube, 0 literals).
+	lower := EvalCubeTT(cubeOf(2, map[int]CubeLit{0: Pos, 1: Pos})) & ttSpace(2)
+	s := IsopTT(lower, ttSpace(2), 2)
+	if s.NumLiterals() != 0 {
+		t.Fatalf("full-DC cover should be trivial, got %s", s)
+	}
+}
+
+func TestIsopBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for lower ⊄ upper")
+		}
+	}()
+	IsopTT(ttSpace(2), 0, 2)
+}

@@ -1,0 +1,32 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"ecopatch/internal/aig"
+)
+
+func TestOptimizeNeverGrows(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 30; iter++ {
+		g := aig.New()
+		var pool []aig.Lit
+		for i := 0; i < 8; i++ {
+			pool = append(pool, g.AddPI("x"))
+		}
+		for i := 0; i < 300; i++ {
+			a := pool[rng.Intn(len(pool))].XorCompl(rng.Intn(2) == 1)
+			b := pool[rng.Intn(len(pool))].XorCompl(rng.Intn(2) == 1)
+			pool = append(pool, g.And(a, b))
+		}
+		for o := 0; o < 3; o++ {
+			g.AddPO("y", pool[len(pool)-1-o])
+		}
+		before := aig.Cleanup(g).NumAnds()
+		after := Optimize(g).NumAnds()
+		if after > before {
+			t.Fatalf("iter %d: optimize grew %d -> %d", iter, before, after)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package synth
+
+import "ecopatch/internal/aig"
+
+// Refactor resynthesizes small fanout-free cones: each maximal cone
+// with at most six leaves is collapsed to a truth table, re-covered
+// with an irredundant SOP (Minato-Morreale) and re-factored; the new
+// structure replaces the old one when it uses fewer AND nodes. This
+// is a light version of ABC's refactor pass and complements Balance,
+// which only restructures pure conjunction trees.
+func Refactor(g *aig.AIG) *aig.AIG {
+	const maxLeaves = 6
+	fanout := g.FanoutCounts()
+	ng := aig.New()
+	mapped := make([]aig.Lit, g.NumNodes())
+	done := make([]bool, g.NumNodes())
+	mapped[0] = aig.ConstFalse
+	done[0] = true
+	for i := 0; i < g.NumPIs(); i++ {
+		mapped[g.PI(i).Node()] = ng.AddPI(g.PIName(i))
+		done[g.PI(i).Node()] = true
+	}
+
+	// Mark the nodes that must exist in the output: cone roots (POs
+	// and leaves of other cones), discovered top-down.
+	roots := make([]aig.Lit, g.NumPOs())
+	for i := range roots {
+		roots[i] = g.PO(i)
+	}
+	needed := make([]bool, g.NumNodes())
+	var mark func(n int)
+	mark = func(n int) {
+		if needed[n] || !g.IsAnd(n) {
+			return
+		}
+		needed[n] = true
+		_, leaves := collectFFCone(g, n, fanout, maxLeaves)
+		for _, l := range leaves {
+			mark(l)
+		}
+	}
+	for _, r := range roots {
+		mark(r.Node())
+	}
+
+	for n := 1; n < g.NumNodes(); n++ {
+		if !g.IsAnd(n) || !needed[n] || done[n] {
+			continue
+		}
+		interior, leaves := collectFFCone(g, n, fanout, maxLeaves)
+		rebuilt := false
+		if len(leaves) <= maxLeaves && len(interior) >= 3 {
+			tt := coneTT(g, n, leaves)
+			sop := IsopTT(tt, tt, len(leaves))
+			// Trial synthesis to count nodes.
+			trial := aig.New()
+			trialIns := make([]aig.Lit, len(leaves))
+			for i := range trialIns {
+				trialIns[i] = trial.AddPI("l")
+			}
+			trialRoot := BuildAIG(trial, trialIns, sop)
+			if trial.ConeSize([]aig.Lit{trialRoot}) < len(interior) {
+				ins := make([]aig.Lit, len(leaves))
+				for i, l := range leaves {
+					if !done[l] {
+						panic("synth: refactor leaf not yet mapped (cone mismatch)")
+					}
+					ins[i] = mapped[l]
+				}
+				mapped[n] = BuildAIG(ng, ins, sop)
+				rebuilt = true
+			}
+		}
+		if !rebuilt {
+			// Copy the cone structurally (interior nodes in index
+			// order are topologically consistent).
+			for _, m := range interior {
+				if done[m] {
+					continue
+				}
+				f0, f1 := g.Fanins(m)
+				a := mapped[f0.Node()].XorCompl(f0.Compl())
+				b := mapped[f1.Node()].XorCompl(f1.Compl())
+				mapped[m] = ng.And(a, b)
+				done[m] = true
+			}
+		}
+		done[n] = true
+	}
+	for i := 0; i < g.NumPOs(); i++ {
+		po := g.PO(i)
+		ng.AddPO(g.POName(i), mapped[po.Node()].XorCompl(po.Compl()))
+	}
+	return ng
+}
+
+// collectFFCone gathers the maximal fanout-free cone rooted at AND
+// node n whose leaf count stays within cap: interior nodes (ascending
+// index, root included) and leaf nodes.
+func collectFFCone(g *aig.AIG, n int, fanout []int, cap int) (interior, leaves []int) {
+	inInterior := map[int]bool{n: true}
+	leafSet := map[int]bool{}
+	f0, f1 := g.Fanins(n)
+	leafSet[f0.Node()] = true
+	leafSet[f1.Node()] = true
+	// Expansion must be deterministic: mark and rebuild recompute the
+	// cone independently and have to agree on its leaves. Expand the
+	// largest-index expandable leaf each round (deepest first).
+	for {
+		cand := -1
+		var sorted []int
+		for l := range leafSet {
+			sorted = append(sorted, l)
+		}
+		sortInts(sorted)
+		for i := len(sorted) - 1; i >= 0; i-- {
+			l := sorted[i]
+			if !g.IsAnd(l) || fanout[l] != 1 {
+				continue
+			}
+			lf0, lf1 := g.Fanins(l)
+			newCount := len(leafSet) - 1
+			if !leafSet[lf0.Node()] && !inInterior[lf0.Node()] {
+				newCount++
+			}
+			if !leafSet[lf1.Node()] && !inInterior[lf1.Node()] && lf0.Node() != lf1.Node() {
+				newCount++
+			}
+			if newCount > cap {
+				continue
+			}
+			cand = l
+			break
+		}
+		if cand < 0 {
+			break
+		}
+		lf0, lf1 := g.Fanins(cand)
+		delete(leafSet, cand)
+		inInterior[cand] = true
+		leafSet[lf0.Node()] = true
+		leafSet[lf1.Node()] = true
+	}
+	for m := range inInterior {
+		interior = append(interior, m)
+	}
+	for l := range leafSet {
+		leaves = append(leaves, l)
+	}
+	sortInts(interior)
+	sortInts(leaves)
+	return interior, leaves
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		x := xs[i]
+		j := i - 1
+		for ; j >= 0 && xs[j] > x; j-- {
+			xs[j+1] = xs[j]
+		}
+		xs[j+1] = x
+	}
+}
+
+// coneTT evaluates the cone of n as a truth table over the given leaf
+// nodes (leaf i becomes variable i).
+func coneTT(g *aig.AIG, n int, leaves []int) TT {
+	idx := make(map[int]int, len(leaves))
+	for i, l := range leaves {
+		idx[l] = i
+	}
+	memo := make(map[int]TT)
+	var eval func(m int) TT
+	eval = func(m int) TT {
+		if i, ok := idx[m]; ok {
+			return TTVar(i)
+		}
+		if v, ok := memo[m]; ok {
+			return v
+		}
+		if g.IsConst(m) {
+			return 0
+		}
+		f0, f1 := g.Fanins(m)
+		a := eval(f0.Node())
+		if f0.Compl() {
+			a = ^a
+		}
+		b := eval(f1.Node())
+		if f1.Compl() {
+			b = ^b
+		}
+		v := a & b
+		memo[m] = v
+		return v
+	}
+	return eval(n)
+}
+
+// Optimize runs the full light optimization pipeline: balance,
+// refactor, cleanup.
+func Optimize(g *aig.AIG) *aig.AIG { return aig.Cleanup(Refactor(aig.Balance(g))) }

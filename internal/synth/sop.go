@@ -1,0 +1,217 @@
+// Package synth provides the logic-synthesis substrate for patch
+// functions: Sum-Of-Products (SOP) cube algebra, single-cube
+// containment, and algebraic factoring of an SOP into a multi-level
+// AIG (the role ABC's factor/strash plays in the paper — §3.5: "The
+// SOP expression is then factored and synthesized in ABC").
+package synth
+
+import (
+	"strings"
+)
+
+// CubeLit is the polarity of one variable inside a cube.
+type CubeLit int8
+
+// Cube literal states.
+const (
+	Dash CubeLit = iota // variable absent
+	Pos                 // positive literal
+	Neg                 // negative literal
+)
+
+// Cube is a product term over NVars variables (one CubeLit per
+// variable position).
+type Cube []CubeLit
+
+// NewCube returns the universal cube (all dashes) over n variables.
+func NewCube(n int) Cube { return make(Cube, n) }
+
+// Clone copies the cube.
+func (c Cube) Clone() Cube { return append(Cube(nil), c...) }
+
+// NumLits counts the literals in the cube.
+func (c Cube) NumLits() int {
+	n := 0
+	for _, l := range c {
+		if l != Dash {
+			n++
+		}
+	}
+	return n
+}
+
+// Eval evaluates the cube on an assignment.
+func (c Cube) Eval(assign []bool) bool {
+	for i, l := range c {
+		switch l {
+		case Pos:
+			if !assign[i] {
+				return false
+			}
+		case Neg:
+			if assign[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Covers reports whether c covers d: every minterm of d is a minterm
+// of c, i.e. c's literal set is a subset of d's.
+func (c Cube) Covers(d Cube) bool {
+	for i, l := range c {
+		if l != Dash && l != d[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Disjoint reports whether c and d share no minterm (some variable
+// appears with opposite polarities).
+func (c Cube) Disjoint(d Cube) bool {
+	for i, l := range c {
+		if l != Dash && d[i] != Dash && l != d[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the cube using letters (x0, !x1, ...) joined by '&'.
+func (c Cube) String() string {
+	var parts []string
+	for i, l := range c {
+		switch l {
+		case Pos:
+			parts = append(parts, varName(i))
+		case Neg:
+			parts = append(parts, "!"+varName(i))
+		}
+	}
+	if len(parts) == 0 {
+		return "1"
+	}
+	return strings.Join(parts, "&")
+}
+
+func varName(i int) string {
+	return "x" + itoa(i)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	p := len(buf)
+	for i > 0 {
+		p--
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[p:])
+}
+
+// SOP is a sum (disjunction) of cubes over NVars variables.
+type SOP struct {
+	NVars int
+	Cubes []Cube
+}
+
+// NewSOP returns an empty (constant-false) SOP.
+func NewSOP(nVars int) *SOP { return &SOP{NVars: nVars} }
+
+// AddCube appends a cube (it is not copied).
+func (s *SOP) AddCube(c Cube) {
+	if len(c) != s.NVars {
+		panic("synth: cube width mismatch")
+	}
+	s.Cubes = append(s.Cubes, c)
+}
+
+// Eval evaluates the SOP on an assignment.
+func (s *SOP) Eval(assign []bool) bool {
+	for _, c := range s.Cubes {
+		if c.Eval(assign) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsConstFalse reports whether the SOP has no cubes.
+func (s *SOP) IsConstFalse() bool { return len(s.Cubes) == 0 }
+
+// IsConstTrue reports whether some cube is universal.
+func (s *SOP) IsConstTrue() bool {
+	for _, c := range s.Cubes {
+		if c.NumLits() == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// NumLiterals counts literals over all cubes (a standard SOP cost).
+func (s *SOP) NumLiterals() int {
+	n := 0
+	for _, c := range s.Cubes {
+		n += c.NumLits()
+	}
+	return n
+}
+
+// RemoveContained drops cubes covered by another cube (single-cube
+// containment), keeping the first of duplicates.
+func (s *SOP) RemoveContained() {
+	keep := s.Cubes[:0]
+	for i, c := range s.Cubes {
+		covered := false
+		for j, d := range s.Cubes {
+			if i == j {
+				continue
+			}
+			if d.Covers(c) && !(c.Covers(d) && j > i) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			keep = append(keep, c)
+		}
+	}
+	s.Cubes = keep
+}
+
+// Support returns the variable positions used by at least one cube.
+func (s *SOP) Support() []int {
+	used := make([]bool, s.NVars)
+	for _, c := range s.Cubes {
+		for i, l := range c {
+			if l != Dash {
+				used[i] = true
+			}
+		}
+	}
+	var out []int
+	for i, u := range used {
+		if u {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// String renders the SOP as "cube + cube + ...".
+func (s *SOP) String() string {
+	if s.IsConstFalse() {
+		return "0"
+	}
+	parts := make([]string, len(s.Cubes))
+	for i, c := range s.Cubes {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " + ")
+}

@@ -1,0 +1,274 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ecopatch/internal/aig"
+)
+
+func cubeOf(n int, lits map[int]CubeLit) Cube {
+	c := NewCube(n)
+	for v, p := range lits {
+		c[v] = p
+	}
+	return c
+}
+
+func TestCubeEval(t *testing.T) {
+	c := cubeOf(3, map[int]CubeLit{0: Pos, 2: Neg}) // x0 & !x2
+	cases := []struct {
+		in   []bool
+		want bool
+	}{
+		{[]bool{true, false, false}, true},
+		{[]bool{true, true, false}, true},
+		{[]bool{false, true, false}, false},
+		{[]bool{true, true, true}, false},
+	}
+	for _, cs := range cases {
+		if got := c.Eval(cs.in); got != cs.want {
+			t.Errorf("Eval(%v) = %v, want %v", cs.in, got, cs.want)
+		}
+	}
+	if NewCube(3).Eval([]bool{false, false, false}) != true {
+		t.Error("universal cube must evaluate true")
+	}
+}
+
+func TestCubeCoversDisjoint(t *testing.T) {
+	a := cubeOf(3, map[int]CubeLit{0: Pos})         // x0
+	b := cubeOf(3, map[int]CubeLit{0: Pos, 1: Neg}) // x0 & !x1
+	c := cubeOf(3, map[int]CubeLit{0: Neg})         // !x0
+	if !a.Covers(b) {
+		t.Error("x0 must cover x0&!x1")
+	}
+	if b.Covers(a) {
+		t.Error("x0&!x1 must not cover x0")
+	}
+	if !a.Covers(a) {
+		t.Error("cube must cover itself")
+	}
+	if !a.Disjoint(c) || a.Disjoint(b) {
+		t.Error("disjointness wrong")
+	}
+	if a.NumLits() != 1 || b.NumLits() != 2 {
+		t.Error("NumLits wrong")
+	}
+}
+
+func TestCubeString(t *testing.T) {
+	c := cubeOf(3, map[int]CubeLit{0: Pos, 2: Neg})
+	if c.String() != "x0&!x2" {
+		t.Fatalf("String = %q", c.String())
+	}
+	if NewCube(2).String() != "1" {
+		t.Fatalf("universal cube String = %q", NewCube(2).String())
+	}
+}
+
+func TestSOPBasics(t *testing.T) {
+	s := NewSOP(2)
+	if !s.IsConstFalse() || s.String() != "0" {
+		t.Fatal("empty SOP must be const false")
+	}
+	s.AddCube(NewCube(2))
+	if !s.IsConstTrue() {
+		t.Fatal("universal cube makes SOP const true")
+	}
+}
+
+func TestRemoveContained(t *testing.T) {
+	s := NewSOP(3)
+	s.AddCube(cubeOf(3, map[int]CubeLit{0: Pos}))
+	s.AddCube(cubeOf(3, map[int]CubeLit{0: Pos, 1: Neg})) // contained
+	s.AddCube(cubeOf(3, map[int]CubeLit{2: Neg}))
+	s.RemoveContained()
+	if len(s.Cubes) != 2 {
+		t.Fatalf("cubes after containment removal: %d, want 2: %s", len(s.Cubes), s)
+	}
+	// Duplicates: one must survive.
+	d := NewSOP(2)
+	d.AddCube(cubeOf(2, map[int]CubeLit{0: Pos}))
+	d.AddCube(cubeOf(2, map[int]CubeLit{0: Pos}))
+	d.RemoveContained()
+	if len(d.Cubes) != 1 {
+		t.Fatalf("duplicate cubes not merged: %d", len(d.Cubes))
+	}
+}
+
+func TestSupport(t *testing.T) {
+	s := NewSOP(4)
+	s.AddCube(cubeOf(4, map[int]CubeLit{1: Pos}))
+	s.AddCube(cubeOf(4, map[int]CubeLit{3: Neg}))
+	sup := s.Support()
+	if len(sup) != 2 || sup[0] != 1 || sup[1] != 3 {
+		t.Fatalf("support = %v", sup)
+	}
+}
+
+// buildAndCompare factors the SOP into an AIG and checks exhaustive
+// functional equality with direct SOP evaluation.
+func buildAndCompare(t *testing.T, s *SOP) int {
+	t.Helper()
+	g := aig.New()
+	inputs := make([]aig.Lit, s.NVars)
+	for i := range inputs {
+		inputs[i] = g.AddPI("x")
+	}
+	root := BuildAIG(g, inputs, s)
+	for m := 0; m < 1<<uint(s.NVars); m++ {
+		in := make([]bool, s.NVars)
+		for i := range in {
+			in[i] = m>>uint(i)&1 == 1
+		}
+		if g.EvalLit(root, in) != s.Eval(in) {
+			t.Fatalf("factored AIG differs from SOP %q at %v", s, in)
+		}
+	}
+	return g.ConeSize([]aig.Lit{root})
+}
+
+func TestBuildAIGSimple(t *testing.T) {
+	// f = x0 x1 + x0 !x2 : common literal x0 should be factored.
+	s := NewSOP(3)
+	s.AddCube(cubeOf(3, map[int]CubeLit{0: Pos, 1: Pos}))
+	s.AddCube(cubeOf(3, map[int]CubeLit{0: Pos, 2: Neg}))
+	size := buildAndCompare(t, s)
+	// Factored: x0 & (x1 | !x2) = 2 ANDs.
+	if size > 2 {
+		t.Fatalf("factored size %d, want <= 2", size)
+	}
+}
+
+func TestBuildAIGConstants(t *testing.T) {
+	g := aig.New()
+	empty := NewSOP(0)
+	if BuildAIG(g, nil, empty) != aig.ConstFalse {
+		t.Fatal("empty SOP must synthesize to const false")
+	}
+	taut := NewSOP(2)
+	taut.AddCube(NewCube(2))
+	inputs := []aig.Lit{g.AddPI("a"), g.AddPI("b")}
+	if BuildAIG(g, inputs, taut) != aig.ConstTrue {
+		t.Fatal("tautology must synthesize to const true")
+	}
+}
+
+func TestBuildAIGRandomEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 100; iter++ {
+		nv := 2 + rng.Intn(5)
+		s := NewSOP(nv)
+		nc := 1 + rng.Intn(8)
+		for i := 0; i < nc; i++ {
+			c := NewCube(nv)
+			for v := 0; v < nv; v++ {
+				switch rng.Intn(3) {
+				case 0:
+					c[v] = Pos
+				case 1:
+					c[v] = Neg
+				}
+			}
+			s.AddCube(c)
+		}
+		buildAndCompare(t, s)
+	}
+}
+
+func TestFactoringSharesLogic(t *testing.T) {
+	// f = a b c + a b d + a b e : expect roughly a&b&(c|d|e), 4 ANDs,
+	// far fewer than the flat 3*2+2 = 8.
+	s := NewSOP(5)
+	s.AddCube(cubeOf(5, map[int]CubeLit{0: Pos, 1: Pos, 2: Pos}))
+	s.AddCube(cubeOf(5, map[int]CubeLit{0: Pos, 1: Pos, 3: Pos}))
+	s.AddCube(cubeOf(5, map[int]CubeLit{0: Pos, 1: Pos, 4: Pos}))
+	size := buildAndCompare(t, s)
+	if size > 4 {
+		t.Fatalf("factored size %d, want <= 4", size)
+	}
+}
+
+func TestFromOnset(t *testing.T) {
+	onset := [][]bool{{true, false}, {false, true}} // XOR onset
+	s := FromOnset(2, onset)
+	for m := 0; m < 4; m++ {
+		in := []bool{m&1 == 1, m&2 == 2}
+		if s.Eval(in) != (in[0] != in[1]) {
+			t.Fatalf("FromOnset XOR wrong at %v", in)
+		}
+	}
+}
+
+func TestPropertyFactorPreservesFunction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nv := 2 + rng.Intn(4)
+		s := NewSOP(nv)
+		for i := 0; i < 1+rng.Intn(6); i++ {
+			c := NewCube(nv)
+			for v := 0; v < nv; v++ {
+				c[v] = CubeLit(rng.Intn(3))
+			}
+			s.AddCube(c)
+		}
+		g := aig.New()
+		inputs := make([]aig.Lit, nv)
+		for i := range inputs {
+			inputs[i] = g.AddPI("x")
+		}
+		root := BuildAIG(g, inputs, s)
+		for m := 0; m < 1<<uint(nv); m++ {
+			in := make([]bool, nv)
+			for i := range in {
+				in[i] = m>>uint(i)&1 == 1
+			}
+			if g.EvalLit(root, in) != s.Eval(in) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveContainedPreservesFunction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nv := 2 + rng.Intn(4)
+		s := NewSOP(nv)
+		for i := 0; i < 1+rng.Intn(8); i++ {
+			c := NewCube(nv)
+			for v := 0; v < nv; v++ {
+				c[v] = CubeLit(rng.Intn(3))
+			}
+			s.AddCube(c)
+		}
+		before := make([]bool, 1<<uint(nv))
+		for m := range before {
+			in := make([]bool, nv)
+			for i := range in {
+				in[i] = m>>uint(i)&1 == 1
+			}
+			before[m] = s.Eval(in)
+		}
+		s.RemoveContained()
+		for m := range before {
+			in := make([]bool, nv)
+			for i := range in {
+				in[i] = m>>uint(i)&1 == 1
+			}
+			if s.Eval(in) != before[m] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
