@@ -32,6 +32,7 @@ type jsonReport struct {
 	TotalCost  int                `json:"total_cost"`
 	TotalGates int                `json:"total_gates"`
 	ElapsedSec float64            `json:"elapsed_sec"`
+	TimedOut   bool               `json:"timed_out,omitempty"`
 	Targets    []jsonTargetReport `json:"targets"`
 	PatchFile  string             `json:"patch_file,omitempty"`
 	Patch      string             `json:"patch,omitempty"`
@@ -56,6 +57,7 @@ func main() {
 		noWindow   = flag.Bool("no-window", false, "disable structural pruning (§3.3)")
 		noCegar    = flag.Bool("no-cegarmin", false, "disable CEGAR_min for structural patches")
 		budget     = flag.Int64("budget", 0, "SAT conflict budget per call (0 = unlimited)")
+		timeout    = flag.Duration("timeout", 0, "wall-clock deadline; on expiry the engine degrades to structural patches (0 = none)")
 		verbose    = flag.Bool("v", false, "log engine progress to stderr")
 		jsonOut    = flag.Bool("json", false, "emit a JSON report on stdout instead of text")
 	)
@@ -92,6 +94,7 @@ func main() {
 	opt.Window = !*noWindow
 	opt.CEGARMin = !*noCegar
 	opt.ConfBudget = *budget
+	opt.Timeout = *timeout
 	if *verbose {
 		opt.Log = os.Stderr
 	}
@@ -123,6 +126,9 @@ func main() {
 	}
 	fmt.Printf("total     cost=%d gates=%d verified=%v time=%v\n",
 		res.TotalCost, res.TotalGates, res.Verified, res.Elapsed.Round(1e6))
+	if res.TimedOut {
+		fmt.Println("WARNING: deadline expired; result is the degraded (structural) fallback")
+	}
 	if !res.Verified {
 		fmt.Println("WARNING: patch failed verification")
 		os.Exit(1)
@@ -183,6 +189,7 @@ func emitJSON(inst *ecopatch.Instance, res *ecopatch.Result, out string) {
 		TotalCost:  res.TotalCost,
 		TotalGates: res.TotalGates,
 		ElapsedSec: res.Elapsed.Seconds(),
+		TimedOut:   res.TimedOut,
 	}
 	for _, p := range res.Patches {
 		rep.Targets = append(rep.Targets, jsonTargetReport{

@@ -17,6 +17,7 @@
 //
 //	ecobench [-mode table1|copies|mincalls|patchcmp] [-scale N]
 //	         [-unit unitK] [-modes baseline,minassume,exact]
+//	         [-j N] [-timeout 30s] [-json report.json]
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"ecopatch/internal/bench"
 )
@@ -34,37 +36,42 @@ func main() {
 		scale    = flag.Int("scale", 1, "circuit size multiplier")
 		unit     = flag.String("unit", "", "restrict table1 to one unit")
 		modesStr = flag.String("modes", strings.Join(bench.Modes, ","), "table1 algorithm columns")
+		jobs     = flag.Int("j", 1, "worker goroutines for the table1 sweep")
+		timeout  = flag.Duration("timeout", 0, "per-(unit,mode) deadline for table1 cells (0 = none)")
+		jsonPath = flag.String("json", "", "also write the table1 report as JSON to this file")
 	)
 	flag.Parse()
 
-	var err error
-	switch *mode {
-	case "all":
-		for _, m := range []struct {
-			title string
-			run   func() error
-		}{
-			{"Table 1", func() error { return runTable1(*scale, *unit, strings.Split(*modesStr, ",")) }},
-			{"E5: minimize_assumptions SAT calls (§3.4.1)", func() error { return bench.RunMinCalls(os.Stdout) }},
-			{"E6: miter copies for structural multi-target (§3.6.2)", func() error { return bench.RunCopies(*scale, os.Stdout) }},
-			{"E7: cube enumeration vs interpolation (§3.5)", func() error { return bench.RunPatchCompare(*scale, os.Stdout) }},
-		} {
-			fmt.Printf("==== %s ====\n", m.title)
-			if err = m.run(); err != nil {
-				break
+	modes, err := parseModes(*modesStr)
+	if err == nil {
+		switch *mode {
+		case "all":
+			for _, m := range []struct {
+				title string
+				run   func() error
+			}{
+				{"Table 1", func() error { return runTable1(*scale, *unit, modes, *jobs, *timeout, *jsonPath) }},
+				{"E5: minimize_assumptions SAT calls (§3.4.1)", func() error { return bench.RunMinCalls(os.Stdout) }},
+				{"E6: miter copies for structural multi-target (§3.6.2)", func() error { return bench.RunCopies(*scale, os.Stdout) }},
+				{"E7: cube enumeration vs interpolation (§3.5)", func() error { return bench.RunPatchCompare(*scale, os.Stdout) }},
+			} {
+				fmt.Printf("==== %s ====\n", m.title)
+				if err = m.run(); err != nil {
+					break
+				}
+				fmt.Println()
 			}
-			fmt.Println()
+		case "table1":
+			err = runTable1(*scale, *unit, modes, *jobs, *timeout, *jsonPath)
+		case "copies":
+			err = bench.RunCopies(*scale, os.Stdout)
+		case "mincalls":
+			err = bench.RunMinCalls(os.Stdout)
+		case "patchcmp":
+			err = bench.RunPatchCompare(*scale, os.Stdout)
+		default:
+			err = fmt.Errorf("unknown -mode %q", *mode)
 		}
-	case "table1":
-		err = runTable1(*scale, *unit, strings.Split(*modesStr, ","))
-	case "copies":
-		err = bench.RunCopies(*scale, os.Stdout)
-	case "mincalls":
-		err = bench.RunMinCalls(os.Stdout)
-	case "patchcmp":
-		err = bench.RunPatchCompare(*scale, os.Stdout)
-	default:
-		err = fmt.Errorf("unknown -mode %q", *mode)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ecobench:", err)
@@ -72,27 +79,52 @@ func main() {
 	}
 }
 
-func runTable1(scale int, unit string, modes []string) error {
-	if unit == "" {
-		_, err := bench.RunTable1(scale, modes, os.Stdout)
-		return err
+// parseModes splits the -modes flag, trimming whitespace, dropping
+// empty entries (so trailing commas are harmless), and rejecting any
+// name that is not a known Table-1 column.
+func parseModes(s string) ([]string, error) {
+	known := make(map[string]bool, len(bench.Modes))
+	for _, m := range bench.Modes {
+		known[m] = true
 	}
-	cfg, err := bench.ConfigByName(scale, unit)
+	var modes []string
+	for _, part := range strings.Split(s, ",") {
+		m := strings.TrimSpace(part)
+		if m == "" {
+			continue
+		}
+		if !known[m] {
+			return nil, fmt.Errorf("unknown mode %q in -modes (valid: %s)",
+				m, strings.Join(bench.Modes, ", "))
+		}
+		modes = append(modes, m)
+	}
+	if len(modes) == 0 {
+		return nil, fmt.Errorf("-modes selects no columns (valid: %s)",
+			strings.Join(bench.Modes, ", "))
+	}
+	return modes, nil
+}
+
+func runTable1(scale int, unit string, modes []string, jobs int, timeout time.Duration, jsonPath string) error {
+	opts := bench.RunOptions{Scale: scale, Modes: modes, Jobs: jobs, Timeout: timeout}
+	if unit != "" {
+		opts.Units = []string{unit}
+	}
+	rows, err := bench.RunTable1With(opts, os.Stdout)
 	if err != nil {
 		return err
 	}
-	row := bench.Table1Row{}
-	for _, m := range modes {
-		r, err := bench.RunUnit(cfg, m)
-		if err != nil {
-			return err
-		}
-		if row.Unit == "" {
-			row = r
-		} else {
-			row.Results[m] = r.Results[m]
-		}
+	if jsonPath == "" {
+		return nil
 	}
-	bench.PrintTable1(os.Stdout, []bench.Table1Row{row}, modes)
-	return nil
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := bench.WriteJSON(f, bench.NewJSONReport(opts, modes, rows)); err != nil {
+		return err
+	}
+	return f.Close()
 }

@@ -24,6 +24,7 @@
 package ecopatch
 
 import (
+	"context"
 	"io"
 
 	"ecopatch/internal/bench"
@@ -116,6 +117,15 @@ func Solve(inst *Instance, opt Options) (*Result, error) {
 	return eco.Solve(inst, opt)
 }
 
+// SolveContext is Solve under a context: when the context's deadline
+// fires (or it is cancelled), every active SAT solver is interrupted
+// and the engine degrades to its structural fallback, returning the
+// partial result with Result.TimedOut set. Options.Timeout arms the
+// same machinery without a caller-supplied context.
+func SolveContext(ctx context.Context, inst *Instance, opt Options) (*Result, error) {
+	return eco.SolveContext(ctx, inst, opt)
+}
+
 // LoadDir reads an instance from a directory holding F.v, S.v and
 // weight.txt (the ICCAD-2017 contest layout).
 func LoadDir(dir string) (*Instance, error) { return eco.LoadDir(dir) }
@@ -163,6 +173,12 @@ func BenchSuite(scale int) []BenchConfig { return bench.Suite(scale) }
 // equivalence over verifyFrames time frames from the all-zero state.
 func SolveSequential(inst *Instance, opt Options, verifyFrames int) (*Result, error) {
 	return seq.Solve(inst, opt, verifyFrames)
+}
+
+// SolveSequentialContext is SolveSequential under a context (see
+// SolveContext for the deadline semantics).
+func SolveSequentialContext(ctx context.Context, inst *Instance, opt Options, verifyFrames int) (*Result, error) {
+	return seq.SolveContext(ctx, inst, opt, verifyFrames)
 }
 
 // IsSequential reports whether a netlist contains dff gates.

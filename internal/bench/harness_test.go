@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ecopatch/internal/eco"
+)
+
+// zeroTimings strips the wall-clock fields so two otherwise-identical
+// sweeps can be compared byte for byte.
+func zeroTimings(rows []Table1Row) {
+	for _, r := range rows {
+		for m, a := range r.Results {
+			a.Seconds, a.SupportSec, a.PatchSec, a.VerifySec = 0, 0, 0, 0
+			r.Results[m] = a
+		}
+	}
+}
+
+// TestRunTable1ParallelDeterminism checks the worker-pool fan-out:
+// modulo timing columns, a -j 4 sweep must render byte-identically to
+// the sequential one (every cell regenerates its instance and all
+// engine randomness is instance-local).
+func TestRunTable1ParallelDeterminism(t *testing.T) {
+	units := []string{"unit1", "unit4", "unit5", "unit10"}
+	render := func(jobs int) string {
+		rows, err := RunTable1With(RunOptions{Scale: 1, Jobs: jobs, Units: units}, nil)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		zeroTimings(rows)
+		var sb strings.Builder
+		PrintTable1(&sb, rows, Modes)
+		return sb.String()
+	}
+	seq := render(1)
+	par := render(4)
+	if seq != par {
+		t.Fatalf("parallel sweep differs from sequential:\n--- j=1 ---\n%s--- j=4 ---\n%s", seq, par)
+	}
+}
+
+func TestRunTable1WithUnknownUnit(t *testing.T) {
+	if _, err := RunTable1With(RunOptions{Scale: 1, Units: []string{"nope"}}, nil); err == nil {
+		t.Fatal("unknown unit name accepted")
+	}
+}
+
+// TestConfBudgetDegradesNotBogus arms a 1-conflict budget on every
+// (support, patch) configuration and checks the regression fixed in
+// this series: budget exhaustion must surface as the §3.6 structural
+// fallback — a verified patch — never as a silently-wrong SAT patch
+// or a hard error.
+func TestConfBudgetDegradesNotBogus(t *testing.T) {
+	cfg, err := ConfigByName(1, "unit7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	supports := []eco.SupportAlgo{eco.SupportAnalyzeFinal, eco.SupportMinimize, eco.SupportExact}
+	patches := []eco.PatchMethod{eco.PatchCubeEnum, eco.PatchInterpolation}
+	for _, sup := range supports {
+		for _, pm := range patches {
+			inst, err := Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := eco.DefaultOptions()
+			opt.Support = sup
+			opt.Patch = pm
+			opt.ConfBudget = 1
+			res, err := eco.Solve(inst, opt)
+			if err != nil {
+				t.Fatalf("%v/%v: budget must degrade, not error: %v", sup, pm, err)
+			}
+			for _, p := range res.Patches {
+				if !p.Structural {
+					t.Fatalf("%v/%v: target %s patched by SAT under a 1-conflict budget", sup, pm, p.Target)
+				}
+			}
+			if !res.Verified {
+				t.Fatalf("%v/%v: structural fallback result not verified", sup, pm)
+			}
+		}
+	}
+}
+
+// TestTimeoutPartialResult arms an already-expired deadline: the solve
+// must still return a (degraded, unverified) result with TimedOut set
+// rather than an error or a hang.
+func TestTimeoutPartialResult(t *testing.T) {
+	cfg, err := ConfigByName(1, "unit7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := eco.DefaultOptions()
+	opt.Timeout = time.Nanosecond
+	res, err := eco.Solve(inst, opt)
+	if err != nil {
+		t.Fatalf("expired deadline must yield a partial result, got error: %v", err)
+	}
+	if !res.TimedOut {
+		t.Fatal("TimedOut not set on an expired deadline")
+	}
+	for _, p := range res.Patches {
+		if !p.Structural {
+			t.Fatalf("target %s patched by SAT under an expired deadline", p.Target)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// JSONReport is the machine-readable form of a Table-1 sweep, written
+// by `ecobench -json`. Schema identifies the layout so downstream
+// tooling can reject files it does not understand.
+type JSONReport struct {
+	Schema     string    `json:"schema"` // "ecobench/table1@v1"
+	Experiment string    `json:"experiment"`
+	Scale      int       `json:"scale"`
+	Modes      []string  `json:"modes"`
+	Jobs       int       `json:"jobs"`
+	TimeoutSec float64   `json:"timeout_sec,omitempty"`
+	Rows       []JSONRow `json:"rows"`
+}
+
+// JSONRow is one benchmark unit; Results is keyed by mode name.
+type JSONRow struct {
+	Unit      string              `json:"unit"`
+	PIs       int                 `json:"pis"`
+	POs       int                 `json:"pos"`
+	GatesImpl int                 `json:"gates_impl"`
+	GatesSpec int                 `json:"gates_spec"`
+	Targets   int                 `json:"targets"`
+	Results   map[string]JSONCell `json:"results"`
+}
+
+// JSONCell is one (unit, mode) result with per-stage timings.
+type JSONCell struct {
+	Cost       int     `json:"cost"`
+	PatchGates int     `json:"patch_gates"`
+	Seconds    float64 `json:"seconds"`
+	SupportSec float64 `json:"support_sec"`
+	PatchSec   float64 `json:"patch_sec"`
+	VerifySec  float64 `json:"verify_sec"`
+	Verified   bool    `json:"verified"`
+	Feasible   bool    `json:"feasible"`
+	Structural int     `json:"structural"`
+	TimedOut   bool    `json:"timed_out,omitempty"`
+}
+
+// NewJSONReport converts a finished sweep into the report form.
+func NewJSONReport(opts RunOptions, modes []string, rows []Table1Row) JSONReport {
+	rep := JSONReport{
+		Schema:     "ecobench/table1@v1",
+		Experiment: "table1",
+		Scale:      opts.Scale,
+		Modes:      modes,
+		Jobs:       opts.Jobs,
+		Rows:       make([]JSONRow, 0, len(rows)),
+	}
+	if rep.Jobs < 1 {
+		rep.Jobs = 1
+	}
+	if opts.Timeout > 0 {
+		rep.TimeoutSec = float64(opts.Timeout) / float64(time.Second)
+	}
+	for _, r := range rows {
+		jr := JSONRow{
+			Unit:      r.Unit,
+			PIs:       r.PIs,
+			POs:       r.POs,
+			GatesImpl: r.GatesF,
+			GatesSpec: r.GatesS,
+			Targets:   r.Targets,
+			Results:   make(map[string]JSONCell, len(r.Results)),
+		}
+		for _, m := range modes {
+			a, ok := r.Results[m]
+			if !ok {
+				continue
+			}
+			jr.Results[m] = JSONCell{
+				Cost:       a.Cost,
+				PatchGates: a.PatchGates,
+				Seconds:    a.Seconds,
+				SupportSec: a.SupportSec,
+				PatchSec:   a.PatchSec,
+				VerifySec:  a.VerifySec,
+				Verified:   a.Verified,
+				Feasible:   a.Feasible,
+				Structural: a.Structural,
+				TimedOut:   a.TimedOut,
+			}
+		}
+		rep.Rows = append(rep.Rows, jr)
+	}
+	return rep
+}
+
+// WriteJSON emits the report as indented JSON.
+func WriteJSON(w io.Writer, rep JSONReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

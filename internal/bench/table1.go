@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"ecopatch/internal/eco"
@@ -25,9 +26,13 @@ type AlgoResult struct {
 	Cost       int
 	PatchGates int
 	Seconds    float64
+	SupportSec float64 // support-selection wall clock (incl. last-gasp)
+	PatchSec   float64 // patch-function computation wall clock
+	VerifySec  float64 // final equivalence-check wall clock
 	Verified   bool
 	Feasible   bool
-	Structural int // targets patched structurally
+	Structural int  // targets patched structurally
+	TimedOut   bool // deadline fired; result is the degraded partial
 }
 
 // Table1Row aggregates one benchmark unit across the three modes.
@@ -75,6 +80,13 @@ func Table1Options(mode string, structural bool) (eco.Options, error) {
 
 // RunUnit generates a unit and solves it in one mode.
 func RunUnit(cfg Config, mode string) (Table1Row, error) {
+	return RunUnitTimeout(cfg, mode, 0)
+}
+
+// RunUnitTimeout is RunUnit with a per-cell wall-clock deadline; zero
+// means no deadline. A fired deadline is not an error: the engine's
+// degraded partial result is recorded with TimedOut set.
+func RunUnitTimeout(cfg Config, mode string, timeout time.Duration) (Table1Row, error) {
 	inst, err := Generate(cfg)
 	if err != nil {
 		return Table1Row{}, err
@@ -92,6 +104,7 @@ func RunUnit(cfg Config, mode string) (Table1Row, error) {
 	if err != nil {
 		return row, err
 	}
+	opt.Timeout = timeout
 	res, err := eco.Solve(inst, opt)
 	if err != nil {
 		return row, fmt.Errorf("%s/%s: %w", cfg.Name, mode, err)
@@ -100,30 +113,108 @@ func RunUnit(cfg Config, mode string) (Table1Row, error) {
 		Cost:       res.TotalCost,
 		PatchGates: res.TotalGates,
 		Seconds:    res.Elapsed.Seconds(),
+		SupportSec: res.Stats.SupportTime.Seconds(),
+		PatchSec:   res.Stats.PatchTime.Seconds(),
+		VerifySec:  res.Stats.VerifyTime.Seconds(),
 		Verified:   res.Verified,
 		Feasible:   res.Feasible,
 		Structural: res.Stats.StructuralFixes,
+		TimedOut:   res.TimedOut,
 	}
 	return row, nil
+}
+
+// RunOptions parameterizes a Table-1 sweep.
+type RunOptions struct {
+	Scale   int
+	Modes   []string      // column order; defaults to Modes
+	Jobs    int           // worker goroutines; <=1 means sequential
+	Timeout time.Duration // per-(unit,mode) cell deadline; 0 = none
+	Units   []string      // restrict to these unit names; nil = all
 }
 
 // RunTable1 reproduces Table 1: every unit in every requested mode.
 // Rows are returned in unit order; when w is non-nil the paper-style
 // table plus the geomean-ratio summary row is printed to it.
 func RunTable1(scale int, modes []string, w io.Writer) ([]Table1Row, error) {
-	units := Suite(scale)
+	return RunTable1With(RunOptions{Scale: scale, Modes: modes}, w)
+}
+
+// RunTable1With runs the sweep described by opts, fanning the
+// (unit, mode) cells out over opts.Jobs worker goroutines. Each cell
+// is independent (instances are regenerated per cell and all engine
+// randomness is instance-local), so the row content is identical for
+// any job count; rows are always assembled and returned in suite
+// order.
+func RunTable1With(opts RunOptions, w io.Writer) ([]Table1Row, error) {
+	modes := opts.Modes
+	if len(modes) == 0 {
+		modes = Modes
+	}
+	units := Suite(opts.Scale)
+	if len(opts.Units) > 0 {
+		keep := make(map[string]bool, len(opts.Units))
+		for _, name := range opts.Units {
+			if _, err := ConfigByName(opts.Scale, name); err != nil {
+				return nil, err
+			}
+			keep[name] = true
+		}
+		filtered := units[:0]
+		for _, cfg := range units {
+			if keep[cfg.Name] {
+				filtered = append(filtered, cfg)
+			}
+		}
+		units = filtered
+	}
+
+	// One task per (unit, mode) cell; results land in a slice indexed
+	// by cell id so assembly order is independent of completion order.
+	type cellOut struct {
+		row Table1Row
+		err error
+	}
+	nCells := len(units) * len(modes)
+	cells := make([]cellOut, nCells)
+	jobs := opts.Jobs
+	if jobs < 1 {
+		jobs = 1
+	}
+	if jobs > nCells && nCells > 0 {
+		jobs = nCells
+	}
+	ids := make(chan int, nCells)
+	for id := 0; id < nCells; id++ {
+		ids <- id
+	}
+	close(ids)
+	var wg sync.WaitGroup
+	for wk := 0; wk < jobs; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for id := range ids {
+				cfg, mode := units[id/len(modes)], modes[id%len(modes)]
+				row, err := RunUnitTimeout(cfg, mode, opts.Timeout)
+				cells[id] = cellOut{row: row, err: err}
+			}
+		}()
+	}
+	wg.Wait()
+
 	rows := make([]Table1Row, 0, len(units))
-	for _, cfg := range units {
+	for ui := range units {
 		row := Table1Row{Results: make(map[string]AlgoResult)}
-		for _, mode := range modes {
-			r, err := RunUnit(cfg, mode)
-			if err != nil {
-				return rows, err
+		for mi, mode := range modes {
+			c := cells[ui*len(modes)+mi]
+			if c.err != nil {
+				return rows, c.err
 			}
 			if row.Unit == "" {
-				row = r
+				row = c.row
 			} else {
-				row.Results[mode] = r.Results[mode]
+				row.Results[mode] = c.row.Results[mode]
 			}
 		}
 		rows = append(rows, row)
@@ -170,16 +261,24 @@ func PrintTable1(w io.Writer, rows []Table1Row, modes []string) {
 }
 
 // geomeanRatio computes the geometric mean over rows of
-// metric(mode)/metric(base), skipping rows where either side is zero
-// (zeros would collapse the product; the paper's table has none).
+// metric(mode)/metric(base). Rows where the base metric is zero are
+// skipped (the ratio is undefined there); a zero mode metric is
+// clamped to a small epsilon so a single perfect row (e.g. a 0-gate
+// patch) cannot collapse the whole product to zero. The epsilon is
+// 1e-3, not machine-tiny, so count metrics in {0,1,2,...} keep a
+// sane scale.
 func geomeanRatio(rows []Table1Row, base, mode string, metric func(AlgoResult) float64) float64 {
+	const eps = 1e-3
 	sum := 0.0
 	n := 0
 	for _, r := range rows {
 		b := metric(r.Results[base])
 		v := metric(r.Results[mode])
-		if b <= 0 || v <= 0 {
+		if b <= 0 {
 			continue
+		}
+		if v < eps {
+			v = eps
 		}
 		sum += math.Log(v / b)
 		n++

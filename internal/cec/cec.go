@@ -5,12 +5,29 @@
 package cec
 
 import (
+	"errors"
 	"fmt"
 
 	"ecopatch/internal/aig"
 	"ecopatch/internal/cnf"
 	"ecopatch/internal/sat"
 )
+
+// ErrGaveUp reports that the check was aborted — by a conflict budget
+// or an Interrupt — before reaching a verdict. Callers that can live
+// with an unknown answer should test for it with errors.Is.
+var ErrGaveUp = errors.New("cec: solver gave up")
+
+// CheckOptions tunes a single equivalence check.
+type CheckOptions struct {
+	// ConfBudget bounds SAT conflicts (<=0 means unlimited); an
+	// exceeded budget surfaces as ErrGaveUp.
+	ConfBudget int64
+	// OnSolver, when non-nil, observes every SAT solver the check
+	// creates, so callers can Interrupt a long-running check from
+	// another goroutine.
+	OnSolver func(*sat.Solver)
+}
 
 // Result reports the outcome of an equivalence check.
 type Result struct {
@@ -47,12 +64,17 @@ func CheckAIGs(g1, g2 *aig.AIG) (Result, error) {
 	}
 	t1 := aig.Transfer(m, g1, piMap, outs1)
 	t2 := aig.Transfer(m, g2, piMap, outs2)
-	return checkPairs(m, piMap, t1, t2)
+	return checkPairs(m, piMap, t1, t2, CheckOptions{})
 }
 
 // CheckLits decides whether pairs of edges within one AIG are
 // pointwise equivalent (as functions of the AIG's PIs).
 func CheckLits(g *aig.AIG, as, bs []aig.Lit) (Result, error) {
+	return CheckLitsOpt(g, as, bs, CheckOptions{})
+}
+
+// CheckLitsOpt is CheckLits with explicit budget/interrupt options.
+func CheckLitsOpt(g *aig.AIG, as, bs []aig.Lit, opt CheckOptions) (Result, error) {
 	if len(as) != len(bs) {
 		return Result{}, fmt.Errorf("cec: pair count mismatch")
 	}
@@ -60,11 +82,11 @@ func CheckLits(g *aig.AIG, as, bs []aig.Lit) (Result, error) {
 	for i := range pis {
 		pis[i] = g.PI(i)
 	}
-	return checkPairs(g, pis, as, bs)
+	return checkPairs(g, pis, as, bs, opt)
 }
 
 // checkPairs runs the SAT check "some pair differs" on a miter AIG.
-func checkPairs(m *aig.AIG, pis []aig.Lit, t1, t2 []aig.Lit) (Result, error) {
+func checkPairs(m *aig.AIG, pis []aig.Lit, t1, t2 []aig.Lit, opt CheckOptions) (Result, error) {
 	// Fast path: structural hashing may already have merged each pair.
 	allEqual := true
 	for i := range t1 {
@@ -77,6 +99,12 @@ func checkPairs(m *aig.AIG, pis []aig.Lit, t1, t2 []aig.Lit) (Result, error) {
 		return Result{Equivalent: true}, nil
 	}
 	s := sat.New()
+	if opt.ConfBudget > 0 {
+		s.SetConfBudget(opt.ConfBudget)
+	}
+	if opt.OnSolver != nil {
+		opt.OnSolver(s)
+	}
 	e := cnf.NewEncoder(s, m)
 	// Encode the PIs up front so counterexample readback never
 	// allocates variables after solving.
@@ -121,8 +149,11 @@ func checkPairs(m *aig.AIG, pis []aig.Lit, t1, t2 []aig.Lit) (Result, error) {
 			}
 		}
 		return res, nil
+	case sat.Unknown:
+		// Budget exhausted or interrupted: no verdict either way.
+		return Result{}, ErrGaveUp
 	default:
-		return Result{}, fmt.Errorf("cec: solver gave up")
+		return Result{}, fmt.Errorf("cec: unexpected solver status")
 	}
 }
 

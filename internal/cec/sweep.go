@@ -151,8 +151,12 @@ func Sweep(g *aig.AIG, opt SweepOptions) *aig.AIG {
 				in[i] = solver.ModelBool(enc.Lit(ng.PI(i)))
 			}
 			return false, in
+		case sat.Unknown:
+			// Budget exhausted or interrupted: leaving the pair
+			// unmerged is sound, just weaker.
+			return false, nil
 		default:
-			return false, nil // budget: treat as unmerged
+			return false, nil
 		}
 	}
 
@@ -247,5 +251,5 @@ func CheckAIGsSweeping(g1, g2 *aig.AIG, opt SweepOptions) (Result, error) {
 	for i := range pis {
 		pis[i] = swept.PI(i)
 	}
-	return checkPairs(swept, pis, outs1, outs2)
+	return checkPairs(swept, pis, outs1, outs2, CheckOptions{})
 }

@@ -1,0 +1,64 @@
+package eco
+
+import (
+	"context"
+	"sync"
+
+	"ecopatch/internal/sat"
+)
+
+// solverGroup tracks every SAT solver created during one engine run so
+// that a deadline or context cancellation can interrupt them all. add
+// is safe to call concurrently with interruptAll; a solver registered
+// after the group was stopped is interrupted immediately, closing the
+// race between a firing timer and a freshly created solver.
+type solverGroup struct {
+	mu      sync.Mutex
+	solvers []*sat.Solver
+	stopped bool
+}
+
+// add registers a solver with the group.
+func (g *solverGroup) add(s *sat.Solver) {
+	g.mu.Lock()
+	if g.stopped {
+		s.Interrupt()
+	}
+	g.solvers = append(g.solvers, s)
+	g.mu.Unlock()
+}
+
+// interruptAll interrupts every registered solver and marks the group
+// stopped so later registrations abort immediately.
+func (g *solverGroup) interruptAll() {
+	g.mu.Lock()
+	g.stopped = true
+	for _, s := range g.solvers {
+		s.Interrupt()
+	}
+	g.mu.Unlock()
+}
+
+// watch arms a goroutine that interrupts the whole group when ctx is
+// canceled (deadline expiry included). The returned stop function
+// releases the watcher; it must be called before the engine's result
+// is read so no interrupt fires after the run is over.
+func (g *solverGroup) watch(ctx context.Context) (stop func()) {
+	if ctx.Done() == nil {
+		return func() {}
+	}
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		select {
+		case <-ctx.Done():
+			g.interruptAll()
+		case <-quit:
+		}
+	}()
+	return func() {
+		close(quit)
+		<-done
+	}
+}

@@ -1,6 +1,7 @@
 package eco
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -8,6 +9,7 @@ import (
 
 	"ecopatch/internal/aig"
 	"ecopatch/internal/netlist"
+	"ecopatch/internal/sat"
 )
 
 // SupportAlgo selects the patch-support minimization algorithm (§3.4).
@@ -104,6 +106,13 @@ type Options struct {
 	// minimize_assumptions (mirroring the paper's observation that
 	// SAT_prune trades scalability for quality). Default 30s.
 	ExactTimeout time.Duration
+	// Timeout caps the wall-clock time of the whole solve. On expiry
+	// every active SAT solver is interrupted: in-flight SAT work
+	// degrades to the structural fallback (like a ConfBudget expiry)
+	// and the result is returned with TimedOut set, stats intact.
+	// Zero means no limit. SolveContext offers the same mechanism for
+	// caller-supplied contexts.
+	Timeout time.Duration
 
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
@@ -147,12 +156,22 @@ type Stats struct {
 	WindowPOs       int // outputs kept by structural pruning
 	StructuralFixes int // targets patched by the structural fallback
 	CubesEnumerated int
+
+	// Per-stage wall clock, summed over all targets, for the
+	// machine-readable perf trajectory (ecobench -json).
+	SupportTime time.Duration // support selection incl. last-gasp
+	PatchTime   time.Duration // patch-function computation (SAT or structural)
+	VerifyTime  time.Duration // final equivalence checks
 }
 
 // Result is the outcome of Solve.
 type Result struct {
 	Feasible bool // target set sufficient (expression (1) UNSAT)
 	Verified bool // patched implementation equivalent to spec
+	// TimedOut reports that Options.Timeout (or the caller's context)
+	// expired during the solve; the result is a best-effort partial
+	// answer — typically structural patches, possibly unverified.
+	TimedOut bool
 
 	Patches []TargetPatch
 	// Patch is the synthesized patch module: inputs are the union of
@@ -206,6 +225,8 @@ type engine struct {
 
 	moves [][]bool // QBF countermoves over the targets
 
+	group solverGroup // every SAT solver of this run, for interrupts
+
 	stats Stats
 	res   *Result
 }
@@ -216,8 +237,28 @@ func (e *engine) logf(format string, args ...any) {
 	}
 }
 
+// newSolver creates a SAT solver with the configured conflict budget
+// and registers it for deadline interrupts.
+func (e *engine) newSolver() *sat.Solver {
+	s := sat.New()
+	if e.opt.ConfBudget > 0 {
+		s.SetConfBudget(e.opt.ConfBudget)
+	}
+	e.group.add(s)
+	return s
+}
+
 // Solve runs the full ECO flow on the instance.
 func Solve(inst *Instance, opt Options) (*Result, error) {
+	return SolveContext(context.Background(), inst, opt)
+}
+
+// SolveContext is Solve under a context: when ctx is canceled or its
+// deadline (or Options.Timeout, whichever is tighter) expires, every
+// active SAT solver is interrupted and the engine degrades to the
+// structural fallback, returning a partial result with TimedOut set
+// rather than hanging. Stats and Elapsed are always populated.
+func SolveContext(ctx context.Context, inst *Instance, opt Options) (*Result, error) {
 	start := time.Now()
 	if err := inst.Check(); err != nil {
 		return nil, err
@@ -228,7 +269,14 @@ func Solve(inst *Instance, opt Options) (*Result, error) {
 	if opt.MaxCubes <= 0 {
 		opt.MaxCubes = 20000
 	}
+	if opt.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
+		defer cancel()
+	}
 	e := &engine{inst: inst, opt: opt, res: &Result{}}
+	stop := e.group.watch(ctx)
+	defer stop()
 	if err := e.setup(); err != nil {
 		return nil, err
 	}
@@ -238,34 +286,48 @@ func Solve(inst *Instance, opt Options) (*Result, error) {
 	}
 	e.res.Feasible = feasible
 	if !feasible {
-		e.res.Stats = e.stats
-		e.res.Elapsed = time.Since(start)
-		return e.res, nil
+		return e.seal(ctx, start), nil
 	}
 	if err := e.rectifyAll(false); err != nil {
-		return nil, err
+		return nil, e.wrapErr(ctx, err)
 	}
 	ok, err := e.verify()
 	if err != nil {
-		return nil, err
+		return nil, e.wrapErr(ctx, err)
 	}
 	if !ok && e.usedMoveGuidance() {
 		// Move-guided quantification is an approximation of the full
 		// certificate construction; redo with full expansion.
 		e.logf("move-guided patch failed verification; retrying with full expansion")
 		if err := e.rectifyAll(true); err != nil {
-			return nil, err
+			return nil, e.wrapErr(ctx, err)
 		}
 		ok, err = e.verify()
 		if err != nil {
-			return nil, err
+			return nil, e.wrapErr(ctx, err)
 		}
 	}
 	e.res.Verified = ok
 	e.finish()
+	return e.seal(ctx, start), nil
+}
+
+// seal stamps the bookkeeping fields shared by every return path.
+func (e *engine) seal(ctx context.Context, start time.Time) *Result {
+	e.res.TimedOut = ctx.Err() != nil
 	e.res.Stats = e.stats
 	e.res.Elapsed = time.Since(start)
-	return e.res, nil
+	return e.res
+}
+
+// wrapErr annotates an engine error with the deadline expiry that most
+// likely caused it, so callers see "context deadline exceeded" rather
+// than a downstream symptom.
+func (e *engine) wrapErr(ctx context.Context, err error) error {
+	if ctx.Err() != nil {
+		return fmt.Errorf("eco: aborted by %w: %v", ctx.Err(), err)
+	}
+	return err
 }
 
 // setup builds the working AIG: implementation (targets exposed as

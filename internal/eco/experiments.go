@@ -41,7 +41,7 @@ func CompareMinimize(inst *Instance) (*MinimizeComparison, error) {
 	e.rectifyAllInit()
 
 	m0, m1 := e.cofactorMiters(0)
-	s := sat.New()
+	s := e.newSolver()
 	enc1 := cnf.NewEncoder(s, e.w)
 	enc2 := cnf.NewEncoder(s, e.w)
 	r1 := enc1.Lit(m0)

@@ -16,11 +16,8 @@ import (
 // equalities binding the shared divisor variables; the McMillan
 // interpolant is then a circuit over the divisors.
 func (e *engine) interpolatePatch(m0, m1 aig.Lit, divs []divisor, selected []int) (*aig.AIG, error) {
-	s := sat.New()
+	s := e.newSolver()
 	proof := s.StartProof()
-	if e.opt.ConfBudget > 0 {
-		s.SetConfBudget(e.opt.ConfBudget)
-	}
 	// Partition A: onset copy.
 	encA := cnf.NewEncoder(s, e.w)
 	rA := encA.Lit(m0)
@@ -49,7 +46,10 @@ func (e *engine) interpolatePatch(m0, m1 aig.Lit, divs []divisor, selected []int
 		case sat.Sat:
 			return nil, fmt.Errorf("eco: interpolation instance unexpectedly SAT")
 		case sat.Unknown:
+			// Budget exhausted or interrupted mid-proof.
 			return nil, errBudget
+		case sat.Unsat:
+			// Expected: the refutation proof feeds the interpolant.
 		}
 	}
 	patch := aig.New()

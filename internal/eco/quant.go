@@ -25,6 +25,7 @@ func (e *engine) checkFeasible() (bool, error) {
 	if e.opt.UseQBF || k > e.opt.MaxQuantExpand {
 		r, err := qbf.Solve(e.w, e.fullMiter, e.xPIs, e.tPIs, qbf.Options{
 			ConfBudget: e.opt.ConfBudget,
+			OnSolver:   e.group.add,
 		})
 		if err != nil {
 			e.logf("feasibility qbf gave up (%v); assuming feasible", err)
@@ -44,10 +45,7 @@ func (e *engine) checkFeasible() (bool, error) {
 	if quant == aig.ConstFalse {
 		return true, nil
 	}
-	s := sat.New()
-	if e.opt.ConfBudget > 0 {
-		s.SetConfBudget(e.opt.ConfBudget)
-	}
+	s := e.newSolver()
 	enc := cnf.NewEncoder(s, e.w)
 	s.AddClause(enc.Lit(quant))
 	e.stats.SATCalls++
@@ -56,8 +54,12 @@ func (e *engine) checkFeasible() (bool, error) {
 		return false, nil
 	case sat.Unsat:
 		return true, nil
-	default:
+	case sat.Unknown:
+		// Budget exhausted or interrupted: per §3.2, guess feasible
+		// and let final verification vet the optimistic answer.
 		e.logf("feasibility SAT gave up; assuming feasible")
+		return true, nil
+	default:
 		return true, nil
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"ecopatch/internal/aig"
 	"ecopatch/internal/cnf"
@@ -60,10 +61,7 @@ var errInsufficient = errors.New("eco: divisor set insufficient")
 // extended miter of expression (2), support selection, and patch
 // function computation.
 func (e *engine) satPatch(i int, m0, m1 aig.Lit) error {
-	s := sat.New()
-	if e.opt.ConfBudget > 0 {
-		s.SetConfBudget(e.opt.ConfBudget)
-	}
+	s := e.newSolver()
 	enc1 := cnf.NewEncoder(s, e.w)
 	enc2 := cnf.NewEncoder(s, e.w)
 	r1 := enc1.Lit(m0)
@@ -103,17 +101,18 @@ func (e *engine) satPatch(i int, m0, m1 aig.Lit) error {
 	// Capture the analyze_final core now; later Solve calls clobber it.
 	coreIdx := e.coreSupport(s, auxs)
 
+	tSupport := time.Now()
 	selected, err := e.selectSupport(s, fixed, divs, auxs, d1s, d2s, coreIdx)
+	if err == nil && e.opt.LastGasp {
+		selected, err = e.lastGasp(s, fixed, divs, auxs, selected)
+	}
+	e.stats.SupportTime += time.Since(tSupport)
 	if err != nil {
 		return err
 	}
-	if e.opt.LastGasp {
-		selected, err = e.lastGasp(s, fixed, divs, auxs, selected)
-		if err != nil {
-			return err
-		}
-	}
 
+	tPatch := time.Now()
+	defer func() { e.stats.PatchTime += time.Since(tPatch) }()
 	var sop *synth.SOP
 	var patch *aig.AIG
 	support := make([]string, len(selected))

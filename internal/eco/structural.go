@@ -3,6 +3,7 @@ package eco
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"ecopatch/internal/aig"
 	"ecopatch/internal/cec"
@@ -16,6 +17,8 @@ import (
 // the support is re-expressed through a minimum-weight cut of
 // internal signals (§3.6.3).
 func (e *engine) structuralPatch(i int, m0 aig.Lit) error {
+	start := time.Now()
+	defer func() { e.stats.PatchTime += time.Since(start) }()
 	e.stats.StructuralFixes++
 	if e.opt.CEGARMin {
 		if err := e.cegarMinPatch(i, m0); err == nil {
@@ -280,7 +283,8 @@ func (e *engine) addFunctionalEquivs(cone []int, nodeEquiv map[int]equiv) {
 			_, dCompl := canon(d.edge.Node())
 			rel := nCompl != dCompl // value(n) == value(dNode) XOR rel
 			want := aig.MkLit(d.edge.Node(), rel)
-			res, err := cec.CheckLits(e.w, []aig.Lit{aig.MkLit(n, false)}, []aig.Lit{want})
+			res, err := cec.CheckLitsOpt(e.w, []aig.Lit{aig.MkLit(n, false)}, []aig.Lit{want},
+				cec.CheckOptions{OnSolver: e.group.add})
 			if err != nil || !res.Equivalent {
 				continue
 			}

@@ -107,7 +107,7 @@ func minimizeLinear(s *sat.Solver, fixed []sat.Lit, A []sat.Lit, calls *int) (in
 		case sat.Sat:
 			A[kept] = A[i]
 			kept++
-		default:
+		case sat.Unknown:
 			return 0, errBudget
 		}
 	}

@@ -1,7 +1,9 @@
 package eco
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
 	"ecopatch/internal/aig"
 	"ecopatch/internal/cec"
@@ -12,13 +14,21 @@ import (
 // checks combinational equivalence with the specification over every
 // output (task (4) of the paper's ECO decomposition).
 func (e *engine) verify() (bool, error) {
+	start := time.Now()
+	defer func() { e.stats.VerifyTime += time.Since(start) }()
 	piMap := e.selfPIMap()
 	for j := range e.targets {
 		piMap[e.tPIs[j]] = e.patches[j]
 	}
 	patched := aig.Transfer(e.w, e.w, piMap, e.implPOs)
-	res, err := cec.CheckLits(e.w, patched, e.specPOs)
+	res, err := cec.CheckLitsOpt(e.w, patched, e.specPOs, cec.CheckOptions{OnSolver: e.group.add})
 	if err != nil {
+		if errors.Is(err, cec.ErrGaveUp) {
+			// Interrupted (deadline): no verdict, so the patch cannot
+			// be reported as verified.
+			e.logf("verification aborted (%v); reporting unverified", err)
+			return false, nil
+		}
 		return false, err
 	}
 	if !res.Equivalent {

@@ -43,6 +43,10 @@ type Options struct {
 	MaxIterations int
 	// ConfBudget bounds SAT conflicts per solver call (≤0 unlimited).
 	ConfBudget int64
+	// OnSolver, when non-nil, observes the SAT solvers the CEGAR loop
+	// creates, so callers can Interrupt a long-running solve from
+	// another goroutine.
+	OnSolver func(*sat.Solver)
 }
 
 // Solve decides ∃x ∀t φ(t,x). The formula is the AIG edge root of g;
@@ -99,6 +103,10 @@ func Solve(g *aig.AIG, root aig.Lit, xPIs, tPIs []int, opts Options) (*Result, e
 	if opts.ConfBudget > 0 {
 		expSolver.SetConfBudget(opts.ConfBudget)
 		uniSolver.SetConfBudget(opts.ConfBudget)
+	}
+	if opts.OnSolver != nil {
+		opts.OnSolver(expSolver)
+		opts.OnSolver(uniSolver)
 	}
 
 	res := &Result{}

@@ -1,0 +1,61 @@
+package sat
+
+import (
+	"testing"
+	"time"
+)
+
+func TestInterruptPreSet(t *testing.T) {
+	s := New()
+	pigeonhole(s, 7, 6)
+	s.Interrupt()
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("pre-interrupted solve: got %v, want Unknown", got)
+	}
+	if !s.Interrupted() {
+		t.Fatal("Interrupted() must stay true until cleared")
+	}
+}
+
+func TestClearInterruptResumes(t *testing.T) {
+	s := New()
+	a := PosLit(s.NewVar())
+	s.AddClause(a)
+	s.Interrupt()
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("interrupted solve: got %v, want Unknown", got)
+	}
+	s.ClearInterrupt()
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("solve after ClearInterrupt: got %v, want Sat", got)
+	}
+}
+
+// TestInterruptConcurrent fires Interrupt from another goroutine while
+// the solver grinds on a hard pigeonhole instance, and checks that
+// Solve returns Unknown promptly instead of running to completion.
+func TestInterruptConcurrent(t *testing.T) {
+	s := New()
+	pigeonhole(s, 12, 11) // minutes of work if uninterrupted
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		s.Interrupt()
+	}()
+	done := make(chan Status, 1)
+	go func() { done <- s.Solve() }()
+	select {
+	case got := <-done:
+		if got != Unknown {
+			t.Fatalf("interrupted solve: got %v, want Unknown", got)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("solver did not react to Interrupt within 30s")
+	}
+	// The solver must be reusable after clearing the flag.
+	s.ClearInterrupt()
+	s2 := New()
+	pigeonhole(s2, 5, 5)
+	if got := s2.Solve(); got != Sat {
+		t.Fatalf("fresh solve after interrupt test: got %v, want Sat", got)
+	}
+}

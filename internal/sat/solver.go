@@ -1,5 +1,7 @@
 package sat
 
+import "sync/atomic"
+
 // clause is a disjunction of literals. For watched clauses lits[0] and
 // lits[1] are the watched literals.
 type clause struct {
@@ -60,6 +62,11 @@ type Solver struct {
 	// Budgets; negative means unlimited.
 	confBudget int64
 	propBudget int64
+
+	// interrupted is set asynchronously by Interrupt and polled in the
+	// search loop; while set, Solve returns Unknown. It is the only
+	// field that may be touched from another goroutine.
+	interrupted atomic.Bool
 
 	// Restart state.
 	lubyIdx int
@@ -181,6 +188,20 @@ func (s *Solver) SetConfBudget(n int64) { s.confBudget = n }
 // SetPropBudget limits the number of propagations in subsequent Solve
 // calls; negative means unlimited. The budget applies per call.
 func (s *Solver) SetPropBudget(n int64) { s.propBudget = n }
+
+// Interrupt asynchronously aborts the in-flight Solve call (and makes
+// any future call return immediately) with status Unknown. It is the
+// only Solver method safe to call from another goroutine; the flag
+// stays set until ClearInterrupt.
+func (s *Solver) Interrupt() { s.interrupted.Store(true) }
+
+// ClearInterrupt re-arms the solver after an Interrupt so subsequent
+// Solve calls run normally.
+func (s *Solver) ClearInterrupt() { s.interrupted.Store(false) }
+
+// Interrupted reports whether Interrupt has been called and not yet
+// cleared.
+func (s *Solver) Interrupted() bool { return s.interrupted.Load() }
 
 func (s *Solver) decisionLevel() int32 { return int32(len(s.trailLim)) }
 
@@ -683,6 +704,10 @@ func luby(base float64, i int) float64 {
 func (s *Solver) search(nofConflicts int64, assumptions []Lit) Status {
 	conflicts := int64(0)
 	for {
+		if s.interrupted.Load() {
+			s.cancelUntil(0)
+			return Unknown
+		}
 		confl := s.propagate()
 		if confl != nil {
 			s.Stats.Conflicts++
@@ -826,7 +851,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		s.lubyIdx++
 		s.Stats.Starts++
 		status = s.searchGuarded(restartLen, assumptions)
-		if s.budgetExhaustedAbs() && status == Unknown {
+		if (s.budgetExhaustedAbs() || s.interrupted.Load()) && status == Unknown {
 			break
 		}
 	}

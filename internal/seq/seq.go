@@ -19,6 +19,7 @@
 package seq
 
 import (
+	"context"
 	"fmt"
 
 	"ecopatch/internal/aig"
@@ -167,6 +168,12 @@ func BoundedCEC(a, b *netlist.Netlist, frames int) (cec.Result, error) {
 // signals — they are ordinary, weighted divisors of the transition
 // netlist.
 func Solve(inst *eco.Instance, opt eco.Options, verifyFrames int) (*eco.Result, error) {
+	return SolveContext(context.Background(), inst, opt, verifyFrames)
+}
+
+// SolveContext is Solve under a context: the deadline/cancellation is
+// forwarded to the combinational engine (see eco.SolveContext).
+func SolveContext(ctx context.Context, inst *eco.Instance, opt eco.Options, verifyFrames int) (*eco.Result, error) {
 	if err := checkLatchCompatible(inst.Impl, inst.Spec); err != nil {
 		return nil, err
 	}
@@ -200,7 +207,7 @@ func Solve(inst *eco.Instance, opt eco.Options, verifyFrames int) (*eco.Result, 
 		Spec:    combSpec,
 		Weights: weights,
 	}
-	res, err := eco.Solve(combInst, opt)
+	res, err := eco.SolveContext(ctx, combInst, opt)
 	if err != nil {
 		return nil, err
 	}
