@@ -18,12 +18,15 @@
 //	ecobench [-mode table1|copies|mincalls|patchcmp] [-scale N]
 //	         [-unit unitK] [-modes baseline,minassume,exact]
 //	         [-j N] [-timeout 30s] [-json report.json]
+//	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -31,16 +34,56 @@ import (
 )
 
 func main() {
+	// realMain holds the body so deferred profile writers run before
+	// the process exits, even on error paths.
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
-		mode     = flag.String("mode", "table1", "experiment: table1, copies, mincalls, patchcmp, all")
-		scale    = flag.Int("scale", 1, "circuit size multiplier")
-		unit     = flag.String("unit", "", "restrict table1 to one unit")
-		modesStr = flag.String("modes", strings.Join(bench.Modes, ","), "table1 algorithm columns")
-		jobs     = flag.Int("j", 1, "worker goroutines for the table1 sweep")
-		timeout  = flag.Duration("timeout", 0, "per-(unit,mode) deadline for table1 cells (0 = none)")
-		jsonPath = flag.String("json", "", "also write the table1 report as JSON to this file")
+		mode       = flag.String("mode", "table1", "experiment: table1, copies, mincalls, patchcmp, all")
+		scale      = flag.Int("scale", 1, "circuit size multiplier")
+		unit       = flag.String("unit", "", "restrict table1 to one unit")
+		modesStr   = flag.String("modes", strings.Join(bench.Modes, ","), "table1 algorithm columns")
+		jobs       = flag.Int("j", 1, "worker goroutines for the table1 sweep")
+		timeout    = flag.Duration("timeout", 0, "per-(unit,mode) deadline for table1 cells (0 = none)")
+		jsonPath   = flag.String("json", "", "also write the table1 report as JSON to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile (go tool pprof) to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ecobench:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ecobench:", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	defer func() {
+		if *memProfile == "" {
+			return
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ecobench:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // materialize up-to-date allocation stats
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ecobench:", err)
+		}
+	}()
 
 	modes, err := parseModes(*modesStr)
 	if err == nil {
@@ -75,8 +118,9 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ecobench:", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // parseModes splits the -modes flag, trimming whitespace, dropping

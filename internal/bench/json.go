@@ -30,7 +30,9 @@ type JSONRow struct {
 	Results   map[string]JSONCell `json:"results"`
 }
 
-// JSONCell is one (unit, mode) result with per-stage timings.
+// JSONCell is one (unit, mode) result with per-stage timings and
+// aggregated SAT-kernel counters. The counter fields are additive
+// extensions; the schema stays ecobench/table1@v1.
 type JSONCell struct {
 	Cost       int     `json:"cost"`
 	PatchGates int     `json:"patch_gates"`
@@ -42,6 +44,14 @@ type JSONCell struct {
 	Feasible   bool    `json:"feasible"`
 	Structural int     `json:"structural"`
 	TimedOut   bool    `json:"timed_out,omitempty"`
+
+	SATCalls     int64 `json:"sat_calls"`
+	Conflicts    int64 `json:"conflicts"`
+	Decisions    int64 `json:"decisions"`
+	Propagations int64 `json:"propagations"`
+	Restarts     int64 `json:"restarts"`
+	Learnts      int64 `json:"learnts"`
+	LearntEvict  int64 `json:"learnt_evicted"`
 }
 
 // NewJSONReport converts a finished sweep into the report form.
@@ -86,6 +96,14 @@ func NewJSONReport(opts RunOptions, modes []string, rows []Table1Row) JSONReport
 				Feasible:   a.Feasible,
 				Structural: a.Structural,
 				TimedOut:   a.TimedOut,
+
+				SATCalls:     a.SATCalls,
+				Conflicts:    a.Conflicts,
+				Decisions:    a.Decisions,
+				Propagations: a.Propagations,
+				Restarts:     a.Restarts,
+				Learnts:      a.Learnts,
+				LearntEvict:  a.LearntEvict,
 			}
 		}
 		rep.Rows = append(rep.Rows, jr)

@@ -33,6 +33,15 @@ type AlgoResult struct {
 	Feasible   bool
 	Structural int  // targets patched structurally
 	TimedOut   bool // deadline fired; result is the degraded partial
+
+	// Aggregated SAT-kernel counters over every solver of the cell.
+	SATCalls     int64
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Restarts     int64
+	Learnts      int64
+	LearntEvict  int64
 }
 
 // Table1Row aggregates one benchmark unit across the three modes.
@@ -120,6 +129,14 @@ func RunUnitTimeout(cfg Config, mode string, timeout time.Duration) (Table1Row, 
 		Feasible:   res.Feasible,
 		Structural: res.Stats.StructuralFixes,
 		TimedOut:   res.TimedOut,
+
+		SATCalls:     res.Stats.Solver.SolveCalls,
+		Conflicts:    res.Stats.Solver.Conflicts,
+		Decisions:    res.Stats.Solver.Decisions,
+		Propagations: res.Stats.Solver.Propagations,
+		Restarts:     res.Stats.Solver.Restarts,
+		Learnts:      res.Stats.Solver.Learnts,
+		LearntEvict:  res.Stats.Solver.Removed,
 	}
 	return row, nil
 }

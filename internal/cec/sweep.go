@@ -28,6 +28,74 @@ func DefaultSweepOptions() SweepOptions {
 	return SweepOptions{SimRounds: 8, ConfBudget: 2000, MaxCandidates: 4, Seed: 1}
 }
 
+// PairChecker proves pointwise equivalences between edges of one AIG
+// using a single incremental SAT solver. Each query encodes only the
+// new cone logic, adds two selector-guarded difference clauses, and
+// solves under the selector assumption; afterwards the selector is
+// retired with a unit clause, so learnt clauses and variable
+// activities carry over to the next pair instead of being rebuilt
+// from scratch per query (the classic incremental-fraiging setup).
+type PairChecker struct {
+	g   *aig.AIG
+	s   *sat.Solver
+	enc *cnf.Encoder
+}
+
+// NewPairChecker builds a checker over g. The graph may keep growing
+// (new nodes are encoded on demand) as long as PIs are added before
+// any pair over them is checked. opt.ConfBudget bounds conflicts per
+// query; opt.OnSolver observes the one solver for interruption.
+func NewPairChecker(g *aig.AIG, opt CheckOptions) *PairChecker {
+	s := sat.New()
+	if opt.ConfBudget > 0 {
+		s.SetConfBudget(opt.ConfBudget)
+	}
+	if opt.OnSolver != nil {
+		opt.OnSolver(s)
+	}
+	return &PairChecker{g: g, s: s, enc: cnf.NewEncoder(s, g)}
+}
+
+// Solver exposes the underlying solver (e.g. for stats readout).
+func (pc *PairChecker) Solver() *sat.Solver { return pc.s }
+
+// CheckPair decides whether edges a and b compute the same function of
+// the graph's PIs. On disequality cex holds PI values (indexed by PI
+// position) exposing the difference. err is ErrGaveUp when the
+// conflict budget ran out or the solver was interrupted — the pair is
+// then simply unresolved.
+func (pc *PairChecker) CheckPair(a, b aig.Lit) (equal bool, cex []bool, err error) {
+	if a == b {
+		return true, nil, nil
+	}
+	if a == b.Not() {
+		return false, nil, nil
+	}
+	la, lb := pc.enc.Lit(a), pc.enc.Lit(b)
+	d := sat.PosLit(pc.s.NewVar())
+	// d -> (a != b)
+	pc.s.AddClause(d.Not(), la, lb)
+	pc.s.AddClause(d.Not(), la.Not(), lb.Not())
+	st := pc.s.Solve(d)
+	if st == sat.Sat {
+		cex = make([]bool, pc.g.NumPIs())
+		for i := range cex {
+			cex[i] = pc.s.ModelBool(pc.enc.Lit(pc.g.PI(i)))
+		}
+	}
+	// Retire the selector so the guard clauses become satisfied and
+	// reclaimable; future queries use fresh selectors.
+	pc.s.AddClause(d.Not())
+	switch st {
+	case sat.Unsat:
+		return true, nil, nil
+	case sat.Sat:
+		return false, cex, nil
+	default:
+		return false, nil, ErrGaveUp
+	}
+}
+
 // Sweep functionally reduces the AIG (fraiging, the core of the
 // paper's CEC reference [12]): candidate equivalences are proposed by
 // random simulation and proved by incremental SAT; proven-equivalent
@@ -75,11 +143,7 @@ func Sweep(g *aig.AIG, opt SweepOptions) *aig.AIG {
 	}
 
 	ng := aig.New()
-	solver := sat.New()
-	if opt.ConfBudget > 0 {
-		solver.SetConfBudget(opt.ConfBudget)
-	}
-	enc := cnf.NewEncoder(solver, ng)
+	checker := NewPairChecker(ng, CheckOptions{ConfBudget: opt.ConfBudget})
 
 	mapped := make([]aig.Lit, g.NumNodes())
 	mapped[0] = aig.ConstFalse
@@ -131,33 +195,10 @@ func Sweep(g *aig.AIG, opt SweepOptions) *aig.AIG {
 	}
 
 	proveEqual := func(a, b aig.Lit) (equal bool, cex []bool) {
-		if a == b {
-			return true, nil
-		}
-		if a == b.Not() {
-			return false, nil
-		}
-		la, lb := enc.Lit(a), enc.Lit(b)
-		// a != b satisfiable?
-		d := sat.PosLit(solver.NewVar())
-		solver.AddClause(d.Not(), la, lb)
-		solver.AddClause(d.Not(), la.Not(), lb.Not())
-		switch solver.Solve(d) {
-		case sat.Unsat:
-			return true, nil
-		case sat.Sat:
-			in := make([]bool, g.NumPIs())
-			for i := 0; i < ng.NumPIs(); i++ {
-				in[i] = solver.ModelBool(enc.Lit(ng.PI(i)))
-			}
-			return false, in
-		case sat.Unknown:
-			// Budget exhausted or interrupted: leaving the pair
-			// unmerged is sound, just weaker.
-			return false, nil
-		default:
-			return false, nil
-		}
+		// A gave-up query (budget exhausted or interrupted) leaves the
+		// pair unmerged, which is sound, just weaker.
+		equal, cex, _ = checker.CheckPair(a, b)
+		return equal, cex
 	}
 
 	roots := make([]aig.Lit, g.NumPOs())

@@ -28,6 +28,19 @@ func (g *solverGroup) add(s *sat.Solver) {
 	g.mu.Unlock()
 }
 
+// stats sums the kernel counters of every solver created during the
+// run. Call only after solving is done (solvers mutate their own
+// Stats while searching).
+func (g *solverGroup) stats() sat.Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var total sat.Stats
+	for _, s := range g.solvers {
+		total.Add(s.Stats)
+	}
+	return total
+}
+
 // interruptAll interrupts every registered solver and marks the group
 // stopped so later registrations abort immediately.
 func (g *solverGroup) interruptAll() {

@@ -162,6 +162,12 @@ type Stats struct {
 	SupportTime time.Duration // support selection incl. last-gasp
 	PatchTime   time.Duration // patch-function computation (SAT or structural)
 	VerifyTime  time.Duration // final equivalence checks
+
+	// Solver aggregates the raw kernel counters (decisions,
+	// propagations, conflicts, restarts, learnt-DB churn) of every SAT
+	// solver created during the run, for per-solver profiling in
+	// ecobench reports.
+	Solver sat.Stats
 }
 
 // Result is the outcome of Solve.
@@ -315,6 +321,8 @@ func SolveContext(ctx context.Context, inst *Instance, opt Options) (*Result, er
 // seal stamps the bookkeeping fields shared by every return path.
 func (e *engine) seal(ctx context.Context, start time.Time) *Result {
 	e.res.TimedOut = ctx.Err() != nil
+	e.stats.Solver = e.group.stats()
+	e.stats.Conflicts = e.stats.Solver.Conflicts
 	e.res.Stats = e.stats
 	e.res.Elapsed = time.Since(start)
 	return e.res

@@ -254,6 +254,12 @@ func (e *engine) addFunctionalEquivs(cone []int, nodeEquiv map[int]equiv) {
 		_ = compl
 		bySig[key] = append(bySig[key], j)
 	}
+	// One incremental solver serves all candidate-pair queries: each
+	// check is a selector-guarded assumption on a shared clause
+	// database, so cone encodings and learnt clauses amortize across
+	// the (up to maxSATChecks) confirmations instead of rebuilding a
+	// solver per pair.
+	checker := cec.NewPairChecker(e.w, cec.CheckOptions{OnSolver: e.group.add})
 	checks := 0
 	for _, n := range cone {
 		if !e.w.IsAnd(n) {
@@ -283,9 +289,11 @@ func (e *engine) addFunctionalEquivs(cone []int, nodeEquiv map[int]equiv) {
 			_, dCompl := canon(d.edge.Node())
 			rel := nCompl != dCompl // value(n) == value(dNode) XOR rel
 			want := aig.MkLit(d.edge.Node(), rel)
-			res, err := cec.CheckLitsOpt(e.w, []aig.Lit{aig.MkLit(n, false)}, []aig.Lit{want},
-				cec.CheckOptions{OnSolver: e.group.add})
-			if err != nil || !res.Equivalent {
+			equal, _, err := checker.CheckPair(aig.MkLit(n, false), want)
+			if err != nil && checker.Solver().Interrupted() {
+				return // deadline hit; stop probing
+			}
+			if !equal {
 				continue
 			}
 			// signal = value(dNode) XOR edgeCompl = value(n) XOR rel

@@ -16,15 +16,20 @@ type minimizer struct {
 	s     *sat.Solver
 	fixed []sat.Lit
 	calls *int
+
+	// scratch is the assumption buffer reused across solve calls:
+	// minimize issues O(log N + M) SAT queries and allocating a fresh
+	// slice per query is measurable garbage on Algorithm 1's hot loop.
+	scratch []sat.Lit
 }
 
 func (m *minimizer) solve(extra []sat.Lit) (sat.Status, error) {
 	if m.calls != nil {
 		*m.calls++
 	}
-	assumps := make([]sat.Lit, 0, len(m.fixed)+len(extra))
-	assumps = append(assumps, m.fixed...)
+	assumps := append(m.scratch[:0], m.fixed...)
 	assumps = append(assumps, extra...)
+	m.scratch = assumps
 	st := m.s.Solve(assumps...)
 	if st == sat.Unknown {
 		return st, errBudget
@@ -91,11 +96,11 @@ func (m *minimizer) minimize(A []sat.Lit) (int, error) {
 // the current partial selection and the untested tail.
 func minimizeLinear(s *sat.Solver, fixed []sat.Lit, A []sat.Lit, calls *int) (int, error) {
 	kept := 0
+	scratch := make([]sat.Lit, 0, len(fixed)+len(A))
 	for i := 0; i < len(A); i++ {
 		// Assume everything kept so far plus the untouched tail,
 		// skipping A[i].
-		assumps := make([]sat.Lit, 0, len(fixed)+len(A))
-		assumps = append(assumps, fixed...)
+		assumps := append(scratch[:0], fixed...)
 		assumps = append(assumps, A[:kept]...)
 		assumps = append(assumps, A[i+1:]...)
 		if calls != nil {

@@ -5,9 +5,9 @@ import (
 	"testing"
 )
 
-// BenchmarkPigeonholeUnsat measures refutation throughput on the
+// BenchmarkSolvePigeonholeUnsat measures refutation throughput on the
 // classic hard family PHP(n+1, n).
-func BenchmarkPigeonholeUnsat(b *testing.B) {
+func BenchmarkSolvePigeonholeUnsat(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := New()
 		pigeonhole(s, 8, 7)
@@ -17,9 +17,9 @@ func BenchmarkPigeonholeUnsat(b *testing.B) {
 	}
 }
 
-// BenchmarkRandom3SAT measures mixed SAT/UNSAT solving near the phase
-// transition (clause/variable ratio ≈ 4.2).
-func BenchmarkRandom3SAT(b *testing.B) {
+// BenchmarkSolveRandom3SAT measures mixed SAT/UNSAT solving near the
+// phase transition (clause/variable ratio ≈ 4.2).
+func BenchmarkSolveRandom3SAT(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	const nVars = 120
 	for i := 0; i < b.N; i++ {
@@ -38,10 +38,10 @@ func BenchmarkRandom3SAT(b *testing.B) {
 	}
 }
 
-// BenchmarkIncrementalAssumptions measures assumption-based reuse of
-// one solver across many queries, the access pattern of
+// BenchmarkSolveIncrementalAssumptions measures assumption-based reuse
+// of one solver across many queries, the access pattern of
 // minimize_assumptions.
-func BenchmarkIncrementalAssumptions(b *testing.B) {
+func BenchmarkSolveIncrementalAssumptions(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
 	s := New()
 	const n = 200
@@ -63,5 +63,31 @@ func BenchmarkIncrementalAssumptions(b *testing.B) {
 			assumps = append(assumps, lits[v].XorSign(i%2 == 0))
 		}
 		s.Solve(assumps...)
+	}
+}
+
+// BenchmarkSolveBCPChain measures raw unit-propagation throughput:
+// long implication chains with no conflicts, so nearly all time is
+// spent walking watcher lists and clause memory.
+func BenchmarkSolveBCPChain(b *testing.B) {
+	const n = 5000
+	s := New()
+	lits := make([]Lit, n)
+	for i := range lits {
+		lits[i] = PosLit(s.NewVar())
+	}
+	// x0 -> x1 -> ... -> x_{n-1}, plus ternary side clauses that are
+	// satisfied by the chain but must still be visited by the watchers.
+	for i := 0; i+1 < n; i++ {
+		s.AddClause(lits[i].Not(), lits[i+1])
+	}
+	for i := 0; i+2 < n; i += 3 {
+		s.AddClause(lits[i].Not(), lits[i+1], lits[i+2])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Solve(lits[0]) != Sat {
+			b.Fatal("chain must be SAT")
+		}
 	}
 }

@@ -41,7 +41,7 @@ func (s *Solver) WriteDIMACS(w io.Writer) error {
 		}
 	}
 	for _, c := range s.clauses {
-		for _, l := range c.lits {
+		for _, l := range s.ca.lits(c) {
 			fmt.Fprintf(bw, "%d ", dimacsLit(l))
 		}
 		fmt.Fprintln(bw, "0")
@@ -62,6 +62,16 @@ func dimacsLit(l Lit) int {
 // created as needed (the problem-line count is a lower bound).
 func ParseDIMACS(r io.Reader) (*Solver, error) {
 	s := New()
+	if err := ParseDIMACSInto(r, s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ParseDIMACSInto reads a DIMACS CNF file into an existing solver, so
+// callers can pick the configuration (NewWithConfig) or enable proof
+// logging (StartProof) before loading the formula.
+func ParseDIMACSInto(r io.Reader, s *Solver) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<26)
 	var clause []Lit
@@ -75,11 +85,11 @@ func ParseDIMACS(r io.Reader) (*Solver, error) {
 		if strings.HasPrefix(line, "p") {
 			fields := strings.Fields(line)
 			if len(fields) != 4 || fields[1] != "cnf" {
-				return nil, fmt.Errorf("dimacs: line %d: malformed problem line %q", lineNo, line)
+				return fmt.Errorf("dimacs: line %d: malformed problem line %q", lineNo, line)
 			}
 			nVars, err := strconv.Atoi(fields[2])
 			if err != nil || nVars < 0 {
-				return nil, fmt.Errorf("dimacs: line %d: bad variable count", lineNo)
+				return fmt.Errorf("dimacs: line %d: bad variable count", lineNo)
 			}
 			s.EnsureVars(nVars)
 			continue
@@ -87,7 +97,7 @@ func ParseDIMACS(r io.Reader) (*Solver, error) {
 		for _, tok := range strings.Fields(line) {
 			v, err := strconv.Atoi(tok)
 			if err != nil {
-				return nil, fmt.Errorf("dimacs: line %d: bad literal %q", lineNo, tok)
+				return fmt.Errorf("dimacs: line %d: bad literal %q", lineNo, tok)
 			}
 			if v == 0 {
 				s.AddClause(clause...)
@@ -103,10 +113,10 @@ func ParseDIMACS(r io.Reader) (*Solver, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("dimacs: %w", err)
+		return fmt.Errorf("dimacs: %w", err)
 	}
 	if len(clause) > 0 {
-		return nil, fmt.Errorf("dimacs: trailing clause without terminating 0")
+		return fmt.Errorf("dimacs: trailing clause without terminating 0")
 	}
-	return s, nil
+	return nil
 }

@@ -112,12 +112,12 @@ func (p *Proof) addLearnt(lits []Lit, chain []int32, pivots []Var) {
 // conflicting at decision level 0. Every literal of confl (and,
 // transitively, of the antecedents pulled in) is resolved away using
 // the level-0 implication graph.
-func (s *Solver) addFinal(confl *clause) {
+func (s *Solver) addFinal(confl CRef) {
 	p := s.proof
-	chain := []int32{confl.id}
+	chain := []int32{s.ca.id(confl)}
 	var pivots []Var
 	need := make(map[Var]bool)
-	for _, l := range confl.lits {
+	for _, l := range s.ca.lits(confl) {
 		need[l.Var()] = true
 	}
 	for i := len(s.trail) - 1; i >= 0; i-- {
@@ -125,10 +125,10 @@ func (s *Solver) addFinal(confl *clause) {
 		if !need[v] {
 			continue
 		}
-		if r := s.reason[v]; r != nil {
-			chain = append(chain, r.id)
+		if r := s.reason[v]; r != CRefUndef {
+			chain = append(chain, s.ca.id(r))
 			pivots = append(pivots, v)
-			for _, q := range r.lits[1:] {
+			for _, q := range s.ca.lits(r)[1:] {
 				need[q.Var()] = true
 			}
 		} else {
@@ -158,10 +158,10 @@ func (s *Solver) resolveZeroCone(chain []int32, pivots []Var) ([]int32, []Var) {
 			continue
 		}
 		delete(s.zeroNeed, v)
-		if r := s.reason[v]; r != nil {
-			chain = append(chain, r.id)
+		if r := s.reason[v]; r != CRefUndef {
+			chain = append(chain, s.ca.id(r))
 			pivots = append(pivots, v)
-			for _, q := range r.lits[1:] {
+			for _, q := range s.ca.lits(r)[1:] {
 				s.zeroNeed[q.Var()] = true
 			}
 		} else {

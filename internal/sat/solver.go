@@ -2,25 +2,29 @@ package sat
 
 import "sync/atomic"
 
-// clause is a disjunction of literals. For watched clauses lits[0] and
-// lits[1] are the watched literals.
-type clause struct {
-	lits   []Lit
-	act    float32
-	id     int32 // proof id; 0 when proof logging is off
-	learnt bool
-}
-
 // watcher pairs a watched clause with a blocker literal: if the
 // blocker is already true the clause is satisfied and need not be
-// inspected.
+// inspected. The low bit of cb tags binary clauses, whose other
+// literal IS the blocker, so binary propagation never touches clause
+// memory at all.
 type watcher struct {
-	c       *clause
+	cb      uint32 // cref<<1 | binary
 	blocker Lit
 }
 
+func mkWatcher(c CRef, blocker Lit, binary bool) watcher {
+	cb := uint32(c) << 1
+	if binary {
+		cb |= 1
+	}
+	return watcher{cb: cb, blocker: blocker}
+}
+
+func (w watcher) cref() CRef { return CRef(w.cb >> 1) }
+
 // Stats collects solver counters, exposed for the experiment harness
-// (e.g. counting SAT calls made by minimize_assumptions).
+// (e.g. counting SAT calls made by minimize_assumptions) and for the
+// per-solver profiling surfaced by ecobench.
 type Stats struct {
 	Starts       int64
 	Decisions    int64
@@ -29,18 +33,49 @@ type Stats struct {
 	SolveCalls   int64
 	Learnts      int64
 	Removed      int64
+
+	// Glucose-kernel counters.
+	Restarts        int64 // restarts fired (both policies)
+	BlockedRestarts int64 // Glucose restarts delayed by trail blocking
+	Reductions      int64 // learnt-DB reduction passes
+	LBDSum          int64 // sum of LBDs at learning time (avg = LBDSum/Learnts)
+	CorePromotions  int64 // local-tier clauses promoted to the core tier
+	ArenaGCs        int64 // clause-arena compactions
+}
+
+// Add accumulates o into s, for aggregating counters across solvers.
+func (s *Stats) Add(o Stats) {
+	s.Starts += o.Starts
+	s.Decisions += o.Decisions
+	s.Propagations += o.Propagations
+	s.Conflicts += o.Conflicts
+	s.SolveCalls += o.SolveCalls
+	s.Learnts += o.Learnts
+	s.Removed += o.Removed
+	s.Restarts += o.Restarts
+	s.BlockedRestarts += o.BlockedRestarts
+	s.Reductions += o.Reductions
+	s.LBDSum += o.LBDSum
+	s.CorePromotions += o.CorePromotions
+	s.ArenaGCs += o.ArenaGCs
 }
 
 // Solver is an incremental CDCL SAT solver. The zero value is not
-// usable; create instances with New.
+// usable; create instances with New or NewWithConfig.
 type Solver struct {
-	clauses []*clause // problem clauses
-	learnts []*clause // learnt clauses
+	ca      arena  // flat clause storage
+	clauses []CRef // problem clauses
+
+	// Learnt clauses live in two tiers: core (LBD <= cfg.CoreLBD,
+	// kept forever) and local (evicted by LBD-then-activity).
+	coreLearnts []CRef
+	learnts     []CRef
+	reduceLim   int // local-tier size triggering the next reduction
 
 	watches [][]watcher // indexed by Lit
 	assigns []LBool     // indexed by Var
 	level   []int32     // indexed by Var
-	reason  []*clause   // indexed by Var
+	reason  []CRef      // indexed by Var; CRefUndef for decisions
 	seen    []byte      // scratch for analyze
 
 	trail    []Lit
@@ -53,6 +88,8 @@ type Solver struct {
 	polarity []bool // saved phases; true = last assigned false
 
 	clauseInc float64
+
+	cfg Config
 
 	okay bool // false once a top-level conflict proves UNSAT
 
@@ -69,7 +106,14 @@ type Solver struct {
 	interrupted atomic.Bool
 
 	// Restart state.
-	lubyIdx int
+	lubyIdx    int
+	lbdQueue   boundedQueue // recent learnt LBDs (Glucose fast average)
+	trailQueue boundedQueue // recent trail sizes at conflicts (blocking)
+	sumLBD     float64      // all-time LBD sum (Glucose slow average)
+
+	// LBD computation scratch: per-level stamps.
+	lbdStamp   []uint32 // indexed by decision level
+	lbdCounter uint32
 
 	analyzeStack []Lit
 	analyzeToClr []Lit
@@ -82,24 +126,43 @@ type Solver struct {
 	zeroNeed map[Var]bool // scratch: level-0 literals analyze dropped
 }
 
-// New returns an empty solver.
-func New() *Solver {
+// New returns an empty solver with the default (Glucose-style)
+// configuration.
+func New() *Solver { return NewWithConfig(DefaultConfig()) }
+
+// NewWithConfig returns an empty solver with explicit heuristics
+// configuration. Zero fields of cfg take their defaults.
+func NewWithConfig(cfg Config) *Solver {
+	cfg.applyDefaults()
 	s := &Solver{
 		varInc:     1,
 		clauseInc:  1,
 		okay:       true,
 		confBudget: -1,
 		propBudget: -1,
+		cfg:        cfg,
+		reduceLim:  cfg.FirstReduce,
+		lbdQueue:   newBoundedQueue(cfg.LBDWindow),
+		trailQueue: newBoundedQueue(cfg.TrailWindow),
+		lbdStamp:   make([]uint32, 1),
 	}
 	s.order = newVarHeap(&s.activity)
 	return s
 }
+
+// Config returns the heuristics configuration the solver runs with.
+func (s *Solver) Config() Config { return s.cfg }
 
 // NumVars returns the number of variables created so far.
 func (s *Solver) NumVars() int { return len(s.assigns) }
 
 // NumClauses returns the number of problem clauses currently held.
 func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// LearntDB reports the current sizes of the two learnt-clause tiers.
+func (s *Solver) LearntDB() (core, local int) {
+	return len(s.coreLearnts), len(s.learnts)
+}
 
 // Okay reports whether the clause database is still consistent at the
 // top level (false once UNSAT has been proved without assumptions).
@@ -110,12 +173,13 @@ func (s *Solver) NewVar() Var {
 	v := Var(len(s.assigns))
 	s.assigns = append(s.assigns, LUndef)
 	s.level = append(s.level, 0)
-	s.reason = append(s.reason, nil)
+	s.reason = append(s.reason, CRefUndef)
 	s.seen = append(s.seen, 0)
 	s.activity = append(s.activity, 0)
 	s.polarity = append(s.polarity, true)
 	s.watches = append(s.watches, nil, nil)
 	s.unitID = append(s.unitID, 0)
+	s.lbdStamp = append(s.lbdStamp, 0)
 	s.order.insert(v)
 	return v
 }
@@ -251,25 +315,27 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 				}
 			}
 		}
-		c := &clause{lits: append([]Lit(nil), out...), id: s.proof.lastID}
 		switch w {
 		case 0:
 			// All literals false at level 0: this clause refutes the
 			// formula outright.
+			c := s.ca.alloc(out, false, s.proof.lastID)
 			s.addFinal(c)
 			s.okay = false
 			return false
 		case 1:
 			if len(out) == 1 {
-				s.unitID[out[0].Var()] = c.id
-				s.uncheckedEnqueue(out[0], nil)
+				s.unitID[out[0].Var()] = s.proof.lastID
+				s.uncheckedEnqueue(out[0], CRefUndef)
 			} else {
+				c := s.ca.alloc(out, false, s.proof.lastID)
 				s.clauses = append(s.clauses, c)
 				s.attachClause(c)
 				s.uncheckedEnqueue(out[0], c)
 			}
 			return s.propagateRoot()
 		default:
+			c := s.ca.alloc(out, false, s.proof.lastID)
 			s.clauses = append(s.clauses, c)
 			s.attachClause(c)
 			return true
@@ -280,10 +346,10 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		s.okay = false
 		return false
 	case 1:
-		s.uncheckedEnqueue(out[0], nil)
+		s.uncheckedEnqueue(out[0], CRefUndef)
 		return s.propagateRoot()
 	}
-	c := &clause{lits: append([]Lit(nil), out...)}
+	c := s.ca.alloc(out, false, 0)
 	s.clauses = append(s.clauses, c)
 	s.attachClause(c)
 	return true
@@ -292,7 +358,7 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 // propagateRoot runs propagation at decision level 0 and records the
 // refutation in the proof log if a conflict arises.
 func (s *Solver) propagateRoot() bool {
-	if confl := s.propagate(); confl != nil {
+	if confl := s.propagate(); confl != CRefUndef {
 		if s.proof != nil {
 			s.addFinal(confl)
 		}
@@ -315,20 +381,22 @@ func sortLits(ls []Lit) {
 	}
 }
 
-func (s *Solver) attachClause(c *clause) {
-	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watcher{c, c.lits[1]})
-	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c, c.lits[0]})
+func (s *Solver) attachClause(c CRef) {
+	l0, l1 := s.ca.lit(c, 0), s.ca.lit(c, 1)
+	bin := s.ca.size(c) == 2
+	s.watches[l0.Not()] = append(s.watches[l0.Not()], mkWatcher(c, l1, bin))
+	s.watches[l1.Not()] = append(s.watches[l1.Not()], mkWatcher(c, l0, bin))
 }
 
-func (s *Solver) detachClause(c *clause) {
-	s.removeWatch(c.lits[0].Not(), c)
-	s.removeWatch(c.lits[1].Not(), c)
+func (s *Solver) detachClause(c CRef) {
+	s.removeWatch(s.ca.lit(c, 0).Not(), c)
+	s.removeWatch(s.ca.lit(c, 1).Not(), c)
 }
 
-func (s *Solver) removeWatch(l Lit, c *clause) {
+func (s *Solver) removeWatch(l Lit, c CRef) {
 	ws := s.watches[l]
 	for i := range ws {
-		if ws[i].c == c {
+		if ws[i].cref() == c {
 			ws[i] = ws[len(ws)-1]
 			s.watches[l] = ws[:len(ws)-1]
 			return
@@ -336,7 +404,7 @@ func (s *Solver) removeWatch(l Lit, c *clause) {
 	}
 }
 
-func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+func (s *Solver) uncheckedEnqueue(l Lit, from CRef) {
 	v := l.Var()
 	s.assigns[v] = liftBool(!l.Sign())
 	s.level[v] = s.decisionLevel()
@@ -344,45 +412,78 @@ func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
 	s.trail = append(s.trail, l)
 }
 
-// propagate performs unit propagation and returns the conflicting
-// clause, or nil if no conflict arose.
-func (s *Solver) propagate() *clause {
+// propagate performs unit propagation over the flat arena and returns
+// the conflicting clause reference, or CRefUndef. Binary clauses are
+// resolved entirely from the watcher (blocker = other literal).
+func (s *Solver) propagate() CRef {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead]
 		s.qhead++
 		s.Stats.Propagations++
 		ws := s.watches[p]
+		data := s.ca.data
 		n := 0
 	nextWatcher:
 		for i := 0; i < len(ws); i++ {
 			w := ws[i]
-			if s.LitValue(w.blocker) == LTrue {
+			switch s.LitValue(w.blocker) {
+			case LTrue:
 				ws[n] = w
 				n++
 				continue
+			case LFalse:
+				if w.cb&1 != 0 {
+					// Binary conflict: both literals false.
+					ws[n] = w
+					n++
+					for i++; i < len(ws); i++ {
+						ws[n] = ws[i]
+						n++
+					}
+					s.watches[p] = ws[:n]
+					s.qhead = len(s.trail)
+					return w.cref()
+				}
+			default:
+				if w.cb&1 != 0 {
+					// Binary unit: imply the blocker. Normalize the
+					// implied literal to position 0 so reason-side
+					// consumers (analyze, proofs) see the MiniSat
+					// layout.
+					c := w.cref()
+					if Lit(data[c+claLits]) != w.blocker {
+						data[c+claLits], data[c+claLits+1] = data[c+claLits+1], data[c+claLits]
+					}
+					ws[n] = w
+					n++
+					s.uncheckedEnqueue(w.blocker, c)
+					continue
+				}
 			}
-			c := w.c
-			lits := c.lits
-			// Make sure the false literal is lits[1].
-			if lits[0] == p.Not() {
-				lits[0], lits[1] = lits[1], lits[0]
+			c := w.cref()
+			base := c + claLits
+			// Make sure the false literal is position 1.
+			if Lit(data[base]) == p.Not() {
+				data[base], data[base+1] = data[base+1], data[base]
 			}
-			first := lits[0]
+			first := Lit(data[base])
 			if first != w.blocker && s.LitValue(first) == LTrue {
-				ws[n] = watcher{c, first}
+				ws[n] = watcher{cb: w.cb, blocker: first}
 				n++
 				continue
 			}
 			// Look for a new literal to watch.
-			for k := 2; k < len(lits); k++ {
-				if s.LitValue(lits[k]) != LFalse {
-					lits[1], lits[k] = lits[k], lits[1]
-					s.watches[lits[1].Not()] = append(s.watches[lits[1].Not()], watcher{c, first})
+			end := base + CRef(data[c]>>2)
+			for k := base + 2; k < end; k++ {
+				if s.LitValue(Lit(data[k])) != LFalse {
+					data[base+1], data[k] = data[k], data[base+1]
+					nw := Lit(data[base+1]).Not()
+					s.watches[nw] = append(s.watches[nw], watcher{cb: w.cb, blocker: first})
 					continue nextWatcher
 				}
 			}
 			// Clause is unit or conflicting.
-			ws[n] = watcher{c, first}
+			ws[n] = watcher{cb: w.cb, blocker: first}
 			n++
 			if s.LitValue(first) == LFalse {
 				// Conflict: copy remaining watchers back and stop.
@@ -398,7 +499,7 @@ func (s *Solver) propagate() *clause {
 		}
 		s.watches[p] = ws[:n]
 	}
-	return nil
+	return CRefUndef
 }
 
 func (s *Solver) newDecisionLevel() {
@@ -414,7 +515,7 @@ func (s *Solver) cancelUntil(lvl int32) {
 	for i := len(s.trail) - 1; i >= int(bound); i-- {
 		v := s.trail[i].Var()
 		s.assigns[v] = LUndef
-		s.reason[v] = nil
+		s.reason[v] = CRefUndef
 		s.polarity[v] = s.trail[i].Sign()
 		s.order.insert(v)
 	}
@@ -435,23 +536,45 @@ func (s *Solver) varBumpActivity(v Var) {
 	s.order.decrease(v)
 }
 
-func (s *Solver) varDecayActivity() { s.varInc /= 0.95 }
+func (s *Solver) varDecayActivity() { s.varInc /= s.cfg.VarDecay }
 
-func (s *Solver) claBumpActivity(c *clause) {
-	c.act += float32(s.clauseInc)
-	if c.act > 1e20 {
+func (s *Solver) claBumpActivity(c CRef) {
+	a := s.ca.act(c) + float32(s.clauseInc)
+	s.ca.setAct(c, a)
+	if a > 1e20 {
 		for _, lc := range s.learnts {
-			lc.act *= 1e-20
+			s.ca.setAct(lc, s.ca.act(lc)*1e-20)
+		}
+		for _, lc := range s.coreLearnts {
+			s.ca.setAct(lc, s.ca.act(lc)*1e-20)
 		}
 		s.clauseInc *= 1e-20
 	}
 }
 
-func (s *Solver) claDecayActivity() { s.clauseInc /= 0.999 }
+func (s *Solver) claDecayActivity() { s.clauseInc /= s.cfg.ClauseDecay }
 
-// analyze derives a first-UIP learnt clause from the conflict and the
-// backtrack level. The returned slice is owned by the caller.
-func (s *Solver) analyze(confl *clause) (learnt []Lit, btLevel int32) {
+// computeLBD returns the literal block distance of lits: the number
+// of distinct non-zero decision levels among them, computed with a
+// per-level stamp so repeated calls are O(len(lits)).
+func (s *Solver) computeLBD(lits []Lit) uint32 {
+	s.lbdCounter++
+	stamp := s.lbdStamp
+	var lbd uint32
+	for _, l := range lits {
+		lev := s.level[l.Var()]
+		if lev > 0 && stamp[lev] != s.lbdCounter {
+			stamp[lev] = s.lbdCounter
+			lbd++
+		}
+	}
+	return lbd
+}
+
+// analyze derives a first-UIP learnt clause from the conflict, the
+// backtrack level, and the clause's LBD at learning time. The learnt
+// slice is owned by the caller.
+func (s *Solver) analyze(confl CRef) (learnt []Lit, btLevel int32, lbd uint32) {
 	learnt = append(learnt, LitUndef) // placeholder for the asserting literal
 	var p Lit = LitUndef
 	idx := len(s.trail) - 1
@@ -459,17 +582,25 @@ func (s *Solver) analyze(confl *clause) (learnt []Lit, btLevel int32) {
 	var chain []int32
 	var pivots []Var
 	if s.proof != nil {
-		chain = append(chain, confl.id)
+		chain = append(chain, s.ca.id(confl))
 	}
 	for {
-		if confl.learnt {
+		cLits := s.ca.lits(confl)
+		if s.ca.isLearnt(confl) {
 			s.claBumpActivity(confl)
+			// Dynamic LBD update (Glucose): a clause that keeps
+			// participating in conflicts at lower LBD is worth more.
+			if len(cLits) > 2 {
+				if nl := s.computeLBD(cLits); nl < s.ca.lbd(confl) {
+					s.ca.setLBD(confl, nl)
+				}
+			}
 		}
 		start := 0
 		if p != LitUndef {
 			start = 1
 		}
-		for _, q := range confl.lits[start:] {
+		for _, q := range cLits[start:] {
 			v := q.Var()
 			if s.seen[v] == 0 && s.level[v] > 0 {
 				s.varBumpActivity(v)
@@ -497,8 +628,8 @@ func (s *Solver) analyze(confl *clause) (learnt []Lit, btLevel int32) {
 		if pathC == 0 {
 			break
 		}
-		if s.proof != nil && confl != nil {
-			chain = append(chain, confl.id)
+		if s.proof != nil && confl != CRefUndef {
+			chain = append(chain, s.ca.id(confl))
 			pivots = append(pivots, p.Var())
 		}
 	}
@@ -515,7 +646,7 @@ func (s *Solver) analyze(confl *clause) (learnt []Lit, btLevel int32) {
 		j := 1
 		for i := 1; i < len(learnt); i++ {
 			l := learnt[i]
-			if s.reason[l.Var()] == nil || !s.litRedundant(l) {
+			if s.reason[l.Var()] == CRefUndef || !s.litRedundant(l) {
 				learnt[j] = l
 				j++
 			}
@@ -525,6 +656,9 @@ func (s *Solver) analyze(confl *clause) (learnt []Lit, btLevel int32) {
 	for _, l := range s.analyzeToClr {
 		s.seen[l.Var()] = 0
 	}
+
+	// LBD at learning time (levels are still pre-backtrack).
+	lbd = s.computeLBD(learnt)
 
 	// Compute backtrack level: second-highest level in the clause.
 	if len(learnt) == 1 {
@@ -543,7 +677,7 @@ func (s *Solver) analyze(confl *clause) (learnt []Lit, btLevel int32) {
 		chain, pivots = s.resolveZeroCone(chain, pivots)
 		s.proof.addLearnt(learnt, chain, pivots)
 	}
-	return learnt, btLevel
+	return learnt, btLevel, lbd
 }
 
 // litRedundant checks whether l is implied by the other literals of
@@ -555,10 +689,10 @@ func (s *Solver) litRedundant(l Lit) bool {
 		v := s.analyzeStack[len(s.analyzeStack)-1].Var()
 		s.analyzeStack = s.analyzeStack[:len(s.analyzeStack)-1]
 		c := s.reason[v]
-		for _, q := range c.lits[1:] {
+		for _, q := range s.ca.lits(c)[1:] {
 			qv := q.Var()
 			if s.seen[qv] == 0 && s.level[qv] > 0 {
-				if s.reason[qv] != nil {
+				if s.reason[qv] != CRefUndef {
 					s.seen[qv] = 1
 					s.analyzeStack = append(s.analyzeStack, q)
 					s.analyzeToClr = append(s.analyzeToClr, q)
@@ -592,7 +726,7 @@ func (s *Solver) analyzeFinal(p Lit) {
 		if s.seen[v] == 0 {
 			continue
 		}
-		if s.reason[v] == nil {
+		if s.reason[v] == CRefUndef {
 			if s.level[v] > 0 {
 				// A decision within the assumption levels is an
 				// assumption literal; report it as given. (If both a
@@ -601,7 +735,7 @@ func (s *Solver) analyzeFinal(p Lit) {
 				s.conflict = append(s.conflict, s.trail[i])
 			}
 		} else {
-			for _, q := range s.reason[v].lits[1:] {
+			for _, q := range s.ca.lits(s.reason[v])[1:] {
 				if s.level[q.Var()] > 0 {
 					s.seen[q.Var()] = 1
 				}
@@ -614,12 +748,12 @@ func (s *Solver) analyzeFinal(p Lit) {
 
 // analyzeFinalConflict computes the assumption core from a conflicting
 // clause found while propagating assumption-level decisions.
-func (s *Solver) analyzeFinalConflict(confl *clause) {
+func (s *Solver) analyzeFinalConflict(confl CRef) {
 	s.conflict = s.conflict[:0]
 	if s.decisionLevel() == 0 {
 		return
 	}
-	for _, q := range confl.lits {
+	for _, q := range s.ca.lits(confl) {
 		if s.level[q.Var()] > 0 {
 			s.seen[q.Var()] = 1
 		}
@@ -629,11 +763,11 @@ func (s *Solver) analyzeFinalConflict(confl *clause) {
 		if s.seen[v] == 0 {
 			continue
 		}
-		if s.reason[v] == nil {
+		if s.reason[v] == CRefUndef {
 			// Decisions below the conflict are assumption literals.
 			s.conflict = append(s.conflict, s.trail[i])
 		} else {
-			for _, q := range s.reason[v].lits[1:] {
+			for _, q := range s.ca.lits(s.reason[v])[1:] {
 				if s.level[q.Var()] > 0 {
 					s.seen[q.Var()] = 1
 				}
@@ -643,39 +777,123 @@ func (s *Solver) analyzeFinalConflict(confl *clause) {
 	}
 }
 
+// locked reports whether c is the reason of its first literal's
+// assignment and therefore must not be removed.
+func (s *Solver) locked(c CRef) bool {
+	l0 := s.ca.lit(c, 0)
+	return s.reason[l0.Var()] == c && s.LitValue(l0) == LTrue
+}
+
+// reduceDB trims the local learnt tier. Clauses whose dynamic LBD
+// improved to the core cut are promoted first (kept forever); the
+// remainder is ranked worst-first by LBD then activity, and the worse
+// half is evicted, sparing locked (reason) and binary clauses.
 func (s *Solver) reduceDB() {
-	// Sort learnts by activity ascending (simple insertion-free
-	// approach: partial selection via two buckets around the median
-	// would do, but a full sort keeps behavior predictable).
-	ls := s.learnts
-	sortClausesByAct(ls)
-	extraLim := s.clauseInc / float64(len(ls)+1)
+	s.Stats.Reductions++
+	// Promote improved clauses to the core tier.
+	kept := s.learnts[:0]
+	for _, c := range s.learnts {
+		if s.ca.lbd(c) <= s.cfg.CoreLBD {
+			s.coreLearnts = append(s.coreLearnts, c)
+			s.Stats.CorePromotions++
+			continue
+		}
+		kept = append(kept, c)
+	}
+	s.learnts = kept
+	s.sortLearntsWorstFirst()
+	half := len(s.learnts) / 2
 	j := 0
-	for i, c := range ls {
-		locked := s.reason[c.lits[0].Var()] == c && s.LitValue(c.lits[0]) == LTrue
-		if len(c.lits) > 2 && !locked && (i < len(ls)/2 || float64(c.act) < extraLim) {
+	for i, c := range s.learnts {
+		if i < half && s.ca.size(c) > 2 && !s.locked(c) {
 			s.detachClause(c)
+			s.ca.free(c)
 			s.Stats.Removed++
 			continue
 		}
-		ls[j] = c
+		s.learnts[j] = c
 		j++
 	}
-	s.learnts = ls[:j]
+	s.learnts = s.learnts[:j]
+	s.reduceLim += s.cfg.ReduceInc
+	s.maybeGC()
 }
 
-func sortClausesByAct(cs []*clause) {
-	// Shell sort: no allocations, adequate for periodic reduction.
+// sortLearntsWorstFirst shell-sorts the local tier so that eviction
+// candidates (high LBD, then low activity) come first. No allocations.
+func (s *Solver) sortLearntsWorstFirst() {
+	cs := s.learnts
+	worse := func(a, b CRef) bool {
+		la, lb := s.ca.lbd(a), s.ca.lbd(b)
+		if la != lb {
+			return la > lb
+		}
+		return s.ca.act(a) < s.ca.act(b)
+	}
 	for gap := len(cs) / 2; gap > 0; gap /= 2 {
 		for i := gap; i < len(cs); i++ {
 			c := cs[i]
 			j := i
-			for ; j >= gap && cs[j-gap].act > c.act; j -= gap {
+			for ; j >= gap && worse(c, cs[j-gap]); j -= gap {
 				cs[j] = cs[j-gap]
 			}
 			cs[j] = c
 		}
 	}
+}
+
+// maybeGC compacts the clause arena once a third of it is garbage.
+func (s *Solver) maybeGC() {
+	if uint64(s.ca.wasted)*3 < uint64(len(s.ca.data)) {
+		return
+	}
+	s.garbageCollect()
+}
+
+// garbageCollect copies every live clause into a fresh arena and
+// rewrites all references (watchers, reasons, clause lists) through
+// forwarding CRefs left in the old storage — MiniSat's relocAll.
+func (s *Solver) garbageCollect() {
+	to := arena{data: make([]uint32, 0, len(s.ca.data)-int(s.ca.wasted))}
+	for li := range s.watches {
+		ws := s.watches[li]
+		for i := range ws {
+			bin := ws[i].cb & 1
+			ws[i].cb = uint32(s.relocate(&to, ws[i].cref()))<<1 | bin
+		}
+	}
+	for _, l := range s.trail {
+		v := l.Var()
+		if r := s.reason[v]; r != CRefUndef {
+			s.reason[v] = s.relocate(&to, r)
+		}
+	}
+	for i, c := range s.clauses {
+		s.clauses[i] = s.relocate(&to, c)
+	}
+	for i, c := range s.coreLearnts {
+		s.coreLearnts[i] = s.relocate(&to, c)
+	}
+	for i, c := range s.learnts {
+		s.learnts[i] = s.relocate(&to, c)
+	}
+	s.ca = to
+	s.Stats.ArenaGCs++
+}
+
+// relocate moves one clause into the destination arena on first
+// touch, leaving a forwarding reference behind.
+func (s *Solver) relocate(to *arena, c CRef) CRef {
+	h := s.ca.data[c]
+	if h&flagReloc != 0 {
+		return CRef(s.ca.data[c+claID])
+	}
+	n := CRef(claLits + int(h>>2))
+	nc := CRef(len(to.data))
+	to.data = append(to.data, s.ca.data[c:c+n]...)
+	s.ca.data[c] = h | flagReloc
+	s.ca.data[c+claID] = uint32(nc)
+	return nc
 }
 
 // luby computes the Luby restart sequence value for index i (1-based),
@@ -699,8 +917,30 @@ func luby(base float64, i int) float64 {
 	return base * p
 }
 
+// shouldRestart decides, at a conflict-free point, whether to end the
+// current search segment. nofConflicts >= 0 selects the Luby budget;
+// otherwise the Glucose fast/slow comparison applies.
+func (s *Solver) shouldRestart(conflicts, nofConflicts int64) bool {
+	if nofConflicts >= 0 {
+		if conflicts >= nofConflicts {
+			s.Stats.Restarts++
+			return true
+		}
+		return false
+	}
+	if !s.lbdQueue.full() || s.Stats.Conflicts == 0 {
+		return false
+	}
+	if s.lbdQueue.avg()*s.cfg.RestartMargin > s.sumLBD/float64(s.Stats.Conflicts) {
+		s.lbdQueue.clear()
+		s.Stats.Restarts++
+		return true
+	}
+	return false
+}
+
 // search runs CDCL until a model is found, the formula is refuted,
-// the per-restart conflict cap is hit, or the budget is exhausted.
+// a restart fires, or the budget is exhausted.
 func (s *Solver) search(nofConflicts int64, assumptions []Lit) Status {
 	conflicts := int64(0)
 	for {
@@ -709,7 +949,7 @@ func (s *Solver) search(nofConflicts int64, assumptions []Lit) Status {
 			return Unknown
 		}
 		confl := s.propagate()
-		if confl != nil {
+		if confl != CRefUndef {
 			s.Stats.Conflicts++
 			conflicts++
 			if s.decisionLevel() == 0 {
@@ -719,39 +959,49 @@ func (s *Solver) search(nofConflicts int64, assumptions []Lit) Status {
 				s.okay = false
 				return Unsat
 			}
+			// Glucose restart blocking: a trail much longer than the
+			// recent average suggests the search is closing in on a
+			// model; postpone any pending restart.
+			s.trailQueue.push(uint32(len(s.trail)))
+			if s.cfg.Restart == RestartGlucose &&
+				s.Stats.Conflicts > s.cfg.BlockMinConflicts &&
+				s.lbdQueue.full() &&
+				float64(len(s.trail)) > s.cfg.BlockMargin*s.trailQueue.avg() {
+				s.lbdQueue.clear()
+				s.Stats.BlockedRestarts++
+			}
 			if s.decisionLevel() <= int32(len(assumptions)) {
 				// Conflict entirely above assumption decisions:
 				// derive the assumption core.
 				s.analyzeFinalConflict(confl)
 				// Also learn the clause so future calls benefit.
-				learnt, btLevel := s.analyze(confl)
+				learnt, btLevel, lbd := s.analyze(confl)
+				s.noteLBD(lbd)
 				s.cancelUntil(btLevel)
-				s.recordLearnt(learnt)
+				s.recordLearnt(learnt, lbd)
 				if len(s.conflict) == 0 {
 					s.okay = false
 				}
 				return Unsat
 			}
-			learnt, btLevel := s.analyze(confl)
+			learnt, btLevel, lbd := s.analyze(confl)
+			s.noteLBD(lbd)
 			s.cancelUntil(btLevel)
-			s.recordLearnt(learnt)
+			s.recordLearnt(learnt, lbd)
 			s.varDecayActivity()
 			s.claDecayActivity()
 			continue
 		}
 		// No conflict.
-		if nofConflicts >= 0 && conflicts >= nofConflicts {
-			s.cancelUntil(int32(len(assumptions)))
-			if s.decisionLevel() > 0 {
-				s.cancelUntil(0)
-			}
+		if s.shouldRestart(conflicts, nofConflicts) {
+			s.cancelUntil(0)
 			return Unknown
 		}
 		if s.budgetExhausted() {
 			s.cancelUntil(0)
 			return Unknown
 		}
-		if len(s.learnts) >= len(s.clauses)/2+10000 {
+		if len(s.learnts) >= s.reduceLim {
 			s.reduceDB()
 		}
 		// Assumptions act as forced decisions at the lowest levels.
@@ -773,15 +1023,11 @@ func (s *Solver) search(nofConflicts int64, assumptions []Lit) Status {
 		}
 		if next == LitUndef {
 			s.Stats.Decisions++
-			if s.order.empty() {
-				next = LitUndef
-			} else {
-				for !s.order.empty() {
-					v := s.order.removeMin()
-					if s.assigns[v] == LUndef {
-						next = MkLit(v, s.polarity[v])
-						break
-					}
+			for !s.order.empty() {
+				v := s.order.removeMin()
+				if s.assigns[v] == LUndef {
+					next = MkLit(v, s.polarity[v])
+					break
 				}
 			}
 			if next == LitUndef {
@@ -791,24 +1037,38 @@ func (s *Solver) search(nofConflicts int64, assumptions []Lit) Status {
 			}
 		}
 		s.newDecisionLevel()
-		s.uncheckedEnqueue(next, nil)
+		s.uncheckedEnqueue(next, CRefUndef)
 	}
 }
 
-func (s *Solver) recordLearnt(learnt []Lit) {
+// noteLBD feeds a freshly learnt clause's LBD into the restart
+// averages and the diagnostics counters.
+func (s *Solver) noteLBD(lbd uint32) {
+	s.sumLBD += float64(lbd)
+	s.Stats.LBDSum += int64(lbd)
+	s.lbdQueue.push(lbd)
+}
+
+func (s *Solver) recordLearnt(learnt []Lit, lbd uint32) {
 	s.Stats.Learnts++
 	if len(learnt) == 1 {
 		if s.proof != nil {
 			s.unitID[learnt[0].Var()] = s.proof.lastID
 		}
-		s.uncheckedEnqueue(learnt[0], nil)
+		s.uncheckedEnqueue(learnt[0], CRefUndef)
 		return
 	}
-	c := &clause{lits: append([]Lit(nil), learnt...), learnt: true}
+	id := int32(0)
 	if s.proof != nil {
-		c.id = s.proof.lastID
+		id = s.proof.lastID
 	}
-	s.learnts = append(s.learnts, c)
+	c := s.ca.alloc(learnt, true, id)
+	s.ca.setLBD(c, lbd)
+	if lbd <= s.cfg.CoreLBD {
+		s.coreLearnts = append(s.coreLearnts, c)
+	} else {
+		s.learnts = append(s.learnts, c)
+	}
 	s.attachClause(c)
 	s.claBumpActivity(c)
 	s.uncheckedEnqueue(learnt[0], c)
@@ -847,11 +1107,14 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	status := Unknown
 	s.lubyIdx = 0
 	for status == Unknown {
-		restartLen := int64(luby(100, s.lubyIdx))
-		s.lubyIdx++
+		restartLen := int64(-1)
+		if s.cfg.Restart == RestartLuby {
+			restartLen = int64(luby(float64(s.cfg.LubyBase), s.lubyIdx))
+			s.lubyIdx++
+		}
 		s.Stats.Starts++
 		status = s.searchGuarded(restartLen, assumptions)
-		if (s.budgetExhaustedAbs() || s.interrupted.Load()) && status == Unknown {
+		if (s.budgetExhausted() || s.interrupted.Load()) && status == Unknown {
 			break
 		}
 	}
@@ -867,38 +1130,36 @@ func (s *Solver) searchGuarded(nofConflicts int64, assumptions []Lit) Status {
 	return st
 }
 
-func (s *Solver) budgetExhaustedAbs() bool {
-	return (s.confBudget >= 0 && s.Stats.Conflicts >= s.confBudget) ||
-		(s.propBudget >= 0 && s.Stats.Propagations >= s.propBudget)
-}
-
 // Simplify removes clauses satisfied at the top level. It may only be
 // called at decision level 0.
 func (s *Solver) Simplify() bool {
 	if !s.okay {
 		return false
 	}
-	if s.propagate() != nil {
+	if s.propagate() != CRefUndef {
 		s.okay = false
 		return false
 	}
 	s.clauses = s.simplifyList(s.clauses)
+	s.coreLearnts = s.simplifyList(s.coreLearnts)
 	s.learnts = s.simplifyList(s.learnts)
+	s.maybeGC()
 	return true
 }
 
-func (s *Solver) simplifyList(cs []*clause) []*clause {
+func (s *Solver) simplifyList(cs []CRef) []CRef {
 	j := 0
 	for _, c := range cs {
 		satisfied := false
-		for _, l := range c.lits {
+		for _, l := range s.ca.lits(c) {
 			if s.LitValue(l) == LTrue {
 				satisfied = true
 				break
 			}
 		}
-		if satisfied && s.reason[c.lits[0].Var()] != c {
+		if satisfied && s.reason[s.ca.lit(c, 0).Var()] != c {
 			s.detachClause(c)
+			s.ca.free(c)
 			continue
 		}
 		cs[j] = c

@@ -8,3 +8,9 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race -short ./...
+
+# Optional, non-gating: microbenchmark sweep (scripts/bench.sh writes
+# BENCH_sat.txt / BENCH_sat.json). Enable with BENCH=1.
+if [ "${BENCH:-0}" = "1" ]; then
+	./scripts/bench.sh || echo "bench.sh failed (non-gating)"
+fi
