@@ -24,12 +24,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
 
+	"ecopatch/internal/atomicio"
 	"ecopatch/internal/bench"
 )
 
@@ -162,13 +164,9 @@ func runTable1(scale int, unit string, modes []string, jobs int, timeout time.Du
 	if jsonPath == "" {
 		return nil
 	}
-	f, err := os.Create(jsonPath)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := bench.WriteJSON(f, bench.NewJSONReport(opts, modes, rows)); err != nil {
-		return err
-	}
-	return f.Close()
+	// Atomic write: an interrupted run must never leave a truncated
+	// report where trend tooling would read it.
+	return atomicio.WriteFile(jsonPath, func(w io.Writer) error {
+		return bench.WriteJSON(w, bench.NewJSONReport(opts, modes, rows))
+	})
 }

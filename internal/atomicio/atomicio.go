@@ -1,0 +1,63 @@
+// Package atomicio provides crash-safe file writes: content lands in
+// a temporary file in the destination directory and is renamed over
+// the target only after a successful write and sync. A reader (or a
+// restarted process) therefore sees either the old file or the
+// complete new one — never a truncated JSON report from a run that
+// was interrupted mid-write.
+package atomicio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile writes the output of fn to path atomically. The temporary
+// file is created in path's directory (rename is only atomic within
+// one filesystem) and removed on any error. The file is synced before
+// the rename so a crash immediately after cannot surface an empty
+// renamed file on journaling filesystems.
+func WriteFile(path string, fn func(io.Writer) error) (err error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = fn(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	// CreateTemp uses 0600; published reports should have normal
+	// permissions (subject to umask-free chmod).
+	if err = tmp.Chmod(0o644); err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	return nil
+}
+
+// WriteFileBytes is WriteFile for pre-rendered content.
+func WriteFileBytes(path string, data []byte) error {
+	return WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"io"
 	"time"
+
+	"ecopatch/internal/eco"
 )
 
 // JSONReport is the machine-readable form of a Table-1 sweep, written
@@ -54,6 +56,39 @@ type JSONCell struct {
 	LearntEvict  int64 `json:"learnt_evicted"`
 }
 
+// cellFromAlgo maps one sweep cell into its JSON form.
+func cellFromAlgo(a AlgoResult) JSONCell {
+	return JSONCell{
+		Cost:       a.Cost,
+		PatchGates: a.PatchGates,
+		Seconds:    a.Seconds,
+		SupportSec: a.SupportSec,
+		PatchSec:   a.PatchSec,
+		VerifySec:  a.VerifySec,
+		Verified:   a.Verified,
+		Feasible:   a.Feasible,
+		Structural: a.Structural,
+		TimedOut:   a.TimedOut,
+
+		SATCalls:     a.SATCalls,
+		Conflicts:    a.Conflicts,
+		Decisions:    a.Decisions,
+		Propagations: a.Propagations,
+		Restarts:     a.Restarts,
+		Learnts:      a.Learnts,
+		LearntEvict:  a.LearntEvict,
+	}
+}
+
+// CellFromResult converts one engine result straight into the
+// table1@v1 cell form. The Table-1 sweep and the ecod job-result
+// writer both go through this mapping, so a job result retrieved over
+// HTTP and a benchmark cell written by ecobench -json stay
+// field-compatible for downstream trend tooling.
+func CellFromResult(res *eco.Result) JSONCell {
+	return cellFromAlgo(AlgoFromResult(res))
+}
+
 // NewJSONReport converts a finished sweep into the report form.
 func NewJSONReport(opts RunOptions, modes []string, rows []Table1Row) JSONReport {
 	rep := JSONReport{
@@ -85,26 +120,7 @@ func NewJSONReport(opts RunOptions, modes []string, rows []Table1Row) JSONReport
 			if !ok {
 				continue
 			}
-			jr.Results[m] = JSONCell{
-				Cost:       a.Cost,
-				PatchGates: a.PatchGates,
-				Seconds:    a.Seconds,
-				SupportSec: a.SupportSec,
-				PatchSec:   a.PatchSec,
-				VerifySec:  a.VerifySec,
-				Verified:   a.Verified,
-				Feasible:   a.Feasible,
-				Structural: a.Structural,
-				TimedOut:   a.TimedOut,
-
-				SATCalls:     a.SATCalls,
-				Conflicts:    a.Conflicts,
-				Decisions:    a.Decisions,
-				Propagations: a.Propagations,
-				Restarts:     a.Restarts,
-				Learnts:      a.Learnts,
-				LearntEvict:  a.LearntEvict,
-			}
+			jr.Results[m] = cellFromAlgo(a)
 		}
 		rep.Rows = append(rep.Rows, jr)
 	}

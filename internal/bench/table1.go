@@ -118,7 +118,16 @@ func RunUnitTimeout(cfg Config, mode string, timeout time.Duration) (Table1Row, 
 	if err != nil {
 		return row, fmt.Errorf("%s/%s: %w", cfg.Name, mode, err)
 	}
-	row.Results[mode] = AlgoResult{
+	row.Results[mode] = AlgoFromResult(res)
+	return row, nil
+}
+
+// AlgoFromResult flattens an engine result into the Table-1 cell
+// form. Exported alongside CellFromResult so every result writer
+// (harness, ecobench JSON, the ecod daemon) extracts the same fields
+// from eco.Result the same way.
+func AlgoFromResult(res *eco.Result) AlgoResult {
+	return AlgoResult{
 		Cost:       res.TotalCost,
 		PatchGates: res.TotalGates,
 		Seconds:    res.Elapsed.Seconds(),
@@ -138,7 +147,6 @@ func RunUnitTimeout(cfg Config, mode string, timeout time.Duration) (Table1Row, 
 		Learnts:      res.Stats.Solver.Learnts,
 		LearntEvict:  res.Stats.Solver.Removed,
 	}
-	return row, nil
 }
 
 // RunOptions parameterizes a Table-1 sweep.

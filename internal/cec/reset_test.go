@@ -1,0 +1,55 @@
+package cec
+
+import (
+	"errors"
+	"testing"
+
+	"ecopatch/internal/aig"
+)
+
+// TestPairCheckerInterruptReset pins the pooled-checker contract: an
+// interrupted PairChecker answers ErrGaveUp (sticky — a cancelled
+// job's deadline watcher must keep winning), and Reset re-arms it for
+// the next job without losing the incremental clause state.
+func TestPairCheckerInterruptReset(t *testing.T) {
+	g := aig.New()
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	and1 := g.And(a, b)
+	and2 := g.And(b, a) // structurally hashed or at least equivalent
+	orAB := g.Or(a, b)
+
+	pc := NewPairChecker(g, CheckOptions{})
+	pc.Solver().Interrupt()
+
+	// Pick a pair the fast paths cannot answer (equal edges and
+	// complements short-circuit before the solver runs).
+	if _, _, err := pc.CheckPair(and1, orAB); !errors.Is(err, ErrGaveUp) {
+		t.Fatalf("interrupted CheckPair err = %v, want ErrGaveUp", err)
+	}
+	// Sticky until cleared.
+	if _, _, err := pc.CheckPair(and1, orAB); !errors.Is(err, ErrGaveUp) {
+		t.Fatalf("second interrupted CheckPair err = %v, want ErrGaveUp (sticky)", err)
+	}
+
+	pc.Reset()
+	equal, _, err := pc.CheckPair(and1, and2)
+	if err != nil {
+		t.Fatalf("post-Reset CheckPair(and, and) error: %v", err)
+	}
+	if !equal {
+		t.Fatal("post-Reset CheckPair(and, and) = unequal")
+	}
+	equal, cex, err := pc.CheckPair(and1, orAB)
+	if err != nil {
+		t.Fatalf("post-Reset CheckPair(and, or) error: %v", err)
+	}
+	if equal {
+		t.Fatal("post-Reset CheckPair(and, or) = equal")
+	}
+	// The counterexample must actually distinguish AND from OR:
+	// exactly one input true.
+	if len(cex) != 2 || cex[0] == cex[1] {
+		t.Fatalf("counterexample %v does not distinguish and/or", cex)
+	}
+}

@@ -59,6 +59,16 @@ func NewPairChecker(g *aig.AIG, opt CheckOptions) *PairChecker {
 // Solver exposes the underlying solver (e.g. for stats readout).
 func (pc *PairChecker) Solver() *sat.Solver { return pc.s }
 
+// Reset re-arms a checker whose solver was interrupted so it can be
+// reused for a fresh batch of queries. An Interrupt is sticky by
+// design — within one run callers treat it as a termination signal
+// (see the engine's deadline watcher) — so a pooled checker handed
+// from a cancelled job to a new one would otherwise answer ErrGaveUp
+// forever. Clause state survives: learnt clauses and encoded cones
+// stay valid because CheckPair retires its selector even on an
+// interrupted query.
+func (pc *PairChecker) Reset() { pc.s.ClearInterrupt() }
+
 // CheckPair decides whether edges a and b compute the same function of
 // the graph's PIs. On disequality cex holds PI values (indexed by PI
 // position) exposing the difference. err is ErrGaveUp when the

@@ -1,0 +1,72 @@
+package eco
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestSolveContextPreCancelled feeds an already-cancelled context:
+// the engine must stop at the first stage boundary with TimedOut set
+// instead of burning the support/patch/verify stages on degraded
+// structural work.
+func TestSolveContextPreCancelled(t *testing.T) {
+	inst := mustInstance(t, implAndTarget, specAndOr, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	res, err := SolveContext(ctx, inst, DefaultOptions())
+	if err != nil {
+		t.Fatalf("cancelled solve must return a partial result, got error: %v", err)
+	}
+	if !res.TimedOut {
+		t.Fatal("TimedOut not set on a cancelled context")
+	}
+	if len(res.Patches) != 0 {
+		t.Fatalf("cancelled solve produced %d patches; stage boundaries ignored", len(res.Patches))
+	}
+	if res.Verified {
+		t.Fatal("cancelled solve cannot be verified")
+	}
+	// Guard against a regression where cancellation still runs every
+	// stage: this instance solves in well under a second, so even a
+	// generous bound catches "did all the work anyway" only if the
+	// engine grows much bigger stages; the patch-count check above is
+	// the real assertion.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled solve took %v", elapsed)
+	}
+}
+
+// TestSolveContextCancelSkipsStructuralFallback cancels while the SAT
+// path is being forced to fail (1-conflict budget): rectifyOne must
+// not fall back to a structural patch on a cancelled run.
+func TestSolveContextCancelSkipsStructuralFallback(t *testing.T) {
+	inst := mustInstance(t, implAndTarget, specAndOr, nil)
+	opt := DefaultOptions()
+	opt.ConfBudget = 1
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := SolveContext(ctx, inst, opt)
+	if err != nil {
+		t.Fatalf("cancelled solve must return a partial result, got error: %v", err)
+	}
+	for _, p := range res.Patches {
+		if p.Structural {
+			t.Fatalf("target %s got a structural fallback patch on a cancelled run", p.Target)
+		}
+	}
+}
+
+// TestSolveContextUncancelledUnaffected pins the baseline: a live
+// context with no deadline must not trip any of the new stage checks.
+func TestSolveContextUncancelledUnaffected(t *testing.T) {
+	inst := mustInstance(t, implAndTarget, specAndOr, nil)
+	res, err := SolveContext(context.Background(), inst, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified || res.TimedOut {
+		t.Fatalf("verified=%v timedOut=%v; want verified, not timed out", res.Verified, res.TimedOut)
+	}
+}

@@ -2,6 +2,7 @@ package eco
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -107,11 +108,12 @@ type Options struct {
 	// SAT_prune trades scalability for quality). Default 30s.
 	ExactTimeout time.Duration
 	// Timeout caps the wall-clock time of the whole solve. On expiry
-	// every active SAT solver is interrupted: in-flight SAT work
-	// degrades to the structural fallback (like a ConfBudget expiry)
-	// and the result is returned with TimedOut set, stats intact.
-	// Zero means no limit. SolveContext offers the same mechanism for
-	// caller-supplied contexts.
+	// every active SAT solver is interrupted and the engine stops at
+	// the next stage boundary (target, support/patch phase, or the
+	// final verification): in-flight SAT work returns Unknown, no new
+	// stage is started, and the result comes back with TimedOut set,
+	// stats intact. Zero means no limit. SolveContext offers the same
+	// mechanism for caller-supplied contexts.
 	Timeout time.Duration
 
 	// Log, when non-nil, receives progress lines.
@@ -170,6 +172,25 @@ type Stats struct {
 	Solver sat.Stats
 }
 
+// Add accumulates o into s, for aggregating counters across solves
+// (the ecod daemon sums every finished job's Stats into its /metrics
+// surface). Time fields add; counters add; Solver adds fieldwise.
+func (s *Stats) Add(o Stats) {
+	s.SATCalls += o.SATCalls
+	s.Conflicts += o.Conflicts
+	s.MinimizeCalls += o.MinimizeCalls
+	s.MiterCopies += o.MiterCopies
+	s.QBFCopies += o.QBFCopies
+	s.Divisors += o.Divisors
+	s.WindowPOs += o.WindowPOs
+	s.StructuralFixes += o.StructuralFixes
+	s.CubesEnumerated += o.CubesEnumerated
+	s.SupportTime += o.SupportTime
+	s.PatchTime += o.PatchTime
+	s.VerifyTime += o.VerifyTime
+	s.Solver.Add(o.Solver)
+}
+
 // Result is the outcome of Solve.
 type Result struct {
 	Feasible bool // target set sufficient (expression (1) UNSAT)
@@ -202,6 +223,13 @@ type divisor struct {
 type engine struct {
 	inst *Instance
 	opt  Options
+
+	// ctx is the run's context. SAT calls observe cancellation via the
+	// solverGroup watcher; pure-CPU stages (windowing, structural
+	// patches, synthesis) poll cancelled() at stage boundaries so a
+	// cancelled job stops instead of burning a full stage on work
+	// nobody will read.
+	ctx context.Context
 
 	w       *aig.AIG
 	xPIs    []int // PI positions in w for the shared inputs
@@ -280,32 +308,48 @@ func SolveContext(ctx context.Context, inst *Instance, opt Options) (*Result, er
 		ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
 		defer cancel()
 	}
-	e := &engine{inst: inst, opt: opt, res: &Result{}}
+	e := &engine{inst: inst, opt: opt, ctx: ctx, res: &Result{}}
 	stop := e.group.watch(ctx)
 	defer stop()
 	if err := e.setup(); err != nil {
 		return nil, err
+	}
+	if e.cancelled() {
+		return e.seal(ctx, start), nil
 	}
 	feasible, err := e.checkFeasible()
 	if err != nil {
 		return nil, err
 	}
 	e.res.Feasible = feasible
-	if !feasible {
+	if !feasible || e.cancelled() {
 		return e.seal(ctx, start), nil
 	}
 	if err := e.rectifyAll(false); err != nil {
+		if errors.Is(err, errCancelled) {
+			return e.seal(ctx, start), nil
+		}
 		return nil, e.wrapErr(ctx, err)
+	}
+	if e.cancelled() {
+		// Patches exist but the deadline is gone: report them without
+		// spending a verification stage on a result already stamped
+		// TimedOut (verification could not be trusted to finish).
+		e.finish()
+		return e.seal(ctx, start), nil
 	}
 	ok, err := e.verify()
 	if err != nil {
 		return nil, e.wrapErr(ctx, err)
 	}
-	if !ok && e.usedMoveGuidance() {
+	if !ok && e.usedMoveGuidance() && !e.cancelled() {
 		// Move-guided quantification is an approximation of the full
 		// certificate construction; redo with full expansion.
 		e.logf("move-guided patch failed verification; retrying with full expansion")
 		if err := e.rectifyAll(true); err != nil {
+			if errors.Is(err, errCancelled) {
+				return e.seal(ctx, start), nil
+			}
 			return nil, e.wrapErr(ctx, err)
 		}
 		ok, err = e.verify()
@@ -316,6 +360,14 @@ func SolveContext(ctx context.Context, inst *Instance, opt Options) (*Result, er
 	e.res.Verified = ok
 	e.finish()
 	return e.seal(ctx, start), nil
+}
+
+// cancelled reports whether the run's context is done. Checked at
+// stage boundaries: SAT calls are interrupted asynchronously by the
+// solverGroup watcher, but structural fallbacks and synthesis are
+// pure CPU and would otherwise run to completion on a dead job.
+func (e *engine) cancelled() bool {
+	return e.ctx != nil && e.ctx.Err() != nil
 }
 
 // seal stamps the bookkeeping fields shared by every return path.

@@ -19,6 +19,11 @@ var errBudget = errors.New("eco: SAT budget exhausted")
 // errTooManyCubes reports cube-enumeration blowup.
 var errTooManyCubes = errors.New("eco: cube enumeration exceeded MaxCubes")
 
+// errCancelled reports that the run's context was cancelled between
+// pipeline stages; the engine seals a partial result instead of
+// treating it as a failure.
+var errCancelled = errors.New("eco: solve cancelled")
+
 func (e *engine) usedMoveGuidance() bool { return e.moveGuided }
 
 // rectifyAll runs the Theorem-1 sequence: one-target ECO per target,
@@ -28,6 +33,11 @@ func (e *engine) rectifyAll(forceFullQuant bool) error {
 	e.moveGuided = false
 	e.rectifyAllInit()
 	for i := range e.targets {
+		// Stage boundary: a cancelled run must not start the next
+		// target — each one is a full support+patch pipeline.
+		if e.cancelled() {
+			return errCancelled
+		}
 		if err := e.rectifyOne(i); err != nil {
 			return err
 		}
@@ -47,6 +57,12 @@ func (e *engine) rectifyOne(i int) error {
 		return nil
 	}
 	if errors.Is(err, errBudget) || errors.Is(err, errTooManyCubes) || errors.Is(err, errInsufficient) {
+		// Stage boundary: when the SAT path died because the run was
+		// cancelled (not a mere budget expiry), the structural
+		// fallback is pure-CPU work nobody will read — skip it.
+		if e.cancelled() {
+			return errCancelled
+		}
 		e.logf("target %s: SAT path failed (%v); using structural patch", e.targets[i], err)
 		return e.structuralPatch(i, m0)
 	}

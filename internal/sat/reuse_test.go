@@ -1,0 +1,85 @@
+package sat
+
+import "testing"
+
+// TestClearInterruptReuse pins the pooled-reuse contract: an
+// Interrupt is sticky (every Solve answers Unknown until cleared),
+// and after ClearInterrupt the same solver — same clauses, same
+// learnts, same trail invariants — must answer correctly again. A
+// server that pools solvers across jobs depends on this: a cancelled
+// job must not poison the solver for the next one.
+func TestClearInterruptReuse(t *testing.T) {
+	s := New()
+	a := PosLit(s.NewVar())
+	b := PosLit(s.NewVar())
+	c := PosLit(s.NewVar())
+	s.AddClause(a, b)
+	s.AddClause(a.Not(), c)
+
+	s.Interrupt()
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("interrupted Solve = %v, want Unknown", st)
+	}
+	// Sticky: a second call without clearing must still give up.
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("second interrupted Solve = %v, want Unknown (interrupt must be sticky)", st)
+	}
+	if !s.Interrupted() {
+		t.Fatal("Interrupted() = false while the flag is set")
+	}
+
+	s.ClearInterrupt()
+	if s.Interrupted() {
+		t.Fatal("Interrupted() = true after ClearInterrupt")
+	}
+	if st := s.Solve(a); st != Sat {
+		t.Fatalf("post-clear Solve(a) = %v, want Sat", st)
+	}
+	if got := s.ModelValue(c); got != LTrue {
+		t.Fatalf("model value of implied literal = %v, want LTrue", got)
+	}
+	// Assumption-core machinery must also have survived the interrupt.
+	s.AddClause(b.Not())
+	if st := s.Solve(a.Not()); st != Unsat {
+		t.Fatalf("post-clear Solve(¬a) = %v, want Unsat", st)
+	}
+	if !s.Failed(a.Not()) {
+		t.Fatal("assumption ¬a missing from the final core after reuse")
+	}
+}
+
+// TestClearInterruptMidSearchReuse interrupts a solver while a real
+// search is in flight (via a propagation budget standing in for the
+// asynchronous watcher) and checks the unwound state is reusable.
+func TestClearInterruptMidSearchReuse(t *testing.T) {
+	s := New()
+	// A small pigeonhole-ish UNSAT core plus slack variables makes the
+	// search do some work before refutation.
+	n := 6
+	lits := make([]Lit, n)
+	for i := range lits {
+		lits[i] = PosLit(s.NewVar())
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s.AddClause(lits[i].Not(), lits[j].Not())
+		}
+	}
+	s.AddClause(lits[0], lits[1])
+	s.AddClause(lits[2], lits[3])
+
+	s.Interrupt()
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("interrupted Solve = %v, want Unknown", st)
+	}
+	s.ClearInterrupt()
+	// Pairwise exclusivity allows at most one true literal, but two
+	// disjoint pairs each demand one: UNSAT, and the refutation must
+	// come out of the reused (post-interrupt) clause state.
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("post-clear Solve = %v, want Unsat", st)
+	}
+	if s.Okay() {
+		t.Fatal("solver still Okay() after a root-level refutation")
+	}
+}

@@ -1,0 +1,201 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"ecopatch/internal/eco"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the solve-latency
+// histogram. ECO solve times are heavy-tailed, so the buckets span
+// sub-millisecond structural fixes up to minute-class SAT grinds.
+var latencyBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300}
+
+// histogram is a fixed-bucket cumulative histogram (Prometheus
+// semantics: bucket counts are cumulative, +Inf implied by count).
+type histogram struct {
+	counts []int64
+	sum    float64
+	total  int64
+}
+
+func newHistogram() *histogram { return &histogram{counts: make([]int64, len(latencyBuckets))} }
+
+func (h *histogram) observe(v float64) {
+	h.sum += v
+	h.total++
+	for i, ub := range latencyBuckets {
+		if v <= ub {
+			h.counts[i]++
+		}
+	}
+}
+
+// Metrics aggregates the daemon's observability counters. All
+// methods are safe for concurrent use.
+type Metrics struct {
+	mu        sync.Mutex
+	submitted int64
+	shed      int64 // admission rejections: queue full (429)
+	rejected  int64 // admission rejections: draining (503)
+	finished  map[State]int64
+
+	queueWait *histogram // seconds from enqueue to worker pickup
+	solveTime *histogram // seconds inside eco.SolveContext
+
+	// stats sums the engine counters of every finished job, the
+	// service-level continuation of ecobench's per-run cells.
+	stats eco.Stats
+}
+
+// NewMetrics builds an empty metrics set.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		finished:  make(map[State]int64),
+		queueWait: newHistogram(),
+		solveTime: newHistogram(),
+	}
+}
+
+// Submitted counts one accepted job.
+func (m *Metrics) Submitted() {
+	m.mu.Lock()
+	m.submitted++
+	m.mu.Unlock()
+}
+
+// Shed counts one queue-full rejection.
+func (m *Metrics) Shed() {
+	m.mu.Lock()
+	m.shed++
+	m.mu.Unlock()
+}
+
+// RejectedDraining counts one submission refused during drain.
+func (m *Metrics) RejectedDraining() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+// QueueWait records the queued→running latency of one job.
+func (m *Metrics) QueueWait(d time.Duration) {
+	m.mu.Lock()
+	m.queueWait.observe(d.Seconds())
+	m.mu.Unlock()
+}
+
+// Finished records a terminal transition with the job's solve wall
+// clock and, when a solve actually ran, its engine stats.
+func (m *Metrics) Finished(state State, solve time.Duration, stats *eco.Stats) {
+	m.mu.Lock()
+	m.finished[state]++
+	if solve > 0 {
+		m.solveTime.observe(solve.Seconds())
+	}
+	if stats != nil {
+		m.stats.Add(*stats)
+	}
+	m.mu.Unlock()
+}
+
+// SolverStats snapshots the aggregated engine counters.
+func (m *Metrics) SolverStats() eco.Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// gauges the exposition needs but Metrics does not own.
+type gaugeSnapshot struct {
+	queueDepth    int
+	queueCapacity int
+	running       int
+	workers       int
+	draining      bool
+	counts        map[State]int
+}
+
+// WritePrometheus renders the Prometheus text exposition format
+// (version 0.0.4; hand-rolled — the repo takes no dependencies).
+func (m *Metrics) WritePrometheus(w io.Writer, g gaugeSnapshot) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("ecod_jobs_submitted_total", "Jobs accepted into the queue.", m.submitted)
+	counter("ecod_jobs_shed_total", "Submissions rejected with 429 because the queue was full.", m.shed)
+	counter("ecod_jobs_rejected_draining_total", "Submissions rejected with 503 during drain.", m.rejected)
+
+	fmt.Fprintf(w, "# HELP ecod_jobs_finished_total Terminal job transitions by state.\n# TYPE ecod_jobs_finished_total counter\n")
+	for _, s := range States {
+		if s.Terminal() {
+			fmt.Fprintf(w, "ecod_jobs_finished_total{state=%q} %d\n", s, m.finished[s])
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP ecod_jobs Current jobs by state.\n# TYPE ecod_jobs gauge\n")
+	states := make([]string, 0, len(States))
+	for _, s := range States {
+		states = append(states, string(s))
+	}
+	sort.Strings(states)
+	for _, s := range states {
+		fmt.Fprintf(w, "ecod_jobs{state=%q} %d\n", s, g.counts[State(s)])
+	}
+
+	gauge("ecod_queue_depth", "Jobs waiting in the admission queue.", int64(g.queueDepth))
+	gauge("ecod_queue_capacity", "Admission queue capacity.", int64(g.queueCapacity))
+	gauge("ecod_jobs_running", "Jobs currently being solved.", int64(g.running))
+	gauge("ecod_workers", "Worker goroutines in the solve pool.", int64(g.workers))
+	draining := int64(0)
+	if g.draining {
+		draining = 1
+	}
+	gauge("ecod_draining", "1 while the daemon is draining (no new admissions).", draining)
+
+	writeHistogram(w, "ecod_queue_wait_seconds", "Time jobs spent queued before a worker picked them up.", m.queueWait)
+	writeHistogram(w, "ecod_solve_seconds", "Wall-clock time inside eco.SolveContext.", m.solveTime)
+
+	// Engine + SAT-kernel counters, summed over every finished job:
+	// the same numbers ecobench reports per run, as a live service
+	// surface.
+	st := m.stats
+	counter("ecod_eco_sat_calls_total", "Top-level SAT queries issued by the engine.", st.SATCalls)
+	counter("ecod_eco_minimize_calls_total", "SAT calls spent inside support minimization.", int64(st.MinimizeCalls))
+	counter("ecod_eco_structural_fixes_total", "Targets patched by the structural fallback.", int64(st.StructuralFixes))
+	counter("ecod_eco_cubes_enumerated_total", "SOP cubes enumerated for patch functions.", int64(st.CubesEnumerated))
+	fcounter := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+	}
+	fcounter("ecod_eco_support_seconds_total", "Support-selection wall clock.", st.SupportTime.Seconds())
+	fcounter("ecod_eco_patch_seconds_total", "Patch-computation wall clock.", st.PatchTime.Seconds())
+	fcounter("ecod_eco_verify_seconds_total", "Verification wall clock.", st.VerifyTime.Seconds())
+	counter("ecod_sat_conflicts_total", "SAT kernel conflicts.", st.Solver.Conflicts)
+	counter("ecod_sat_decisions_total", "SAT kernel decisions.", st.Solver.Decisions)
+	counter("ecod_sat_propagations_total", "SAT kernel propagations.", st.Solver.Propagations)
+	counter("ecod_sat_restarts_total", "SAT kernel restarts.", st.Solver.Restarts)
+	counter("ecod_sat_learnts_total", "Clauses learnt by the SAT kernel.", st.Solver.Learnts)
+	counter("ecod_sat_learnts_removed_total", "Learnt clauses evicted by DB reduction.", st.Solver.Removed)
+	counter("ecod_sat_solve_calls_total", "Solve() invocations on SAT kernels.", st.Solver.SolveCalls)
+}
+
+func writeHistogram(w io.Writer, name, help string, h *histogram) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for i, ub := range latencyBuckets {
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, ub, h.counts[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.total)
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.total)
+}

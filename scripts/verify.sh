@@ -14,3 +14,10 @@ go test -race -short ./...
 if [ "${BENCH:-0}" = "1" ]; then
 	./scripts/bench.sh || echo "bench.sh failed (non-gating)"
 fi
+
+# Optional, gating when enabled: end-to-end ecod daemon smoke test
+# (serve, submit over HTTP, check metrics, SIGTERM drain). Enable
+# with SMOKE=1.
+if [ "${SMOKE:-0}" = "1" ]; then
+	./scripts/smoke_server.sh
+fi
