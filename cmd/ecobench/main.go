@@ -17,7 +17,7 @@
 //
 //	ecobench [-mode table1|copies|mincalls|patchcmp] [-scale N]
 //	         [-unit unitK] [-modes baseline,minassume,exact]
-//	         [-j N] [-timeout 30s] [-json report.json]
+//	         [-j N] [-p N] [-timeout 30s] [-json report.json]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
@@ -48,6 +48,7 @@ func realMain() int {
 		unit       = flag.String("unit", "", "restrict table1 to one unit")
 		modesStr   = flag.String("modes", strings.Join(bench.Modes, ","), "table1 algorithm columns")
 		jobs       = flag.Int("j", 1, "worker goroutines for the table1 sweep")
+		par        = flag.Int("p", 1, "intra-solve parallelism per cell (SAT portfolio + sharded verification); 1 = serial deterministic engine")
 		timeout    = flag.Duration("timeout", 0, "per-(unit,mode) deadline for table1 cells (0 = none)")
 		jsonPath   = flag.String("json", "", "also write the table1 report as JSON to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile (go tool pprof) to this file")
@@ -95,7 +96,7 @@ func realMain() int {
 				title string
 				run   func() error
 			}{
-				{"Table 1", func() error { return runTable1(*scale, *unit, modes, *jobs, *timeout, *jsonPath) }},
+				{"Table 1", func() error { return runTable1(*scale, *unit, modes, *jobs, *par, *timeout, *jsonPath) }},
 				{"E5: minimize_assumptions SAT calls (§3.4.1)", func() error { return bench.RunMinCalls(os.Stdout) }},
 				{"E6: miter copies for structural multi-target (§3.6.2)", func() error { return bench.RunCopies(*scale, os.Stdout) }},
 				{"E7: cube enumeration vs interpolation (§3.5)", func() error { return bench.RunPatchCompare(*scale, os.Stdout) }},
@@ -107,7 +108,7 @@ func realMain() int {
 				fmt.Println()
 			}
 		case "table1":
-			err = runTable1(*scale, *unit, modes, *jobs, *timeout, *jsonPath)
+			err = runTable1(*scale, *unit, modes, *jobs, *par, *timeout, *jsonPath)
 		case "copies":
 			err = bench.RunCopies(*scale, os.Stdout)
 		case "mincalls":
@@ -152,8 +153,8 @@ func parseModes(s string) ([]string, error) {
 	return modes, nil
 }
 
-func runTable1(scale int, unit string, modes []string, jobs int, timeout time.Duration, jsonPath string) error {
-	opts := bench.RunOptions{Scale: scale, Modes: modes, Jobs: jobs, Timeout: timeout}
+func runTable1(scale int, unit string, modes []string, jobs, par int, timeout time.Duration, jsonPath string) error {
+	opts := bench.RunOptions{Scale: scale, Modes: modes, Jobs: jobs, Timeout: timeout, Parallelism: par}
 	if unit != "" {
 		opts.Units = []string{unit}
 	}

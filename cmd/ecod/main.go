@@ -2,9 +2,9 @@
 //
 // Server:
 //
-//	ecod serve [-addr :8080] [-workers N] [-queue N] [-max-jobs N]
-//	           [-default-timeout 0] [-max-timeout 0] [-results-dir DIR]
-//	           [-drain-grace 10s]
+//	ecod serve [-addr :8080] [-workers N] [-cpu-slots N] [-queue N]
+//	           [-max-jobs N] [-default-timeout 0] [-max-timeout 0]
+//	           [-results-dir DIR] [-drain-grace 10s]
 //
 // The daemon exposes POST /v1/jobs, GET /v1/jobs[/{id}],
 // DELETE /v1/jobs/{id}, /healthz and /metrics; SIGTERM/SIGINT drain
@@ -15,7 +15,7 @@
 //
 //	ecod submit  -server URL (-dir DIR | -unit unitK [-scale N])
 //	             [-name S] [-support minimize|final|exact]
-//	             [-patch cubes|interp] [-budget N] [-timeout 30s]
+//	             [-patch cubes|interp] [-budget N] [-p N] [-timeout 30s]
 //	             [-wait] [-o patch.v]
 //	ecod status  -server URL ID
 //	ecod wait    -server URL ID [-poll 200ms] [-o patch.v]
@@ -93,6 +93,7 @@ func cmdServe(args []string) error {
 	var (
 		addr       = fs.String("addr", ":8080", "listen address")
 		workers    = fs.Int("workers", 0, "solve workers (0 = GOMAXPROCS)")
+		cpuSlots   = fs.Int("cpu-slots", 0, "CPU slots shared by all jobs; bounds workers x intra-job threads (0 = max(GOMAXPROCS, workers))")
 		queueCap   = fs.Int("queue", 64, "admission queue capacity")
 		maxJobs    = fs.Int("max-jobs", 1024, "retained jobs before oldest finished are evicted")
 		defTimeout = fs.Duration("default-timeout", 0, "deadline for jobs that set none (0 = unbounded)")
@@ -110,6 +111,7 @@ func cmdServe(args []string) error {
 	}
 	srv := server.New(server.Config{
 		Workers:        *workers,
+		CPUSlots:       *cpuSlots,
 		QueueCap:       *queueCap,
 		MaxJobs:        *maxJobs,
 		DefaultTimeout: *defTimeout,
@@ -165,6 +167,7 @@ func cmdSubmit(args []string) error {
 		support = fs.String("support", "", "support algorithm: final, minimize, exact")
 		patchA  = fs.String("patch", "", "patch computation: cubes, interp")
 		budget  = fs.Int64("budget", 0, "SAT conflict budget per call (0 = unlimited)")
+		par     = fs.Int("p", 0, "intra-solve parallelism for this job (0 = serial daemon default)")
 		timeout = fs.Duration("timeout", 0, "per-job deadline (0 = server default)")
 		wait    = fs.Bool("wait", false, "poll the job to completion and print the result")
 		out     = fs.String("o", "", "with -wait: write the patch netlist here ('-' for stdout)")
@@ -183,10 +186,11 @@ func cmdSubmit(args []string) error {
 		req.Name = *name
 	}
 	req.Options = server.JobOptions{
-		Support:    *support,
-		Patch:      *patchA,
-		ConfBudget: *budget,
-		TimeoutSec: timeout.Seconds(),
+		Support:     *support,
+		Patch:       *patchA,
+		ConfBudget:  *budget,
+		TimeoutSec:  timeout.Seconds(),
+		Parallelism: *par,
 	}
 
 	c := &server.Client{Base: *base}

@@ -2,9 +2,10 @@ package aig
 
 import "math/rand"
 
-// Eval evaluates all primary outputs for one input assignment.
-// inputs[i] is the value of the i-th primary input.
-func (g *AIG) Eval(inputs []bool) []bool {
+// evalNodes computes the value of every node for one input
+// assignment. It reads the graph but never mutates it, so concurrent
+// callers are safe as long as nobody is adding nodes.
+func (g *AIG) evalNodes(inputs []bool) []bool {
 	if len(inputs) != len(g.pis) {
 		panic("aig: Eval input length mismatch")
 	}
@@ -20,6 +21,13 @@ func (g *AIG) Eval(inputs []bool) []bool {
 		b := val[n.f1.Node()] != n.f1.Compl()
 		val[idx] = a && b
 	}
+	return val
+}
+
+// Eval evaluates all primary outputs for one input assignment.
+// inputs[i] is the value of the i-th primary input.
+func (g *AIG) Eval(inputs []bool) []bool {
+	val := g.evalNodes(inputs)
 	out := make([]bool, len(g.pos))
 	for i, p := range g.pos {
 		out[i] = val[p.Node()] != p.Compl()
@@ -27,13 +35,12 @@ func (g *AIG) Eval(inputs []bool) []bool {
 	return out
 }
 
-// EvalLit evaluates a single edge for one input assignment.
+// EvalLit evaluates a single edge for one input assignment. Like
+// Eval it is side-effect-free, so it may run concurrently with other
+// read-only AIG operations (the sharded CEC path evaluates
+// counterexamples from several workers against one shared miter).
 func (g *AIG) EvalLit(l Lit, inputs []bool) bool {
-	sav := g.pos
-	g.pos = []Lit{l}
-	r := g.Eval(inputs)[0]
-	g.pos = sav
-	return r
+	return g.evalNodes(inputs)[l.Node()] != l.Compl()
 }
 
 // SimWords runs 64 parallel input patterns. piWords[i] holds 64

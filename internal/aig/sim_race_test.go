@@ -1,0 +1,62 @@
+package aig
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestEvalLitConcurrent pins EvalLit's side-effect-free contract:
+// concurrent EvalLit and Eval calls over one shared graph must not
+// race (EvalLit used to temporarily swap g.pos, which tripped the
+// race detector and could corrupt Eval results). Run under -race.
+func TestEvalLitConcurrent(t *testing.T) {
+	g := New()
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	c := g.AddPI("c")
+	x := g.Xor(g.And(a, b), c)
+	y := g.Or(g.And(a, c), b.Not())
+	g.AddPO("x", x)
+	g.AddPO("y", y)
+
+	inputs := [][]bool{
+		{false, false, false},
+		{true, false, true},
+		{true, true, false},
+		{true, true, true},
+	}
+	wantX := make([]bool, len(inputs))
+	wantY := make([]bool, len(inputs))
+	for i, in := range inputs {
+		out := g.Eval(in)
+		wantX[i], wantY[i] = out[0], out[1]
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for iter := 0; iter < 200; iter++ {
+				i := (w + iter) % len(inputs)
+				if w%2 == 0 {
+					if got := g.EvalLit(x, inputs[i]); got != wantX[i] {
+						t.Errorf("EvalLit(x, %v) = %v, want %v", inputs[i], got, wantX[i])
+						return
+					}
+					if got := g.EvalLit(y, inputs[i]); got != wantY[i] {
+						t.Errorf("EvalLit(y, %v) = %v, want %v", inputs[i], got, wantY[i])
+						return
+					}
+				} else {
+					out := g.Eval(inputs[i])
+					if out[0] != wantX[i] || out[1] != wantY[i] {
+						t.Errorf("Eval(%v) = %v, want [%v %v]", inputs[i], out, wantX[i], wantY[i])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

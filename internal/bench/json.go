@@ -17,7 +17,10 @@ type JSONReport struct {
 	Scale      int       `json:"scale"`
 	Modes      []string  `json:"modes"`
 	Jobs       int       `json:"jobs"`
-	TimeoutSec float64   `json:"timeout_sec,omitempty"`
+	// Parallelism is the per-cell intra-solve thread count (additive
+	// field; absent in pre-parallelism reports means 1).
+	Parallelism int     `json:"parallelism,omitempty"`
+	TimeoutSec  float64 `json:"timeout_sec,omitempty"`
 	Rows       []JSONRow `json:"rows"`
 }
 
@@ -54,6 +57,13 @@ type JSONCell struct {
 	Restarts     int64 `json:"restarts"`
 	Learnts      int64 `json:"learnts"`
 	LearntEvict  int64 `json:"learnt_evicted"`
+
+	// Additive portfolio counters (present only when the cell ran
+	// with intra-solve parallelism; the schema stays table1@v1).
+	PortfolioRaces int64            `json:"portfolio_races,omitempty"`
+	PortfolioWins  map[string]int64 `json:"portfolio_wins,omitempty"`
+	SharedOut      int64            `json:"sat_shared_out,omitempty"`
+	SharedIn       int64            `json:"sat_shared_in,omitempty"`
 }
 
 // cellFromAlgo maps one sweep cell into its JSON form.
@@ -77,6 +87,11 @@ func cellFromAlgo(a AlgoResult) JSONCell {
 		Restarts:     a.Restarts,
 		Learnts:      a.Learnts,
 		LearntEvict:  a.LearntEvict,
+
+		PortfolioRaces: a.PortfolioRaces,
+		PortfolioWins:  a.PortfolioWins,
+		SharedOut:      a.SharedOut,
+		SharedIn:       a.SharedIn,
 	}
 }
 
@@ -101,6 +116,10 @@ func NewJSONReport(opts RunOptions, modes []string, rows []Table1Row) JSONReport
 	}
 	if rep.Jobs < 1 {
 		rep.Jobs = 1
+	}
+	rep.Parallelism = opts.Parallelism
+	if rep.Parallelism < 1 {
+		rep.Parallelism = 1
 	}
 	if opts.Timeout > 0 {
 		rep.TimeoutSec = float64(opts.Timeout) / float64(time.Second)

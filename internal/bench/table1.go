@@ -42,6 +42,13 @@ type AlgoResult struct {
 	Restarts     int64
 	Learnts      int64
 	LearntEvict  int64
+
+	// Portfolio counters (zero / nil unless the cell ran with
+	// Parallelism > 1).
+	PortfolioRaces int64
+	PortfolioWins  map[string]int64
+	SharedOut      int64 // learnt clauses exported to portfolio exchanges
+	SharedIn       int64 // learnt clauses imported from portfolio exchanges
 }
 
 // Table1Row aggregates one benchmark unit across the three modes.
@@ -96,6 +103,12 @@ func RunUnit(cfg Config, mode string) (Table1Row, error) {
 // means no deadline. A fired deadline is not an error: the engine's
 // degraded partial result is recorded with TimedOut set.
 func RunUnitTimeout(cfg Config, mode string, timeout time.Duration) (Table1Row, error) {
+	return RunUnitWith(cfg, mode, RunOptions{Timeout: timeout})
+}
+
+// RunUnitWith runs one (unit, mode) cell under the sweep options,
+// honoring Timeout and Parallelism.
+func RunUnitWith(cfg Config, mode string, opts RunOptions) (Table1Row, error) {
 	inst, err := Generate(cfg)
 	if err != nil {
 		return Table1Row{}, err
@@ -113,7 +126,14 @@ func RunUnitTimeout(cfg Config, mode string, timeout time.Duration) (Table1Row, 
 	if err != nil {
 		return row, err
 	}
-	opt.Timeout = timeout
+	opt.Timeout = opts.Timeout
+	opt.Parallelism = opts.Parallelism
+	if opt.Parallelism <= 0 {
+		// Bench cells default to the serial engine, not the
+		// GOMAXPROCS-aware engine default: rows must be bit-identical
+		// across job counts and machines unless -p asks otherwise.
+		opt.Parallelism = 1
+	}
 	res, err := eco.Solve(inst, opt)
 	if err != nil {
 		return row, fmt.Errorf("%s/%s: %w", cfg.Name, mode, err)
@@ -146,6 +166,11 @@ func AlgoFromResult(res *eco.Result) AlgoResult {
 		Restarts:     res.Stats.Solver.Restarts,
 		Learnts:      res.Stats.Solver.Learnts,
 		LearntEvict:  res.Stats.Solver.Removed,
+
+		PortfolioRaces: res.Stats.PortfolioRaces,
+		PortfolioWins:  res.Stats.PortfolioWins,
+		SharedOut:      res.Stats.Solver.SharedOut,
+		SharedIn:       res.Stats.Solver.SharedIn,
 	}
 }
 
@@ -156,6 +181,11 @@ type RunOptions struct {
 	Jobs    int           // worker goroutines; <=1 means sequential
 	Timeout time.Duration // per-(unit,mode) cell deadline; 0 = none
 	Units   []string      // restrict to these unit names; nil = all
+	// Parallelism is the per-cell eco.Options.Parallelism (intra-solve
+	// SAT portfolio + sharded verification). <=0 means 1 — the fully
+	// deterministic serial engine — NOT the engine's GOMAXPROCS
+	// default, so sweep rows stay reproducible unless asked otherwise.
+	Parallelism int
 }
 
 // RunTable1 reproduces Table 1: every unit in every requested mode.
@@ -221,7 +251,7 @@ func RunTable1With(opts RunOptions, w io.Writer) ([]Table1Row, error) {
 			defer wg.Done()
 			for id := range ids {
 				cfg, mode := units[id/len(modes)], modes[id%len(modes)]
-				row, err := RunUnitTimeout(cfg, mode, opts.Timeout)
+				row, err := RunUnitWith(cfg, mode, opts)
 				cells[id] = cellOut{row: row, err: err}
 			}
 		}()

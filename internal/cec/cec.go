@@ -7,6 +7,8 @@ package cec
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"ecopatch/internal/aig"
 	"ecopatch/internal/cnf"
@@ -21,12 +23,20 @@ var ErrGaveUp = errors.New("cec: solver gave up")
 // CheckOptions tunes a single equivalence check.
 type CheckOptions struct {
 	// ConfBudget bounds SAT conflicts (<=0 means unlimited); an
-	// exceeded budget surfaces as ErrGaveUp.
+	// exceeded budget surfaces as ErrGaveUp. Under sharding the budget
+	// applies per shard.
 	ConfBudget int64
 	// OnSolver, when non-nil, observes every SAT solver the check
 	// creates, so callers can Interrupt a long-running check from
 	// another goroutine.
 	OnSolver func(*sat.Solver)
+	// Shards splits the differing output pairs into that many
+	// contiguous chunks checked concurrently, one solver+encoder per
+	// worker over the shared read-only miter. <=1 keeps the serial
+	// path. The verdict is deterministic: on inequivalence the
+	// counterexample always comes from the lowest-index satisfiable
+	// shard (a deciding shard only interrupts higher-index shards).
+	Shards int
 }
 
 // Result reports the outcome of an equivalence check.
@@ -85,25 +95,82 @@ func CheckLitsOpt(g *aig.AIG, as, bs []aig.Lit, opt CheckOptions) (Result, error
 	return checkPairs(g, pis, as, bs, opt)
 }
 
-// checkPairs runs the SAT check "some pair differs" on a miter AIG.
+// checkPairs runs the SAT check "some pair differs" on a miter AIG,
+// serially or sharded across a worker pool per opt.Shards.
 func checkPairs(m *aig.AIG, pis []aig.Lit, t1, t2 []aig.Lit, opt CheckOptions) (Result, error) {
 	// Fast path: structural hashing may already have merged each pair.
-	allEqual := true
+	var diff []int
 	for i := range t1 {
 		if t1[i] != t2[i] {
-			allEqual = false
-			break
+			diff = append(diff, i)
 		}
 	}
-	if allEqual {
+	if len(diff) == 0 {
 		return Result{Equivalent: true}, nil
 	}
-	s := sat.New()
-	if opt.ConfBudget > 0 {
-		s.SetConfBudget(opt.ConfBudget)
+	shards := opt.Shards
+	if shards > len(diff) {
+		shards = len(diff)
 	}
-	if opt.OnSolver != nil {
-		opt.OnSolver(s)
+	if shards <= 1 {
+		st, cex, conflicts := solvePairShard(m, pis, t1, t2, diff, opt, nil)
+		return mergePairVerdicts(m, t1, t2, []sat.Status{st}, [][]bool{cex}, conflicts, len(pis))
+	}
+
+	// Contiguous chunks keep the merge deterministic: the verdict and
+	// counterexample come from the lowest-index satisfiable shard, so a
+	// deciding shard may only interrupt shards AFTER it.
+	bounds := make([]int, shards+1)
+	for k := 0; k <= shards; k++ {
+		bounds[k] = k * len(diff) / shards
+	}
+	// Solvers are created and registered (OnSolver) before any worker
+	// starts, so an external interruptAll never misses a member.
+	solvers := make([]*sat.Solver, shards)
+	for k := range solvers {
+		solvers[k] = sat.New()
+		if opt.ConfBudget > 0 {
+			solvers[k].SetConfBudget(opt.ConfBudget)
+		}
+		if opt.OnSolver != nil {
+			opt.OnSolver(solvers[k])
+		}
+	}
+	statuses := make([]sat.Status, shards)
+	cexs := make([][]bool, shards)
+	var conflicts atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < shards; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			st, cex, confl := solvePairShard(m, pis, t1, t2, diff[bounds[k]:bounds[k+1]], opt, solvers[k])
+			statuses[k] = st
+			cexs[k] = cex
+			conflicts.Add(confl)
+			if st == sat.Sat {
+				for j := k + 1; j < shards; j++ {
+					solvers[j].Interrupt()
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	return mergePairVerdicts(m, t1, t2, statuses, cexs, conflicts.Load(), len(pis))
+}
+
+// solvePairShard decides "some pair in idx differs" with one solver
+// and encoder. s may be nil (a fresh solver is then built), and the
+// returned counterexample is indexed by PI position.
+func solvePairShard(m *aig.AIG, pis []aig.Lit, t1, t2 []aig.Lit, idx []int, opt CheckOptions, s *sat.Solver) (sat.Status, []bool, int64) {
+	if s == nil {
+		s = sat.New()
+		if opt.ConfBudget > 0 {
+			s.SetConfBudget(opt.ConfBudget)
+		}
+		if opt.OnSolver != nil {
+			opt.OnSolver(s)
+		}
 	}
 	e := cnf.NewEncoder(s, m)
 	// Encode the PIs up front so counterexample readback never
@@ -113,11 +180,8 @@ func checkPairs(m *aig.AIG, pis []aig.Lit, t1, t2 []aig.Lit, opt CheckOptions) (
 		piLits[i] = e.Lit(p)
 	}
 	// diff = OR over XORs; assert diff and solve.
-	diffSel := make([]sat.Lit, 0, len(t1))
-	for i := range t1 {
-		if t1[i] == t2[i] {
-			continue
-		}
+	diffSel := make([]sat.Lit, 0, len(idx))
+	for _, i := range idx {
 		a := e.Lit(t1[i])
 		b := e.Lit(t2[i])
 		d := sat.PosLit(s.NewVar())
@@ -131,16 +195,42 @@ func checkPairs(m *aig.AIG, pis []aig.Lit, t1, t2 []aig.Lit, opt CheckOptions) (
 	}
 	s.AddClause(diffSel...)
 	before := s.Stats.Conflicts
-	switch s.Solve() {
-	case sat.Unsat:
-		return Result{Equivalent: true, Conflicts: s.Stats.Conflicts - before}, nil
-	case sat.Sat:
-		res := Result{Equivalent: false, Conflicts: s.Stats.Conflicts - before}
-		res.Counterexample = make([]bool, len(pis))
+	st := s.Solve()
+	var cex []bool
+	if st == sat.Sat {
+		cex = make([]bool, len(pis))
 		for i := range pis {
-			res.Counterexample[i] = s.ModelBool(piLits[i])
+			cex[i] = s.ModelBool(piLits[i])
 		}
-		// Identify a failing output index by evaluation.
+	}
+	return st, cex, s.Stats.Conflicts - before
+}
+
+// mergePairVerdicts folds shard outcomes into one Result. Sat beats
+// everything (a counterexample is a counterexample regardless of what
+// other shards did); all-Unsat means equivalent; otherwise some shard
+// gave up with no shard finding a difference — no verdict.
+func mergePairVerdicts(m *aig.AIG, t1, t2 []aig.Lit, statuses []sat.Status, cexs [][]bool, conflicts int64, nPIs int) (Result, error) {
+	satShard := -1
+	allUnsat := true
+	for k, st := range statuses {
+		switch st {
+		case sat.Sat:
+			if satShard < 0 {
+				satShard = k
+			}
+			allUnsat = false
+		case sat.Unsat:
+		default:
+			allUnsat = false
+		}
+	}
+	switch {
+	case satShard >= 0:
+		res := Result{Equivalent: false, Conflicts: conflicts}
+		res.Counterexample = cexs[satShard]
+		// Identify a failing output index by evaluation, scanning the
+		// full pair list so the lowest failing index is reported.
 		res.FailingOutput = -1
 		for i := range t1 {
 			if m.EvalLit(t1[i], res.Counterexample) != m.EvalLit(t2[i], res.Counterexample) {
@@ -149,11 +239,11 @@ func checkPairs(m *aig.AIG, pis []aig.Lit, t1, t2 []aig.Lit, opt CheckOptions) (
 			}
 		}
 		return res, nil
-	case sat.Unknown:
+	case allUnsat:
+		return Result{Equivalent: true, Conflicts: conflicts}, nil
+	default:
 		// Budget exhausted or interrupted: no verdict either way.
 		return Result{}, ErrGaveUp
-	default:
-		return Result{}, fmt.Errorf("cec: unexpected solver status")
 	}
 }
 

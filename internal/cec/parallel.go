@@ -1,0 +1,63 @@
+package cec
+
+import (
+	"sync"
+
+	"ecopatch/internal/aig"
+)
+
+// PairResult is the outcome of one pair query in a parallel batch,
+// mirroring PairChecker.CheckPair's returns.
+type PairResult struct {
+	Equal bool
+	Cex   []bool
+	Err   error
+}
+
+// CheckPairsParallel decides a batch of pointwise-equivalence queries
+// over one read-only AIG across a worker pool: each worker owns a
+// PairChecker (one incremental solver + encoder), pairs are dealt
+// round-robin, and results land at their pair's index — the output is
+// a pure function of the input batch, independent of scheduling.
+//
+// The graph must not grow while the batch runs (the serial PairChecker
+// allows interleaved graph growth; the parallel form trades that for
+// concurrent encoders over a frozen graph).
+func CheckPairsParallel(g *aig.AIG, pairs [][2]aig.Lit, workers int, opt CheckOptions) []PairResult {
+	results := make([]PairResult, len(pairs))
+	if len(pairs) == 0 {
+		return results
+	}
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	if workers <= 1 {
+		pc := NewPairChecker(g, opt)
+		for i, p := range pairs {
+			eq, cex, err := pc.CheckPair(p[0], p[1])
+			results[i] = PairResult{Equal: eq, Cex: cex, Err: err}
+		}
+		return results
+	}
+	// Checkers (and their solvers) are created before any goroutine
+	// starts so opt.OnSolver registration happens single-threaded and
+	// an external interruptAll never misses one.
+	checkers := make([]*PairChecker, workers)
+	for w := range checkers {
+		checkers[w] = NewPairChecker(g, opt)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pc := checkers[w]
+			for i := w; i < len(pairs); i += workers {
+				eq, cex, err := pc.CheckPair(pairs[i][0], pairs[i][1])
+				results[i] = PairResult{Equal: eq, Cex: cex, Err: err}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return results
+}

@@ -106,6 +106,48 @@ func (pc *PairChecker) CheckPair(a, b aig.Lit) (equal bool, cex []bool, err erro
 	}
 }
 
+// canonKey hashes a simulation signature in canonical polarity (first
+// bit forced to 0 by complementing every word) with FNV-1a over the
+// raw 64-bit words. Earlier versions materialized the canonical
+// signature as a []byte map key — O(nodes × rounds × 8) fresh bytes on
+// every counterexample flush; the hash is allocation-free, and hash
+// collisions are screened with canonSigsEqual before any SAT probe.
+func canonKey(sig []uint64) (uint64, bool) {
+	compl := len(sig) > 0 && sig[0]&1 == 1
+	h := uint64(1469598103934665603) // FNV offset basis
+	for _, w := range sig {
+		if compl {
+			w = ^w
+		}
+		h ^= w
+		h *= 1099511628211 // FNV prime
+	}
+	return h, compl
+}
+
+// canonSigsEqual reports whether two signatures agree word-for-word in
+// canonical polarity — the collision check behind canonKey buckets.
+func canonSigsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ca := len(a) > 0 && a[0]&1 == 1
+	cb := len(b) > 0 && b[0]&1 == 1
+	for i := range a {
+		wa, wb := a[i], b[i]
+		if ca {
+			wa = ^wa
+		}
+		if cb {
+			wb = ^wb
+		}
+		if wa != wb {
+			return false
+		}
+	}
+	return true
+}
+
 // Sweep functionally reduces the AIG (fraiging, the core of the
 // paper's CEC reference [12]): candidate equivalences are proposed by
 // random simulation and proved by incremental SAT; proven-equivalent
@@ -136,21 +178,8 @@ func Sweep(g *aig.AIG, opt SweepOptions) *aig.AIG {
 		addRound(g.RandomSimWords(rng))
 	}
 
-	type key string
-	canon := func(n int) (key, bool) {
-		s := sigs[n]
-		compl := len(s) > 0 && s[0]&1 == 1
-		buf := make([]byte, 0, len(s)*8)
-		for _, w := range s {
-			if compl {
-				w = ^w
-			}
-			for k := 0; k < 8; k++ {
-				buf = append(buf, byte(w>>uint(8*k)))
-			}
-		}
-		return key(buf), compl
-	}
+	canon := func(n int) (uint64, bool) { return canonKey(sigs[n]) }
+	sameCanonSig := func(a, b int) bool { return canonSigsEqual(sigs[a], sigs[b]) }
 
 	ng := aig.New()
 	checker := NewPairChecker(ng, CheckOptions{ConfBudget: opt.ConfBudget})
@@ -161,15 +190,18 @@ func Sweep(g *aig.AIG, opt SweepOptions) *aig.AIG {
 		mapped[g.PI(i).Node()] = ng.AddPI(g.PIName(i))
 	}
 
-	// classes maps canonical signature -> candidate (ng edge, old node).
+	// classes maps canonical-signature hash -> candidates. Buckets may
+	// mix true classmates with hash collisions; node keeps the old
+	// graph's id so probes verify the full signature first.
 	type rep struct {
 		edge  aig.Lit // ng edge of the representative's value
+		node  int     // old-graph node, for collision checking
 		compl bool    // representative stored with canonical polarity
 	}
-	classes := make(map[key][]rep)
+	classes := make(map[uint64][]rep)
 	registerPI := func(n int) {
 		k, compl := canon(n)
-		classes[k] = append(classes[k], rep{edge: mapped[n].XorCompl(compl), compl: compl})
+		classes[k] = append(classes[k], rep{edge: mapped[n].XorCompl(compl), node: n, compl: compl})
 	}
 	for i := 0; i < g.NumPIs(); i++ {
 		registerPI(g.PI(i).Node())
@@ -194,13 +226,13 @@ func Sweep(g *aig.AIG, opt SweepOptions) *aig.AIG {
 		}
 		addRound(piWords)
 		cexBuf = cexBuf[:0]
-		classes = make(map[key][]rep)
+		classes = make(map[uint64][]rep)
 		for i := 0; i < g.NumPIs(); i++ {
 			registerPI(g.PI(i).Node())
 		}
 		for _, n := range builtAnds {
 			k, compl := canon(n)
-			classes[k] = append(classes[k], rep{edge: mapped[n].XorCompl(compl), compl: compl})
+			classes[k] = append(classes[k], rep{edge: mapped[n].XorCompl(compl), node: n, compl: compl})
 		}
 	}
 
@@ -226,15 +258,20 @@ func Sweep(g *aig.AIG, opt SweepOptions) *aig.AIG {
 		k, compl := canon(n)
 		myCanon := me.XorCompl(compl)
 		merged := false
-		cands := classes[k]
-		limit := opt.MaxCandidates
-		if len(cands) < limit {
-			limit = len(cands)
-		}
-		for ci := 0; ci < limit; ci++ {
-			equal, cex := proveEqual(myCanon, cands[ci].edge)
+		probes := 0
+		for _, cand := range classes[k] {
+			if probes == opt.MaxCandidates {
+				break
+			}
+			// Hash buckets may hold colliding signatures; only true
+			// signature matches cost a SAT probe (or budget).
+			if !sameCanonSig(n, cand.node) {
+				continue
+			}
+			probes++
+			equal, cex := proveEqual(myCanon, cand.edge)
 			if equal {
-				mapped[n] = cands[ci].edge.XorCompl(compl)
+				mapped[n] = cand.edge.XorCompl(compl)
 				merged = true
 				break
 			}
@@ -251,7 +288,7 @@ func Sweep(g *aig.AIG, opt SweepOptions) *aig.AIG {
 		}
 		if !merged {
 			mapped[n] = me
-			classes[k] = append(classes[k], rep{edge: myCanon, compl: compl})
+			classes[k] = append(classes[k], rep{edge: myCanon, node: n, compl: compl})
 			builtAnds = append(builtAnds, n)
 		}
 	}

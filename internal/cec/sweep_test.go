@@ -109,3 +109,32 @@ func TestCheckAIGsSweepingAgrees(t *testing.T) {
 		}
 	}
 }
+
+// TestCanonKey pins the canonical-signature keying: complementing a
+// signature must not change its key (polarity canonicalization), equal
+// canonical signatures compare equal, and differing ones do not.
+func TestCanonKey(t *testing.T) {
+	sig := []uint64{0xdeadbeef01, 0x12345678, 0xffffffffffffffff}
+	inv := make([]uint64, len(sig))
+	for i, w := range sig {
+		inv[i] = ^w
+	}
+	h1, c1 := canonKey(sig)
+	h2, c2 := canonKey(inv)
+	if h1 != h2 {
+		t.Fatalf("complemented signature hashed differently: %x vs %x", h1, h2)
+	}
+	if c1 == c2 {
+		t.Fatalf("complement flags must differ, both %v", c1)
+	}
+	if !canonSigsEqual(sig, inv) {
+		t.Fatal("signature and its complement are the same canonical class")
+	}
+	other := []uint64{0xdeadbeef01, 0x12345678, 0xfffffffffffffffe}
+	if canonSigsEqual(sig, other) {
+		t.Fatal("distinct canonical signatures compared equal")
+	}
+	if canonSigsEqual(sig, sig[:2]) {
+		t.Fatal("length mismatch compared equal")
+	}
+}

@@ -10,11 +10,21 @@ import (
 	"ecopatch/internal/sat"
 )
 
+// Sink receives the variables and clauses an Encoder emits. It is the
+// subset of *sat.Solver the encoder needs, so a Formula can capture an
+// encoding once and replay it into K portfolio members instead of
+// re-encoding the cone K times.
+type Sink interface {
+	NewVar() sat.Var
+	AddClause(lits ...sat.Lit) bool
+}
+
 // Encoder incrementally Tseitin-encodes cones of one AIG into a
-// solver. Nodes are encoded at most once; repeated Encode calls with
-// overlapping cones share variables and clauses.
+// solver (or any clause Sink). Nodes are encoded at most once;
+// repeated Encode calls with overlapping cones share variables and
+// clauses.
 type Encoder struct {
-	S *sat.Solver
+	S Sink
 	G *aig.AIG
 
 	vars     []sat.Lit // per AIG node; LitUndef when not yet encoded
@@ -22,7 +32,7 @@ type Encoder struct {
 }
 
 // NewEncoder returns an encoder of g into s.
-func NewEncoder(s *sat.Solver, g *aig.AIG) *Encoder {
+func NewEncoder(s Sink, g *aig.AIG) *Encoder {
 	return &Encoder{S: s, G: g}
 }
 

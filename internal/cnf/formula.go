@@ -1,0 +1,62 @@
+package cnf
+
+import "ecopatch/internal/sat"
+
+// Formula records the variable/clause traffic of an encoding so one
+// Tseitin pass can be replayed into several solvers (the portfolio
+// path: encode once, load K times). It implements Sink, so it drops in
+// wherever an Encoder would write straight into a solver.
+//
+// Variable numbering is positional: the i-th NewVar call returns
+// Var(i), and LoadInto replays the calls in order, so every solver
+// loaded from the same Formula sees identical literal numbering — the
+// property that lets a portfolio winner's model or core be read with
+// the literals handed out during capture.
+type Formula struct {
+	nVars int
+	lits  []sat.Lit // all clause literals, flattened
+	ends  []int32   // prefix ends: clause i is lits[ends[i-1]:ends[i]]
+}
+
+// NewVar allocates the next capture variable.
+func (f *Formula) NewVar() sat.Var {
+	v := sat.Var(f.nVars)
+	f.nVars++
+	return v
+}
+
+// AddClause records a clause. It always reports true: satisfiability
+// is not evaluated during capture.
+func (f *Formula) AddClause(lits ...sat.Lit) bool {
+	f.lits = append(f.lits, lits...)
+	f.ends = append(f.ends, int32(len(f.lits)))
+	return true
+}
+
+// NumVars returns the number of variables captured so far.
+func (f *Formula) NumVars() int { return f.nVars }
+
+// NumClauses returns the number of clauses captured so far.
+func (f *Formula) NumClauses() int { return len(f.ends) }
+
+// LoadInto replays the captured formula into s: NumVars fresh
+// variables (s must be empty, or at least aligned so that the next
+// variable is Var(0) of the capture) followed by every clause in
+// capture order. It returns false if the clauses are trivially
+// unsatisfiable in s.
+func (f *Formula) LoadInto(s *sat.Solver) bool {
+	base := s.NumVars()
+	if base != 0 {
+		panic("cnf: Formula.LoadInto on a non-empty solver")
+	}
+	s.EnsureVars(f.nVars)
+	ok := true
+	start := int32(0)
+	for _, end := range f.ends {
+		if !s.AddClause(f.lits[start:end]...) {
+			ok = false
+		}
+		start = end
+	}
+	return ok
+}

@@ -1,0 +1,63 @@
+package cnf
+
+import (
+	"testing"
+
+	"ecopatch/internal/aig"
+	"ecopatch/internal/sat"
+)
+
+// TestFormulaReplay captures one encoding and replays it into several
+// solvers: literal numbering must be identical across loads, and a
+// literal obtained during capture must be directly usable on every
+// replayed solver.
+func TestFormulaReplay(t *testing.T) {
+	g := aig.New()
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	x := g.Xor(g.And(a, b), g.Or(a, b))
+
+	var f Formula
+	enc := NewEncoder(&f, g)
+	xl := enc.Lit(x)
+
+	if f.NumVars() == 0 || f.NumClauses() == 0 {
+		t.Fatalf("capture recorded %d vars, %d clauses", f.NumVars(), f.NumClauses())
+	}
+
+	// Reference: encode straight into a solver; variable numbering of
+	// capture and direct encode must agree (same traversal order).
+	ref := sat.New()
+	refEnc := NewEncoder(ref, g)
+	if got := refEnc.Lit(x); got != xl {
+		t.Fatalf("capture literal %v != direct literal %v", xl, got)
+	}
+
+	for i := 0; i < 3; i++ {
+		s := sat.New()
+		if !f.LoadInto(s) {
+			t.Fatal("LoadInto reported trivially unsat")
+		}
+		if s.NumVars() != f.NumVars() {
+			t.Fatalf("replayed %d vars, captured %d", s.NumVars(), f.NumVars())
+		}
+		// x is satisfiable (a XOR of overlapping functions): constrain
+		// it true and solve.
+		if !s.AddClause(xl) {
+			t.Fatal("asserting root literal failed")
+		}
+		if st := s.Solve(); st != sat.Sat {
+			t.Fatalf("replayed solver: %v, want Sat", st)
+		}
+	}
+
+	// Loading into a non-empty solver is a contract violation.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LoadInto on non-empty solver must panic")
+		}
+	}()
+	dirty := sat.New()
+	dirty.NewVar()
+	f.LoadInto(dirty)
+}

@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"time"
 
 	"ecopatch/internal/aig"
+	"ecopatch/internal/cnf"
 	"ecopatch/internal/netlist"
 	"ecopatch/internal/sat"
 )
@@ -107,6 +109,18 @@ type Options struct {
 	// minimize_assumptions (mirroring the paper's observation that
 	// SAT_prune trades scalability for quality). Default 30s.
 	ExactTimeout time.Duration
+	// Parallelism bounds intra-solve parallelism. When >1, the hard
+	// SAT queries — feasibility by cofactor expansion and each
+	// target's expression-(2) check — race a portfolio of up to
+	// Parallelism diversified solvers with clause sharing, final
+	// verification shards its output pairs across Parallelism
+	// workers, and functional matching batches its SAT confirmations
+	// across the same worker count. 0 picks runtime.GOMAXPROCS(0);
+	// 1 reproduces the serial engine bit for bit. Verdicts (feasible,
+	// verified) are independent of the setting; at >1 the computed
+	// patches may differ from the serial ones but always verify.
+	Parallelism int
+
 	// Timeout caps the wall-clock time of the whole solve. On expiry
 	// every active SAT solver is interrupted and the engine stops at
 	// the next stage boundary (target, support/patch phase, or the
@@ -159,6 +173,12 @@ type Stats struct {
 	StructuralFixes int // targets patched by the structural fallback
 	CubesEnumerated int
 
+	// PortfolioRaces counts SAT queries raced across the diversified
+	// portfolio (Parallelism > 1 only); PortfolioWins counts, per
+	// member configuration label, how many races that config decided.
+	PortfolioRaces int64
+	PortfolioWins  map[string]int64
+
 	// Per-stage wall clock, summed over all targets, for the
 	// machine-readable perf trajectory (ecobench -json).
 	SupportTime time.Duration // support selection incl. last-gasp
@@ -185,6 +205,15 @@ func (s *Stats) Add(o Stats) {
 	s.WindowPOs += o.WindowPOs
 	s.StructuralFixes += o.StructuralFixes
 	s.CubesEnumerated += o.CubesEnumerated
+	s.PortfolioRaces += o.PortfolioRaces
+	if len(o.PortfolioWins) > 0 {
+		if s.PortfolioWins == nil {
+			s.PortfolioWins = make(map[string]int64, len(o.PortfolioWins))
+		}
+		for k, v := range o.PortfolioWins {
+			s.PortfolioWins[k] += v
+		}
+	}
 	s.SupportTime += o.SupportTime
 	s.PatchTime += o.PatchTime
 	s.VerifyTime += o.VerifyTime
@@ -280,6 +309,49 @@ func (e *engine) newSolver() *sat.Solver {
 	}
 	e.group.add(s)
 	return s
+}
+
+// par returns the effective intra-solve parallelism:
+// Options.Parallelism, defaulting to the scheduler's processor count.
+func (e *engine) par() int {
+	p := e.opt.Parallelism
+	if p == 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// newPortfolio builds a racing portfolio loaded from the captured
+// formula and registers every member for deadline interrupts.
+// Portfolio size is capped at 4: beyond that the diversification axes
+// repeat and extra members mostly duplicate work.
+func (e *engine) newPortfolio(f *cnf.Formula) *sat.Portfolio {
+	size := e.par()
+	if size > 4 {
+		size = 4
+	}
+	p := sat.NewPortfolio(
+		sat.PortfolioOptions{Size: size, ConfBudget: e.opt.ConfBudget},
+		func(s *sat.Solver) { f.LoadInto(s) },
+	)
+	for _, m := range p.Members() {
+		e.group.add(m)
+	}
+	return p
+}
+
+// recordRace folds one finished portfolio race into the run stats.
+func (e *engine) recordRace(p *sat.Portfolio) {
+	e.stats.PortfolioRaces++
+	if lbl := p.WinnerLabel(); lbl != "" {
+		if e.stats.PortfolioWins == nil {
+			e.stats.PortfolioWins = make(map[string]int64)
+		}
+		e.stats.PortfolioWins[lbl]++
+	}
 }
 
 // Solve runs the full ECO flow on the instance.

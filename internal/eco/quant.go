@@ -45,11 +45,25 @@ func (e *engine) checkFeasible() (bool, error) {
 	if quant == aig.ConstFalse {
 		return true, nil
 	}
-	s := e.newSolver()
-	enc := cnf.NewEncoder(s, e.w)
-	s.AddClause(enc.Lit(quant))
-	e.stats.SATCalls++
-	switch s.Solve() {
+	var st sat.Status
+	if e.par() > 1 {
+		// Race the quantified check across the portfolio: capture the
+		// encoding once, replay it into every member.
+		var f cnf.Formula
+		enc := cnf.NewEncoder(&f, e.w)
+		f.AddClause(enc.Lit(quant))
+		p := e.newPortfolio(&f)
+		e.stats.SATCalls++
+		st = p.Solve()
+		e.recordRace(p)
+	} else {
+		s := e.newSolver()
+		enc := cnf.NewEncoder(s, e.w)
+		s.AddClause(enc.Lit(quant))
+		e.stats.SATCalls++
+		st = s.Solve()
+	}
+	switch st {
 	case sat.Sat:
 		return false, nil
 	case sat.Unsat:

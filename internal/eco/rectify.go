@@ -73,16 +73,47 @@ func (e *engine) rectifyOne(i int) error {
 // patch (expression (2) satisfiable).
 var errInsufficient = errors.New("eco: divisor set insufficient")
 
+// exprTwoEnc holds the literal map of one expression-(2) encoding:
+// both cofactor-miter roots and, per divisor, the two copy literals
+// plus the equality selector.
+type exprTwoEnc struct {
+	r1, r2 sat.Lit
+	auxs   []sat.Lit
+	d1s    []sat.Lit
+	d2s    []sat.Lit
+}
+
+// encodeExprTwo encodes the two-copy extended miter of expression (2)
+// into sink. The variable-allocation sequence is deterministic, so
+// capturing into a cnf.Formula and replaying it into K portfolio
+// members yields the same literal numbering as encoding into a solver
+// directly — the returned literals are valid on every member.
+func (e *engine) encodeExprTwo(sink cnf.Sink, m0, m1 aig.Lit, divs []divisor) exprTwoEnc {
+	enc1 := cnf.NewEncoder(sink, e.w)
+	enc2 := cnf.NewEncoder(sink, e.w)
+	ec := exprTwoEnc{
+		r1:   enc1.Lit(m0),
+		r2:   enc2.Lit(m1),
+		auxs: make([]sat.Lit, len(divs)),
+		d1s:  make([]sat.Lit, len(divs)),
+		d2s:  make([]sat.Lit, len(divs)),
+	}
+	for j, d := range divs {
+		ec.d1s[j] = enc1.Lit(d.edge)
+		ec.d2s[j] = enc2.Lit(d.edge)
+		a := sat.PosLit(sink.NewVar())
+		// a -> (d1 == d2)
+		sink.AddClause(a.Not(), ec.d1s[j].Not(), ec.d2s[j])
+		sink.AddClause(a.Not(), ec.d1s[j], ec.d2s[j].Not())
+		ec.auxs[j] = a
+	}
+	return ec
+}
+
 // satPatch runs the SAT-based flow for one target: the two-copy
 // extended miter of expression (2), support selection, and patch
 // function computation.
 func (e *engine) satPatch(i int, m0, m1 aig.Lit) error {
-	s := e.newSolver()
-	enc1 := cnf.NewEncoder(s, e.w)
-	enc2 := cnf.NewEncoder(s, e.w)
-	r1 := enc1.Lit(m0)
-	r2 := enc2.Lit(m1)
-
 	divs := e.orderedDivisors()
 	if e.opt.Support == SupportAnalyzeFinal {
 		// The baseline of Table 1 is cost-oblivious: divisors are
@@ -91,29 +122,41 @@ func (e *engine) satPatch(i int, m0, m1 aig.Lit) error {
 		divs = append([]divisor(nil), e.divisors...)
 		sort.Slice(divs, func(a, b int) bool { return divs[a].name < divs[b].name })
 	}
-	auxs := make([]sat.Lit, len(divs))
-	d1s := make([]sat.Lit, len(divs))
-	d2s := make([]sat.Lit, len(divs))
-	for j, d := range divs {
-		d1s[j] = enc1.Lit(d.edge)
-		d2s[j] = enc2.Lit(d.edge)
-		a := sat.PosLit(s.NewVar())
-		// a -> (d1 == d2)
-		s.AddClause(a.Not(), d1s[j].Not(), d2s[j])
-		s.AddClause(a.Not(), d1s[j], d2s[j].Not())
-		auxs[j] = a
-	}
-	fixed := []sat.Lit{r1, r2}
 
 	// Expression (2): UNSAT under all equalities iff the divisors can
-	// express a patch.
-	e.stats.SATCalls++
-	switch s.Solve(append(append([]sat.Lit{}, fixed...), auxs...)...) {
-	case sat.Sat:
-		return errInsufficient
-	case sat.Unknown:
-		return errBudget
+	// express a patch. At Parallelism > 1 the query races across the
+	// portfolio and the winner carries on as the incremental solver
+	// for support minimization and cube enumeration below.
+	var s *sat.Solver
+	var ec exprTwoEnc
+	if e.par() > 1 {
+		var f cnf.Formula
+		ec = e.encodeExprTwo(&f, m0, m1, divs)
+		p := e.newPortfolio(&f)
+		e.stats.SATCalls++
+		st := p.Solve(append([]sat.Lit{ec.r1, ec.r2}, ec.auxs...)...)
+		e.recordRace(p)
+		switch st {
+		case sat.Sat:
+			return errInsufficient
+		case sat.Unknown:
+			return errBudget
+		}
+		s = p.Winner()
+	} else {
+		s = e.newSolver()
+		ec = e.encodeExprTwo(s, m0, m1, divs)
+		e.stats.SATCalls++
+		switch s.Solve(append([]sat.Lit{ec.r1, ec.r2}, ec.auxs...)...) {
+		case sat.Sat:
+			return errInsufficient
+		case sat.Unknown:
+			return errBudget
+		}
 	}
+	r1, r2 := ec.r1, ec.r2
+	auxs, d1s, d2s := ec.auxs, ec.d1s, ec.d2s
+	fixed := []sat.Lit{r1, r2}
 	// Capture the analyze_final core now; later Solve calls clobber it.
 	coreIdx := e.coreSupport(s, auxs)
 

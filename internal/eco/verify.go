@@ -21,7 +21,10 @@ func (e *engine) verify() (bool, error) {
 		piMap[e.tPIs[j]] = e.patches[j]
 	}
 	patched := aig.Transfer(e.w, e.w, piMap, e.implPOs)
-	res, err := cec.CheckLitsOpt(e.w, patched, e.specPOs, cec.CheckOptions{OnSolver: e.group.add})
+	res, err := cec.CheckLitsOpt(e.w, patched, e.specPOs, cec.CheckOptions{
+		OnSolver: e.group.add,
+		Shards:   e.par(),
+	})
 	if err != nil {
 		if errors.Is(err, cec.ErrGaveUp) {
 			// Interrupted (deadline): no verdict, so the patch cannot

@@ -1,0 +1,297 @@
+package sat
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// PortfolioOptions configures a racing portfolio.
+type PortfolioOptions struct {
+	// Size is the number of member solvers. Default 4, minimum 1.
+	Size int
+	// ShareLBD is the largest LBD a learnt clause may have to be
+	// shared with the other members; unit clauses are always shared.
+	// Default 2.
+	ShareLBD uint32
+	// Configs overrides the member configurations (len must equal
+	// Size). Default: DiversifiedConfigs(Size).
+	Configs []Config
+	// Labels names the members for win statistics; paired with
+	// Configs. Default: the DiversifiedConfigs labels.
+	Labels []string
+	// ConfBudget, when positive, limits every member to that many
+	// conflicts per Solve call (the race then returns Unknown when all
+	// members exhaust it).
+	ConfBudget int64
+}
+
+// PortfolioStats counts races and which member configuration won each.
+type PortfolioStats struct {
+	Races int64
+	Wins  map[string]int64
+}
+
+// DiversifiedConfigs returns n solver configurations spread across the
+// cheap diversification axes: restart policy and cadence, initial
+// phase, and VSIDS decay. Index 0 is always DefaultConfig, so a
+// portfolio's first member explores exactly the serial search space.
+func DiversifiedConfigs(n int) ([]Config, []string) {
+	cfgs := make([]Config, 0, n)
+	labels := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		c := DefaultConfig()
+		var label string
+		switch i {
+		case 0:
+			label = "glucose"
+		case 1:
+			c.Restart = RestartLuby
+			c.Phase = PhasePos
+			label = "luby-pos"
+		case 2:
+			// Higher margin makes the fast/slow comparison trip more
+			// often: a restart-happy explorer.
+			c.RestartMargin = 0.95
+			c.Phase = PhaseRand
+			c.Seed = 0x9e3779b9
+			label = "glucose-agg"
+		case 3:
+			c.Restart = RestartLuby
+			c.LubyBase = 50
+			c.VarDecay = 0.99
+			c.Phase = PhaseRand
+			c.Seed = 0xdeadbeef
+			label = "luby-rand"
+		default:
+			c.Phase = PhaseRand
+			c.Seed = uint64(i) * 0x9e3779b97f4a7c15
+			if i%2 == 0 {
+				c.Restart = RestartLuby
+			}
+			c.VarDecay = 0.90 + 0.02*float64(i%5)
+			label = fmt.Sprintf("rand-%d", i)
+		}
+		cfgs = append(cfgs, c)
+		labels = append(labels, label)
+	}
+	return cfgs, labels
+}
+
+// sharedClause is one entry in the exchange buffer.
+type sharedClause struct {
+	from int
+	lits []Lit
+}
+
+// maxExchange bounds the shared pool; once full, further exports are
+// dropped (the pool holds only units and very-low-LBD clauses, so the
+// cap is rarely reached in practice).
+const maxExchange = 1 << 15
+
+// exchange is the synchronized clause pool portfolio members share
+// learnts through. Publishing appends; each member drains from its own
+// cursor at restart boundaries, skipping its own entries.
+type exchange struct {
+	mu      sync.Mutex
+	pool    []sharedClause
+	cursors []int
+}
+
+func newExchange(n int) *exchange { return &exchange{cursors: make([]int, n)} }
+
+func (e *exchange) publish(from int, lits []Lit) {
+	cp := append([]Lit(nil), lits...)
+	e.mu.Lock()
+	if len(e.pool) < maxExchange {
+		e.pool = append(e.pool, sharedClause{from: from, lits: cp})
+	}
+	e.mu.Unlock()
+}
+
+// drainInto imports every clause member i has not yet seen into s.
+func (e *exchange) drainInto(i int, s *Solver) {
+	e.mu.Lock()
+	pending := e.pool[e.cursors[i]:]
+	e.cursors[i] = len(e.pool)
+	e.mu.Unlock()
+	for _, c := range pending {
+		if c.from == i {
+			continue
+		}
+		s.ImportLearnt(c.lits)
+		if !s.Okay() {
+			return
+		}
+	}
+}
+
+// Portfolio races K diversified solvers over one formula and returns
+// the first definitive answer. Members share learnt unit and low-LBD
+// clauses through an exchange buffer. After a race, the winning member
+// holds the model or assumption core and stays usable for incremental
+// follow-up queries (all members see identical variable numbering, so
+// literals transfer).
+//
+// A Portfolio is not safe for concurrent Solve calls, but Interrupt
+// may be called from another goroutine (it interrupts every member),
+// matching the Solver contract.
+type Portfolio struct {
+	members []*Solver
+	labels  []string
+	exch    *exchange
+	stop    atomic.Bool
+	winner  int
+	stats   PortfolioStats
+}
+
+// NewPortfolio builds a portfolio and populates every member by
+// calling load on it (typically cnf.Formula.LoadInto, so the formula
+// is encoded once and replayed K times).
+func NewPortfolio(opt PortfolioOptions, load func(*Solver)) *Portfolio {
+	if opt.Size <= 0 {
+		opt.Size = 4
+	}
+	if opt.ShareLBD == 0 {
+		opt.ShareLBD = 2
+	}
+	cfgs, labels := opt.Configs, opt.Labels
+	if len(cfgs) == 0 {
+		cfgs, labels = DiversifiedConfigs(opt.Size)
+	}
+	if len(cfgs) != opt.Size {
+		panic("sat: PortfolioOptions.Configs length mismatch")
+	}
+	if len(labels) != len(cfgs) {
+		labels = make([]string, len(cfgs))
+		for i := range labels {
+			labels[i] = fmt.Sprintf("cfg-%d", i)
+		}
+	}
+	p := &Portfolio{
+		labels: labels,
+		exch:   newExchange(opt.Size),
+		winner: -1,
+		stats:  PortfolioStats{Wins: make(map[string]int64)},
+	}
+	shareLBD := opt.ShareLBD
+	for i, cfg := range cfgs {
+		s := NewWithConfig(cfg)
+		s.SetStopSignal(&p.stop)
+		if opt.ConfBudget > 0 {
+			s.SetConfBudget(opt.ConfBudget)
+		}
+		i := i
+		s.SetLearntHook(func(lits []Lit, lbd uint32) {
+			if len(lits) == 1 || lbd <= shareLBD {
+				s.Stats.SharedOut++
+				p.exch.publish(i, lits)
+			}
+		})
+		s.SetRestartHook(func() { p.exch.drainInto(i, s) })
+		if load != nil {
+			load(s)
+		}
+		p.members = append(p.members, s)
+	}
+	return p
+}
+
+// Members exposes the member solvers, e.g. to register each with an
+// interrupt group.
+func (p *Portfolio) Members() []*Solver { return p.members }
+
+// Solve races all members under the given assumptions and returns the
+// first definitive status. Unknown means every member was interrupted
+// or ran out of budget. After Sat/Unsat, Winner holds the deciding
+// member.
+func (p *Portfolio) Solve(assumptions ...Lit) Status {
+	p.stop.Store(false)
+	p.winner = -1
+	var winIdx atomic.Int32
+	winIdx.Store(-1)
+	results := make([]Status, len(p.members))
+	var wg sync.WaitGroup
+	for i, m := range p.members {
+		wg.Add(1)
+		go func(i int, m *Solver) {
+			defer wg.Done()
+			st := m.Solve(assumptions...)
+			results[i] = st
+			if st != Unknown && winIdx.CompareAndSwap(-1, int32(i)) {
+				// Race decided: stop the losers. The stop flag is ours,
+				// not the sticky interrupt, so members stay reusable.
+				p.stop.Store(true)
+			}
+		}(i, m)
+	}
+	wg.Wait()
+	p.stop.Store(false)
+	w := winIdx.Load()
+	if w < 0 {
+		return Unknown
+	}
+	p.winner = int(w)
+	p.stats.Races++
+	p.stats.Wins[p.labels[w]]++
+	return results[w]
+}
+
+// Winner returns the member that decided the last race, or nil if no
+// race has produced a definitive answer yet. The winner is a plain
+// incremental Solver: Solve may be called on it directly for follow-up
+// queries that extend the raced formula.
+func (p *Portfolio) Winner() *Solver {
+	if p.winner < 0 {
+		return nil
+	}
+	return p.members[p.winner]
+}
+
+// WinnerLabel returns the configuration label of the last winner
+// ("" before the first decided race).
+func (p *Portfolio) WinnerLabel() string {
+	if p.winner < 0 {
+		return ""
+	}
+	return p.labels[p.winner]
+}
+
+// ModelValue reads the winner's model (valid after a Sat race).
+func (p *Portfolio) ModelValue(l Lit) LBool { return p.Winner().ModelValue(l) }
+
+// ModelBool reads the winner's model as a concrete bool.
+func (p *Portfolio) ModelBool(l Lit) bool { return p.Winner().ModelBool(l) }
+
+// Failed queries the winner's assumption core (valid after an Unsat
+// race under assumptions).
+func (p *Portfolio) Failed(a Lit) bool { return p.Winner().Failed(a) }
+
+// Core returns the winner's assumption core.
+func (p *Portfolio) Core() []Lit { return p.Winner().Core() }
+
+// Interrupt interrupts every member (sticky, per the Solver contract).
+func (p *Portfolio) Interrupt() {
+	for _, m := range p.members {
+		m.Interrupt()
+	}
+}
+
+// ClearInterrupt re-arms every member.
+func (p *Portfolio) ClearInterrupt() {
+	for _, m := range p.members {
+		m.ClearInterrupt()
+	}
+}
+
+// Stats returns the race/win counters.
+func (p *Portfolio) Stats() PortfolioStats { return p.stats }
+
+// SolverStats sums the kernel counters of all members.
+func (p *Portfolio) SolverStats() Stats {
+	var out Stats
+	for _, m := range p.members {
+		out.Add(m.Stats)
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+package sat
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// loadClauses installs a plain clause list (1-based DIMACS literals)
+// into a solver — the shape NewPortfolio's load callback wants.
+func loadClauses(nVars int, clauses [][]int) func(*Solver) {
+	return func(s *Solver) {
+		s.EnsureVars(nVars)
+		for _, cl := range clauses {
+			lits := make([]Lit, len(cl))
+			for i, dl := range cl {
+				v := dl
+				if v < 0 {
+					v = -v
+				}
+				lits[i] = MkLit(Var(v-1), dl < 0)
+			}
+			s.AddClause(lits...)
+		}
+	}
+}
+
+// checkModelValues is checkModel over any model reader, so portfolio
+// winners can be validated with the same clause lists.
+func checkModelValues(t *testing.T, mv func(Lit) LBool, clauses [][]int) {
+	t.Helper()
+	for _, cl := range clauses {
+		ok := false
+		for _, dl := range cl {
+			v := dl
+			if v < 0 {
+				v = -v
+			}
+			l := MkLit(Var(v-1), dl < 0)
+			if mv(l) != LFalse {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("model does not satisfy clause %v", cl)
+		}
+	}
+}
+
+func TestDiversifiedConfigsBaseline(t *testing.T) {
+	cfgs, labels := DiversifiedConfigs(6)
+	if len(cfgs) != 6 || len(labels) != 6 {
+		t.Fatalf("got %d configs, %d labels", len(cfgs), len(labels))
+	}
+	if cfgs[0] != DefaultConfig() {
+		t.Fatalf("member 0 must run the serial default config, got %+v", cfgs[0])
+	}
+	seen := map[string]bool{}
+	for _, l := range labels {
+		if seen[l] {
+			t.Fatalf("duplicate member label %q", l)
+		}
+		seen[l] = true
+	}
+}
+
+func TestPortfolioSatUnsat(t *testing.T) {
+	// (x1 | x2) & (!x1 | x2): satisfiable, x2 must be true.
+	sat := [][]int{{1, 2}, {-1, 2}}
+	p := NewPortfolio(PortfolioOptions{Size: 3}, loadClauses(2, sat))
+	if st := p.Solve(); st != Sat {
+		t.Fatalf("Solve = %v, want Sat", st)
+	}
+	if p.Winner() == nil || p.WinnerLabel() == "" {
+		t.Fatal("no winner recorded after a decided race")
+	}
+	checkModelValues(t, p.ModelValue, sat)
+	if got := p.Stats().Races; got != 1 {
+		t.Fatalf("Races = %d, want 1", got)
+	}
+
+	// x1 & !x1: unsatisfiable.
+	unsat := [][]int{{1}, {-1}}
+	p = NewPortfolio(PortfolioOptions{Size: 3}, loadClauses(1, unsat))
+	if st := p.Solve(); st != Unsat {
+		t.Fatalf("Solve = %v, want Unsat", st)
+	}
+}
+
+func TestPortfolioAssumptionCore(t *testing.T) {
+	// Formula satisfiable, but assumptions x1 and x2 clash through
+	// (!x1 | !x2); the core must contain both.
+	clauses := [][]int{{-1, -2}, {2, 3}}
+	p := NewPortfolio(PortfolioOptions{Size: 3}, loadClauses(3, clauses))
+	a1, a2 := MkLit(0, false), MkLit(1, false)
+	if st := p.Solve(a1, a2); st != Unsat {
+		t.Fatalf("Solve under clashing assumptions = %v, want Unsat", st)
+	}
+	if !p.Failed(a1) || !p.Failed(a2) {
+		t.Fatalf("core %v should contain both assumptions", p.Core())
+	}
+	// The same portfolio must be reusable after a race (stop flag is
+	// cleared): drop an assumption and the formula is satisfiable.
+	if st := p.Solve(a1); st != Sat {
+		t.Fatalf("re-Solve after race = %v, want Sat", st)
+	}
+}
+
+func TestPortfolioInterrupt(t *testing.T) {
+	// A hard instance would be needed to observe a mid-flight
+	// interrupt; setting the flag before Solve is equivalent and
+	// deterministic (Interrupt is sticky).
+	p := NewPortfolio(PortfolioOptions{Size: 2}, loadClauses(2, [][]int{{1, 2}}))
+	p.Interrupt()
+	if st := p.Solve(); st != Unknown {
+		t.Fatalf("Solve after Interrupt = %v, want Unknown", st)
+	}
+	if p.Winner() != nil {
+		t.Fatal("undecided race must not record a winner")
+	}
+	p.ClearInterrupt()
+	if st := p.Solve(); st != Sat {
+		t.Fatalf("Solve after ClearInterrupt = %v, want Sat", st)
+	}
+}
+
+func TestExchangePublishDrain(t *testing.T) {
+	e := newExchange(2)
+	e.publish(0, []Lit{MkLit(0, false)})
+	e.publish(1, []Lit{MkLit(1, true)})
+
+	s := New()
+	s.EnsureVars(2)
+	e.drainInto(0, s) // member 0 skips its own entry
+	if got := s.Stats.SharedIn; got != 1 {
+		t.Fatalf("SharedIn = %d, want 1 (own clause skipped)", got)
+	}
+	// Unit from member 1 must now be fixed at level 0.
+	if v := s.LitValue(MkLit(1, true)); v != LTrue {
+		t.Fatalf("imported unit not propagated: %v", v)
+	}
+	// Draining again imports nothing (cursor advanced).
+	e.drainInto(0, s)
+	if got := s.Stats.SharedIn; got != 1 {
+		t.Fatalf("cursor did not advance: SharedIn = %d", got)
+	}
+}
+
+func TestImportLearntRejects(t *testing.T) {
+	s := New()
+	s.EnsureVars(1)
+	if s.ImportLearnt([]Lit{MkLit(5, false)}) {
+		t.Fatal("import over unknown variable must be rejected")
+	}
+	if s.Stats.SharedIn != 0 {
+		t.Fatal("rejected import must not count")
+	}
+	ps := New()
+	ps.StartProof()
+	ps.EnsureVars(1)
+	if ps.ImportLearnt([]Lit{MkLit(0, false)}) {
+		t.Fatal("proof-logging solver must refuse foreign clauses")
+	}
+}
+
+// TestPortfolioDifferentialCorpus races the portfolio against a single
+// default-config solver over the DIMACS regression corpus: statuses
+// must agree on every formula, the winner's model must satisfy the
+// original clauses, and failed-assumption cores must remain valid
+// cores (re-solving a fresh solver under just the core is Unsat).
+func TestPortfolioDifferentialCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.cnf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("empty corpus")
+	}
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			nVars, clauses := readDIMACSClauses(t, path)
+			load := loadClauses(nVars, clauses)
+
+			single := New()
+			load(single)
+			want := single.Solve()
+			if want == Unknown {
+				t.Fatal("single solver gave up without budget")
+			}
+
+			p := NewPortfolio(PortfolioOptions{Size: 4}, load)
+			got := p.Solve()
+			if got != want {
+				t.Fatalf("portfolio=%v single=%v", got, want)
+			}
+			if got == Sat {
+				checkModelValues(t, p.ModelValue, clauses)
+			}
+
+			// Core check: assume the first few variables positive. When
+			// that makes the instance Unsat, the winner's core alone
+			// must already be inconsistent with the formula.
+			n := nVars
+			if n > 4 {
+				n = 4
+			}
+			assumps := make([]Lit, n)
+			for i := range assumps {
+				assumps[i] = MkLit(Var(i), false)
+			}
+			sSingle := New()
+			load(sSingle)
+			wantA := sSingle.Solve(assumps...)
+			pa := NewPortfolio(PortfolioOptions{Size: 4}, load)
+			gotA := pa.Solve(assumps...)
+			if gotA != wantA {
+				t.Fatalf("under assumptions: portfolio=%v single=%v", gotA, wantA)
+			}
+			if gotA == Unsat {
+				core := pa.Core()
+				for _, c := range core {
+					found := false
+					for _, a := range assumps {
+						if c == a {
+							found = true
+							break
+						}
+					}
+					if !found {
+						t.Fatalf("core literal %v is not an assumption", c)
+					}
+				}
+				fresh := New()
+				load(fresh)
+				if st := fresh.Solve(core...); st != Unsat {
+					t.Fatalf("winner's core %v does not refute the formula: %v", core, st)
+				}
+			} else if gotA == Sat {
+				checkModelValues(t, pa.ModelValue, clauses)
+			}
+		})
+	}
+}

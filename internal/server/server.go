@@ -23,6 +23,12 @@ type Config struct {
 	// Workers is the solve-pool size (default: GOMAXPROCS). ECO
 	// solves are CPU-bound, so more workers than cores just thrashes.
 	Workers int
+	// CPUSlots bounds total intra-solve parallelism: every running job
+	// holds as many slots as its effective Parallelism (at least 1),
+	// so job workers × intra-job threads never oversubscribes the
+	// machine. Default: max(GOMAXPROCS, Workers), which preserves the
+	// one-slot-per-worker behavior when no job asks for parallelism.
+	CPUSlots int
 	// QueueCap bounds the admission queue (default 64). A full queue
 	// sheds new submissions with 429 + Retry-After instead of letting
 	// latency grow without bound.
@@ -50,6 +56,12 @@ func (c *Config) fill() {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
+	if c.CPUSlots <= 0 {
+		c.CPUSlots = runtime.GOMAXPROCS(0)
+		if c.CPUSlots < c.Workers {
+			c.CPUSlots = c.Workers
+		}
+	}
 	if c.QueueCap <= 0 {
 		c.QueueCap = 64
 	}
@@ -68,6 +80,7 @@ type Server struct {
 	cfg     Config
 	store   *Store
 	metrics *Metrics
+	slots   *slotSem
 
 	queue    chan *Job
 	quit     chan struct{}
@@ -88,6 +101,7 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		store:   NewStore(cfg.MaxJobs),
 		metrics: NewMetrics(),
+		slots:   newSlotSem(cfg.CPUSlots),
 		queue:   make(chan *Job, cfg.QueueCap),
 		quit:    make(chan struct{}),
 		drained: make(chan struct{}),
@@ -129,6 +143,24 @@ func (s *Server) worker() {
 
 // runJob executes one job end to end and records its terminal state.
 func (s *Server) runJob(j *Job) {
+	// CPU-slot admission: a job weighs its intra-solve parallelism.
+	// 0 means the daemon default of 1 (serial) — the engine's
+	// GOMAXPROCS-aware default would let one job monopolize the pool.
+	par := j.opt.Parallelism
+	if par <= 0 {
+		par = 1
+	}
+	if par > s.cfg.CPUSlots {
+		par = s.cfg.CPUSlots
+	}
+	j.opt.Parallelism = par
+	held, ok := s.slots.acquire(par, s.quit)
+	if !ok {
+		s.store.Finish(j, StateCancelled, "server draining", nil)
+		return
+	}
+	defer s.slots.release(held)
+
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	if !s.store.Start(j, cancel) {
@@ -172,6 +204,8 @@ func (s *Server) jobFinished(j *Job, status JobStatus) {
 			PatchTime:       time.Duration(status.Result.PatchSec * float64(time.Second)),
 			VerifyTime:      time.Duration(status.Result.VerifySec * float64(time.Second)),
 		}
+		stats.PortfolioRaces = status.Result.PortfolioRaces
+		stats.PortfolioWins = status.Result.PortfolioWins
 		stats.Solver.SolveCalls = status.Result.SATCalls
 		stats.Solver.Conflicts = status.Result.Conflicts
 		stats.Solver.Decisions = status.Result.Decisions
@@ -179,6 +213,8 @@ func (s *Server) jobFinished(j *Job, status JobStatus) {
 		stats.Solver.Restarts = status.Result.Restarts
 		stats.Solver.Learnts = status.Result.Learnts
 		stats.Solver.Removed = status.Result.LearntEvict
+		stats.Solver.SharedOut = status.Result.SharedOut
+		stats.Solver.SharedIn = status.Result.SharedIn
 	}
 	s.metrics.Finished(status.State, solve, stats)
 	s.cfg.Log.Printf("job %s (%s) -> %s", j.ID, j.Name, status.State)
@@ -383,6 +419,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		queueCapacity: cap(s.queue),
 		running:       int(s.running.Load()),
 		workers:       s.cfg.Workers,
+		cpuSlots:      s.cfg.CPUSlots,
+		cpuSlotsBusy:  s.cfg.CPUSlots - s.slots.available(),
 		draining:      s.draining.Load(),
 		counts:        s.store.Counts(),
 	})

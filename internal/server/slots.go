@@ -1,0 +1,64 @@
+package server
+
+import "sync"
+
+// slotSem is a weighted CPU-slot semaphore: a job holds as many slots
+// as its intra-solve parallelism, so (job workers × intra-job
+// threads) stays bounded by the configured slot count no matter how
+// the two knobs are combined.
+//
+// Multi-slot acquisition is serialized by acqMu so two heavy jobs
+// cannot deadlock each holding half the slots; a worker waiting
+// behind the mutex is simply queued — the same order it would have
+// been queued in for the slots themselves.
+type slotSem struct {
+	total  int
+	tokens chan struct{}
+	acqMu  sync.Mutex
+}
+
+func newSlotSem(total int) *slotSem {
+	if total < 1 {
+		total = 1
+	}
+	s := &slotSem{total: total, tokens: make(chan struct{}, total)}
+	for i := 0; i < total; i++ {
+		s.tokens <- struct{}{}
+	}
+	return s
+}
+
+// acquire takes n slots (clamped to [1, total]), aborting with false
+// when quit closes first. On abort any partially-acquired slots are
+// returned. The clamped count actually held is returned for release.
+func (s *slotSem) acquire(n int, quit <-chan struct{}) (int, bool) {
+	if n > s.total {
+		n = s.total
+	}
+	if n < 1 {
+		n = 1
+	}
+	s.acqMu.Lock()
+	defer s.acqMu.Unlock()
+	for got := 0; got < n; got++ {
+		select {
+		case <-s.tokens:
+		case <-quit:
+			for ; got > 0; got-- {
+				s.tokens <- struct{}{}
+			}
+			return 0, false
+		}
+	}
+	return n, true
+}
+
+// release returns n slots.
+func (s *slotSem) release(n int) {
+	for i := 0; i < n; i++ {
+		s.tokens <- struct{}{}
+	}
+}
+
+// available reports the free slot count (approximate under load).
+func (s *slotSem) available() int { return len(s.tokens) }

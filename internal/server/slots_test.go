@@ -1,0 +1,223 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ecopatch/internal/eco"
+)
+
+func TestSlotSemAcquireRelease(t *testing.T) {
+	s := newSlotSem(3)
+	if s.available() != 3 {
+		t.Fatalf("available = %d, want 3", s.available())
+	}
+	held, ok := s.acquire(2, nil)
+	if !ok || held != 2 {
+		t.Fatalf("acquire(2) = (%d, %v), want (2, true)", held, ok)
+	}
+	if s.available() != 1 {
+		t.Fatalf("available = %d after acquire(2), want 1", s.available())
+	}
+	s.release(held)
+
+	// Requests above total clamp down instead of deadlocking forever.
+	held, ok = s.acquire(99, nil)
+	if !ok || held != 3 {
+		t.Fatalf("acquire(99) = (%d, %v), want (3, true)", held, ok)
+	}
+	if s.available() != 0 {
+		t.Fatalf("available = %d after clamped acquire, want 0", s.available())
+	}
+	s.release(held)
+
+	// Zero and negative clamp up to one slot.
+	held, ok = s.acquire(0, nil)
+	if !ok || held != 1 {
+		t.Fatalf("acquire(0) = (%d, %v), want (1, true)", held, ok)
+	}
+	s.release(held)
+}
+
+func TestSlotSemQuitAbortsAndRollsBack(t *testing.T) {
+	s := newSlotSem(2)
+	// Hold one slot so a two-slot acquire blocks after partial progress.
+	if _, ok := s.acquire(1, nil); !ok {
+		t.Fatal("setup acquire failed")
+	}
+	quit := make(chan struct{})
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := s.acquire(2, quit)
+		done <- ok
+	}()
+	select {
+	case ok := <-done:
+		t.Fatalf("acquire(2) returned %v before quit with only 1 slot free", ok)
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(quit)
+	if ok := <-done; ok {
+		t.Fatal("acquire succeeded after quit closed")
+	}
+	// The aborted acquire must have rolled its partial slot back.
+	if s.available() != 1 {
+		t.Fatalf("available = %d after abort, want 1", s.available())
+	}
+	s.release(1)
+	if s.available() != 2 {
+		t.Fatalf("available = %d after release, want 2", s.available())
+	}
+}
+
+// countingSolve tracks concurrent in-flight solves so tests can assert
+// the CPU-slot bound, blocking each solve until release closes.
+func countingSolve(inflight, maxSeen *atomic.Int64, started chan<- struct{}, release <-chan struct{}) func(context.Context, *eco.Instance, eco.Options) (*eco.Result, error) {
+	return func(ctx context.Context, inst *eco.Instance, opt eco.Options) (*eco.Result, error) {
+		cur := inflight.Add(1)
+		for {
+			prev := maxSeen.Load()
+			if cur <= prev || maxSeen.CompareAndSwap(prev, cur) {
+				break
+			}
+		}
+		if started != nil {
+			started <- struct{}{}
+		}
+		defer inflight.Add(-1)
+		select {
+		case <-ctx.Done():
+			return &eco.Result{TimedOut: true}, nil
+		case <-release:
+			return &eco.Result{Feasible: true, Verified: true}, nil
+		}
+	}
+}
+
+// With 2 CPU slots and 4 workers, jobs asking for parallelism 2 weigh
+// two slots each, so only one may solve at a time.
+func TestCPUSlotsSerializeHeavyJobs(t *testing.T) {
+	var inflight, maxSeen atomic.Int64
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	s, c := newTestServer(t, Config{Workers: 4, CPUSlots: 2, QueueCap: 8})
+	s.solve = countingSolve(&inflight, &maxSeen, started, release)
+
+	ctx := context.Background()
+	var ids []string
+	for i := 0; i < 3; i++ {
+		req := testRequest()
+		req.Options.Parallelism = 2
+		st, err := c.Submit(ctx, req)
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		ids = append(ids, st.ID)
+	}
+	// One job starts; the rest must stay blocked on slots.
+	<-started
+	select {
+	case <-started:
+		t.Fatal("second heavy job started while the first held both slots")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	for _, id := range ids {
+		st, err := c.Wait(ctx, id, 5*time.Millisecond)
+		if err != nil {
+			t.Fatalf("wait %s: %v", id, err)
+		}
+		if st.State != StateDone {
+			t.Fatalf("job %s ended %s: %s", id, st.State, st.Error)
+		}
+	}
+	if got := maxSeen.Load(); got != 1 {
+		t.Fatalf("max concurrent heavy solves = %d, want 1", got)
+	}
+	// Drain the remaining start signals released at the end.
+	for i := 0; i < 2; i++ {
+		<-started
+	}
+}
+
+// Serial jobs weigh one slot each, so two run concurrently under the
+// same 2-slot pool.
+func TestCPUSlotsAllowConcurrentSerialJobs(t *testing.T) {
+	var inflight, maxSeen atomic.Int64
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	s, c := newTestServer(t, Config{Workers: 4, CPUSlots: 2, QueueCap: 8})
+	s.solve = countingSolve(&inflight, &maxSeen, started, release)
+
+	ctx := context.Background()
+	var ids []string
+	for i := 0; i < 2; i++ {
+		req := testRequest()
+		req.Options.Parallelism = 1
+		st, err := c.Submit(ctx, req)
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		ids = append(ids, st.ID)
+	}
+	<-started
+	<-started
+	close(release)
+	for _, id := range ids {
+		st, err := c.Wait(ctx, id, 5*time.Millisecond)
+		if err != nil {
+			t.Fatalf("wait %s: %v", id, err)
+		}
+		if st.State != StateDone {
+			t.Fatalf("job %s ended %s: %s", id, st.State, st.Error)
+		}
+	}
+	if got := maxSeen.Load(); got != 2 {
+		t.Fatalf("max concurrent serial solves = %d, want 2", got)
+	}
+}
+
+// A job requesting more parallelism than the pool has is clamped, not
+// starved: it runs with every slot rather than waiting forever.
+func TestCPUSlotsClampOversizedJob(t *testing.T) {
+	var inflight, maxSeen atomic.Int64
+	release := make(chan struct{})
+	close(release) // solves return immediately
+	s, c := newTestServer(t, Config{Workers: 2, CPUSlots: 2, QueueCap: 4})
+	var seenPar atomic.Int64
+	inner := countingSolve(&inflight, &maxSeen, nil, release)
+	s.solve = func(ctx context.Context, inst *eco.Instance, opt eco.Options) (*eco.Result, error) {
+		seenPar.Store(int64(opt.Parallelism))
+		return inner(ctx, inst, opt)
+	}
+
+	ctx := context.Background()
+	req := testRequest()
+	req.Options.Parallelism = 64
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	st, err = c.Wait(ctx, st.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("job ended %s: %s", st.State, st.Error)
+	}
+	if got := seenPar.Load(); got != 2 {
+		t.Fatalf("engine saw Parallelism = %d, want clamp to 2 CPU slots", got)
+	}
+}
+
+// Negative parallelism is rejected at admission.
+func TestSubmitRejectsNegativeParallelism(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1, QueueCap: 2})
+	req := testRequest()
+	req.Options.Parallelism = -1
+	if _, err := c.Submit(context.Background(), req); err == nil {
+		t.Fatal("submit accepted parallelism = -1")
+	}
+}

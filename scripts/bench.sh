@@ -9,6 +9,11 @@
 #   ... change code ...
 #   ./scripts/bench.sh && benchstat old.txt BENCH_sat.txt
 #
+# Also records the Table-1 sweep at intra-solve parallelism 1 and 4
+# (BENCH_table1_p1.json / BENCH_table1_p4.json, additive fields on
+# ecobench/table1@v1) so the serial/parallel wall-clock ratio is
+# tracked alongside the microbenchmarks.
+#
 # Run from the repository root. Non-gating: failures here never block
 # verify.sh.
 set -eu
@@ -57,3 +62,13 @@ END {
 }' "$OUT_TXT" > "$OUT_JSON"
 
 echo "wrote $OUT_TXT and $OUT_JSON"
+
+# Table-1 sweep, serial vs parallel engine. Per-cell timeout keeps a
+# pathological unit from stalling the sweep; the portfolio counters in
+# the p4 report show which member configurations won the races.
+T1_TIMEOUT="${BENCH_T1_TIMEOUT:-60s}"
+go run ./cmd/ecobench -mode table1 -p 1 -timeout "$T1_TIMEOUT" \
+	-json BENCH_table1_p1.json >/dev/null
+go run ./cmd/ecobench -mode table1 -p 4 -timeout "$T1_TIMEOUT" \
+	-json BENCH_table1_p4.json >/dev/null
+echo "wrote BENCH_table1_p1.json and BENCH_table1_p4.json"

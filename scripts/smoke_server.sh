@@ -18,7 +18,7 @@ go build -o "$ECOD" ./cmd/ecod
 attempt=0
 while :; do
 	port=$((20000 + $$ % 10000 + attempt))
-	"$ECOD" serve -addr "127.0.0.1:$port" -workers 2 -queue 8 \
+	"$ECOD" serve -addr "127.0.0.1:$port" -workers 2 -cpu-slots 2 -queue 8 \
 		-results-dir "$workdir/results" 2>"$workdir/ecod.log" &
 	server_pid=$!
 	for _ in $(seq 1 50); do
@@ -43,14 +43,27 @@ grep -q '"state": "done"' "$workdir/result.json" || {
 grep -q '"verified": true' "$workdir/result.json" || {
 	echo "FAIL: patch not verified"; cat "$workdir/result.json"; exit 1; }
 
-# The metrics surface must show the finished job and nonzero solver
-# counters from the real solve.
+# Same instance with intra-solve parallelism: the job takes both CPU
+# slots, races the SAT portfolio, and must still verify.
+"$ECOD" submit -server "$base" -unit unit1 -p 2 -name unit1-p2 -wait \
+	>"$workdir/result_p2.json"
+grep -q '"state": "done"' "$workdir/result_p2.json" || {
+	echo "FAIL: parallel job did not finish done"; cat "$workdir/result_p2.json"; exit 1; }
+grep -q '"verified": true' "$workdir/result_p2.json" || {
+	echo "FAIL: parallel patch not verified"; cat "$workdir/result_p2.json"; exit 1; }
+
+# The metrics surface must show the finished jobs, nonzero solver
+# counters from the real solves, and the CPU-slot gauge.
 "$ECOD" metrics -server "$base" >"$workdir/metrics.txt"
-grep -q 'ecod_jobs_finished_total{state="done"} 1' "$workdir/metrics.txt" || {
+grep -q 'ecod_jobs_finished_total{state="done"} 2' "$workdir/metrics.txt" || {
 	echo "FAIL: finished counter missing"; cat "$workdir/metrics.txt"; exit 1; }
 if grep -qE '^ecod_sat_solve_calls_total 0$' "$workdir/metrics.txt"; then
 	echo "FAIL: solver counters stayed zero"; cat "$workdir/metrics.txt"; exit 1
 fi
+grep -q '^ecod_cpu_slots 2$' "$workdir/metrics.txt" || {
+	echo "FAIL: cpu-slot gauge missing"; cat "$workdir/metrics.txt"; exit 1; }
+grep -q '^ecod_portfolio_races_total' "$workdir/metrics.txt" || {
+	echo "FAIL: portfolio race counter missing"; cat "$workdir/metrics.txt"; exit 1; }
 
 # One result file per finished job, written atomically (the writer
 # runs just after the terminal state becomes visible, so poll).

@@ -9,6 +9,15 @@ go vet ./...
 go test ./...
 go test -race -short ./...
 
+# Focused race pass over the intra-solve parallelism paths: the SAT
+# portfolio (racing members + clause exchange), sharded/batched
+# equivalence checking, the parallel engine routes, and the daemon's
+# CPU-slot semaphore. These also run under `-race -short ./...` above;
+# the explicit -count=1 run defeats test caching so the parallel
+# machinery is always exercised fresh.
+go test -race -count=1 -run 'Portfolio|Parallel|Shard|Slot|CPUSlots' \
+	./internal/sat ./internal/cec ./internal/eco ./internal/server
+
 # Optional, non-gating: microbenchmark sweep (scripts/bench.sh writes
 # BENCH_sat.txt / BENCH_sat.json). Enable with BENCH=1.
 if [ "${BENCH:-0}" = "1" ]; then
