@@ -17,7 +17,8 @@
 //
 //	ecobench [-mode table1|copies|mincalls|patchcmp] [-scale N]
 //	         [-unit unitK] [-modes baseline,minassume,exact]
-//	         [-j N] [-p N] [-timeout 30s] [-json report.json]
+//	         [-j N] [-p N] [-timeout 30s] [-cache N] [-warm]
+//	         [-json report.json]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
@@ -50,6 +51,8 @@ func realMain() int {
 		jobs       = flag.Int("j", 1, "worker goroutines for the table1 sweep")
 		par        = flag.Int("p", 1, "intra-solve parallelism per cell (SAT portfolio + sharded verification); 1 = serial deterministic engine")
 		timeout    = flag.Duration("timeout", 0, "per-(unit,mode) deadline for table1 cells (0 = none)")
+		cacheEnt   = flag.Int("cache", 0, "attach a shared solve/window cache of N entries to the table1 sweep (0 = off)")
+		warm       = flag.Bool("warm", false, "run table1 twice against one cache (cold then warm) and report the speedup")
 		jsonPath   = flag.String("json", "", "also write the table1 report as JSON to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile (go tool pprof) to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile taken at exit to this file")
@@ -96,7 +99,9 @@ func realMain() int {
 				title string
 				run   func() error
 			}{
-				{"Table 1", func() error { return runTable1(*scale, *unit, modes, *jobs, *par, *timeout, *jsonPath) }},
+				{"Table 1", func() error {
+					return runTable1(*scale, *unit, modes, *jobs, *par, *timeout, *cacheEnt, *warm, *jsonPath)
+				}},
 				{"E5: minimize_assumptions SAT calls (§3.4.1)", func() error { return bench.RunMinCalls(os.Stdout) }},
 				{"E6: miter copies for structural multi-target (§3.6.2)", func() error { return bench.RunCopies(*scale, os.Stdout) }},
 				{"E7: cube enumeration vs interpolation (§3.5)", func() error { return bench.RunPatchCompare(*scale, os.Stdout) }},
@@ -108,7 +113,7 @@ func realMain() int {
 				fmt.Println()
 			}
 		case "table1":
-			err = runTable1(*scale, *unit, modes, *jobs, *par, *timeout, *jsonPath)
+			err = runTable1(*scale, *unit, modes, *jobs, *par, *timeout, *cacheEnt, *warm, *jsonPath)
 		case "copies":
 			err = bench.RunCopies(*scale, os.Stdout)
 		case "mincalls":
@@ -153,14 +158,27 @@ func parseModes(s string) ([]string, error) {
 	return modes, nil
 }
 
-func runTable1(scale int, unit string, modes []string, jobs, par int, timeout time.Duration, jsonPath string) error {
-	opts := bench.RunOptions{Scale: scale, Modes: modes, Jobs: jobs, Timeout: timeout, Parallelism: par}
+func runTable1(scale int, unit string, modes []string, jobs, par int, timeout time.Duration, cacheEnt int, warm bool, jsonPath string) error {
+	opts := bench.RunOptions{
+		Scale: scale, Modes: modes, Jobs: jobs, Timeout: timeout,
+		Parallelism: par, CacheEntries: cacheEnt,
+	}
 	if unit != "" {
 		opts.Units = []string{unit}
 	}
-	rows, err := bench.RunTable1With(opts, os.Stdout)
-	if err != nil {
-		return err
+	var rep bench.JSONReport
+	if warm {
+		run, err := bench.RunTable1Warm(opts, os.Stdout)
+		if err != nil {
+			return err
+		}
+		rep = bench.NewWarmJSONReport(opts, modes, run)
+	} else {
+		rows, err := bench.RunTable1With(opts, os.Stdout)
+		if err != nil {
+			return err
+		}
+		rep = bench.NewJSONReport(opts, modes, rows)
 	}
 	if jsonPath == "" {
 		return nil
@@ -168,6 +186,6 @@ func runTable1(scale int, unit string, modes []string, jobs, par int, timeout ti
 	// Atomic write: an interrupted run must never leave a truncated
 	// report where trend tooling would read it.
 	return atomicio.WriteFile(jsonPath, func(w io.Writer) error {
-		return bench.WriteJSON(w, bench.NewJSONReport(opts, modes, rows))
+		return bench.WriteJSON(w, rep)
 	})
 }

@@ -4,7 +4,7 @@
 //
 //	ecod serve [-addr :8080] [-workers N] [-cpu-slots N] [-queue N]
 //	           [-max-jobs N] [-default-timeout 0] [-max-timeout 0]
-//	           [-results-dir DIR] [-drain-grace 10s]
+//	           [-results-dir DIR] [-drain-grace 10s] [-cache-entries 256]
 //
 // The daemon exposes POST /v1/jobs, GET /v1/jobs[/{id}],
 // DELETE /v1/jobs/{id}, /healthz and /metrics; SIGTERM/SIGINT drain
@@ -100,6 +100,7 @@ func cmdServe(args []string) error {
 		maxTimeout = fs.Duration("max-timeout", 0, "clamp on per-job deadlines (0 = no clamp)")
 		resultsDir = fs.String("results-dir", "", "persist finished job results as <dir>/<id>.json")
 		grace      = fs.Duration("drain-grace", 10*time.Second, "time in-flight solves get to finish on SIGTERM before interruption")
+		cacheEnt   = fs.Int("cache-entries", 256, "content-addressed result cache + shared solve cache size (0 disables)")
 	)
 	fs.Parse(args)
 
@@ -117,6 +118,7 @@ func cmdServe(args []string) error {
 		DefaultTimeout: *defTimeout,
 		MaxTimeout:     *maxTimeout,
 		ResultsDir:     *resultsDir,
+		CacheEntries:   *cacheEnt,
 		Log:            logger,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -171,6 +173,7 @@ func cmdSubmit(args []string) error {
 		timeout = fs.Duration("timeout", 0, "per-job deadline (0 = server default)")
 		wait    = fs.Bool("wait", false, "poll the job to completion and print the result")
 		out     = fs.String("o", "", "with -wait: write the patch netlist here ('-' for stdout)")
+		retries = fs.Int("retries", 3, "retries after a 429 shed, honoring the server's Retry-After")
 	)
 	fs.Parse(args)
 
@@ -193,7 +196,7 @@ func cmdSubmit(args []string) error {
 		Parallelism: *par,
 	}
 
-	c := &server.Client{Base: *base}
+	c := &server.Client{Base: *base, MaxRetries: *retries}
 	ctx := context.Background()
 	st, err := c.Submit(ctx, req)
 	if err != nil {
@@ -282,12 +285,13 @@ func cmdJobOp(op string, args []string) error {
 	base := clientFlags(fs)
 	poll := fs.Duration("poll", 200*time.Millisecond, "poll interval (wait)")
 	out := fs.String("o", "", "write the patch netlist here (wait; '-' for stdout)")
+	retries := fs.Int("retries", 3, "retries after a 429 shed, honoring the server's Retry-After")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("ecod %s: exactly one job ID required", op)
 	}
 	id := fs.Arg(0)
-	c := &server.Client{Base: *base}
+	c := &server.Client{Base: *base, MaxRetries: *retries}
 	ctx := context.Background()
 	var (
 		st  server.JobStatus

@@ -51,6 +51,30 @@ func WriteFile(path string, fn func(io.Writer) error) (err error) {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("atomicio: %w", err)
 	}
+	// The rename itself lives in the directory: without a directory
+	// fsync, a crash after this return can roll the directory entry
+	// back to the old file even though the data blocks are on disk.
+	if err = syncDir(dir); err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a completed rename survives a crash.
+// A hook variable so tests can assert it runs on the write path.
+var syncDir = func(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		// The rename already succeeded; an unopenable directory (e.g.
+		// search-only permissions) should not fail the write.
+		return nil
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		// Some filesystems (and all of Windows) reject directory
+		// fsync; the write is still complete and atomic.
+		return nil
+	}
 	return nil
 }
 

@@ -71,6 +71,49 @@ func TestWriteFileFailureLeavesOldContent(t *testing.T) {
 	}
 }
 
+// TestWriteFileSyncsParentDir asserts the directory fsync runs on the
+// successful write path, after the rename has landed: without it a
+// crash can roll the directory entry back to the old file even though
+// the new data blocks are on disk.
+func TestWriteFileSyncsParentDir(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+
+	var syncedDirs []string
+	orig := syncDir
+	syncDir = func(d string) error {
+		// The rename must already be visible when the dir sync runs.
+		if got, err := os.ReadFile(path); err != nil || string(got) != "payload" {
+			t.Errorf("dir sync before rename landed: %q, %v", got, err)
+		}
+		syncedDirs = append(syncedDirs, filepath.Clean(d))
+		return orig(d)
+	}
+	defer func() { syncDir = orig }()
+
+	if err := WriteFileBytes(path, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if len(syncedDirs) != 1 || syncedDirs[0] != filepath.Clean(dir) {
+		t.Fatalf("parent dir not synced: %v (want [%s])", syncedDirs, dir)
+	}
+
+	// A failed write must not reach the directory sync (nothing was
+	// renamed, so there is nothing to persist).
+	syncedDirs = nil
+	boom := errors.New("writer failed")
+	_ = WriteFile(path, func(w io.Writer) error { return boom })
+	if len(syncedDirs) != 0 {
+		t.Fatalf("dir synced on failed write: %v", syncedDirs)
+	}
+
+	// And a dir-sync error propagates out of WriteFile.
+	syncDir = func(string) error { return boom }
+	if err := WriteFileBytes(path, []byte("x")); !errors.Is(err, boom) {
+		t.Fatalf("dir-sync error not propagated: %v", err)
+	}
+}
+
 func TestWriteFileNoDirPrefix(t *testing.T) {
 	dir := t.TempDir()
 	old, err := os.Getwd()

@@ -21,7 +21,12 @@ type JSONReport struct {
 	// field; absent in pre-parallelism reports means 1).
 	Parallelism int     `json:"parallelism,omitempty"`
 	TimeoutSec  float64 `json:"timeout_sec,omitempty"`
-	Rows       []JSONRow `json:"rows"`
+	// CacheEntries and WarmSpeedup are additive cache-run fields:
+	// the shared-cache size of the sweep (0 = no cache) and, for
+	// warm-vs-cold runs, the geomean cold/warm wall-clock ratio.
+	CacheEntries int       `json:"cache_entries,omitempty"`
+	WarmSpeedup  float64   `json:"warm_speedup,omitempty"`
+	Rows         []JSONRow `json:"rows"`
 }
 
 // JSONRow is one benchmark unit; Results is keyed by mode name.
@@ -64,6 +69,14 @@ type JSONCell struct {
 	PortfolioWins  map[string]int64 `json:"portfolio_wins,omitempty"`
 	SharedOut      int64            `json:"sat_shared_out,omitempty"`
 	SharedIn       int64            `json:"sat_shared_in,omitempty"`
+
+	// Additive cache counters (present only when the cell ran with a
+	// solve/window cache; the schema stays table1@v1). ColdSeconds is
+	// set on warm-pass cells to the matching cold cell's wall clock.
+	CacheHits       int64   `json:"cache_hits,omitempty"`
+	CacheMisses     int64   `json:"cache_misses,omitempty"`
+	CacheCollisions int64   `json:"cache_collisions,omitempty"`
+	ColdSeconds     float64 `json:"cold_seconds,omitempty"`
 }
 
 // cellFromAlgo maps one sweep cell into its JSON form.
@@ -92,6 +105,10 @@ func cellFromAlgo(a AlgoResult) JSONCell {
 		PortfolioWins:  a.PortfolioWins,
 		SharedOut:      a.SharedOut,
 		SharedIn:       a.SharedIn,
+
+		CacheHits:       a.CacheHits,
+		CacheMisses:     a.CacheMisses,
+		CacheCollisions: a.CacheCollisions,
 	}
 }
 
@@ -121,6 +138,7 @@ func NewJSONReport(opts RunOptions, modes []string, rows []Table1Row) JSONReport
 	if rep.Parallelism < 1 {
 		rep.Parallelism = 1
 	}
+	rep.CacheEntries = opts.CacheEntries
 	if opts.Timeout > 0 {
 		rep.TimeoutSec = float64(opts.Timeout) / float64(time.Second)
 	}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"ecopatch/internal/cache"
 	"ecopatch/internal/eco"
 )
 
@@ -49,6 +50,12 @@ type AlgoResult struct {
 	PortfolioWins  map[string]int64
 	SharedOut      int64 // learnt clauses exported to portfolio exchanges
 	SharedIn       int64 // learnt clauses imported from portfolio exchanges
+
+	// Solve/window cache counters (zero unless the cell ran with a
+	// cache attached).
+	CacheHits       int64
+	CacheMisses     int64
+	CacheCollisions int64
 }
 
 // Table1Row aggregates one benchmark unit across the three modes.
@@ -128,6 +135,7 @@ func RunUnitWith(cfg Config, mode string, opts RunOptions) (Table1Row, error) {
 	}
 	opt.Timeout = opts.Timeout
 	opt.Parallelism = opts.Parallelism
+	opt.Cache = opts.Cache
 	if opt.Parallelism <= 0 {
 		// Bench cells default to the serial engine, not the
 		// GOMAXPROCS-aware engine default: rows must be bit-identical
@@ -171,6 +179,10 @@ func AlgoFromResult(res *eco.Result) AlgoResult {
 		PortfolioWins:  res.Stats.PortfolioWins,
 		SharedOut:      res.Stats.Solver.SharedOut,
 		SharedIn:       res.Stats.Solver.SharedIn,
+
+		CacheHits:       res.Stats.CacheHits,
+		CacheMisses:     res.Stats.CacheMisses,
+		CacheCollisions: res.Stats.CacheCollisions,
 	}
 }
 
@@ -186,6 +198,13 @@ type RunOptions struct {
 	// deterministic serial engine — NOT the engine's GOMAXPROCS
 	// default, so sweep rows stay reproducible unless asked otherwise.
 	Parallelism int
+	// CacheEntries, when > 0, attaches a shared solve/window cache of
+	// that size to every cell of the sweep (ecobench -cache). Ignored
+	// when Cache is set directly.
+	CacheEntries int
+	// Cache, when non-nil, is the shared cache handed to every cell —
+	// the warm-run harness threads one cache through both passes.
+	Cache *cache.Cache
 }
 
 // RunTable1 reproduces Table 1: every unit in every requested mode.
@@ -205,6 +224,9 @@ func RunTable1With(opts RunOptions, w io.Writer) ([]Table1Row, error) {
 	modes := opts.Modes
 	if len(modes) == 0 {
 		modes = Modes
+	}
+	if opts.Cache == nil && opts.CacheEntries > 0 {
+		opts.Cache = cache.New(opts.CacheEntries)
 	}
 	units := Suite(opts.Scale)
 	if len(opts.Units) > 0 {

@@ -1,0 +1,222 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+
+	"ecopatch/internal/cnf"
+	"ecopatch/internal/sat"
+)
+
+func TestStoreLookupInsert(t *testing.T) {
+	s := NewStore(16)
+	key := []uint64{1, 2, 3}
+	if _, ok, _ := s.Lookup(key); ok {
+		t.Fatal("hit on empty store")
+	}
+	s.Insert(append([]uint64(nil), key...), "v1")
+	v, ok, coll := s.Lookup(key)
+	if !ok || v.(string) != "v1" || coll != 0 {
+		t.Fatalf("lookup = (%v, %v, %d)", v, ok, coll)
+	}
+	// First insertion wins; an equal key re-insert is a no-op.
+	s.Insert(append([]uint64(nil), key...), "v2")
+	if v, _, _ := s.Lookup(key); v.(string) != "v1" {
+		t.Fatalf("re-insert overwrote: %v", v)
+	}
+	st := s.Stats()
+	if st.Entries != 1 || st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestStoreCollisionScreen forces a 64-bit hash collision by injecting
+// an entry whose recorded hash equals another key's hash but whose
+// content differs: the content screen must reject it, count it, and
+// still find the real entry behind it.
+func TestStoreCollisionScreen(t *testing.T) {
+	s := NewStore(16)
+	key := []uint64{7, 8, 9}
+	h := HashWords(key)
+
+	// A fake colliding entry placed first in the bucket.
+	fake := &entry{hash: h, key: []uint64{0xdead, 0xbeef}, val: "wrong"}
+	s.mu.Lock()
+	s.buckets[h] = append(s.buckets[h], fake)
+	s.fifo = append(s.fifo, fake)
+	s.mu.Unlock()
+
+	// Miss with one screened collision (content differs).
+	if v, ok, coll := s.Lookup(key); ok || coll != 1 {
+		t.Fatalf("lookup on collision = (%v, %v, %d), want miss with 1 collision", v, ok, coll)
+	}
+
+	s.Insert(append([]uint64(nil), key...), "right")
+	v, ok, coll := s.Lookup(key)
+	if !ok || v.(string) != "right" {
+		t.Fatalf("real entry not found behind collision: (%v, %v)", v, ok)
+	}
+	if coll != 1 {
+		t.Fatalf("collisions screened = %d, want 1", coll)
+	}
+	if st := s.Stats(); st.Collisions < 2 {
+		t.Fatalf("collision counter = %d, want >= 2", st.Collisions)
+	}
+}
+
+func TestStoreEvictionBounds(t *testing.T) {
+	const max = 8
+	s := NewStore(max)
+	for i := 0; i < 10*max; i++ {
+		s.Insert([]uint64{uint64(i)}, i)
+		if st := s.Stats(); st.Entries > max {
+			t.Fatalf("entries = %d exceeds bound %d", st.Entries, max)
+		}
+	}
+	st := s.Stats()
+	if st.Evictions != 10*max-max {
+		t.Fatalf("evictions = %d, want %d", st.Evictions, 10*max-max)
+	}
+	// Oldest entries are gone, newest survive.
+	if _, ok, _ := s.Lookup([]uint64{0}); ok {
+		t.Fatal("oldest entry survived FIFO eviction")
+	}
+	if _, ok, _ := s.Lookup([]uint64{uint64(10*max - 1)}); !ok {
+		t.Fatal("newest entry evicted")
+	}
+}
+
+func TestStoreWordBudget(t *testing.T) {
+	s := NewStore(4) // word budget = 4 * perEntryWords
+	big := make([]uint64, 3*perEntryWords)
+	for i := 0; i < 4; i++ {
+		k := append([]uint64(nil), big...)
+		k[0] = uint64(i)
+		s.Insert(k, i)
+	}
+	st := s.Stats()
+	if st.Words > int64(4*perEntryWords) {
+		t.Fatalf("retained words %d exceed budget %d", st.Words, 4*perEntryWords)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("word budget never triggered eviction")
+	}
+}
+
+// captureFormula builds a tiny distinct formula: (x0 | x1) & seed-unit.
+func captureFormula(seed int) *cnf.Formula {
+	f := &cnf.Formula{}
+	a, b := f.NewVar(), f.NewVar()
+	f.AddClause(sat.PosLit(a), sat.PosLit(b))
+	for i := 0; i < seed; i++ {
+		v := f.NewVar()
+		f.AddClause(sat.PosLit(v))
+	}
+	return f
+}
+
+func TestSolveCacheVerdicts(t *testing.T) {
+	c := NewSolveCache(16)
+	f := captureFormula(1)
+	if _, ok, _ := c.Lookup(f, nil); ok {
+		t.Fatal("hit on empty cache")
+	}
+	// Unknown verdicts are never retained (budget expiry is not a fact
+	// about the formula).
+	c.Insert(captureFormula(1), nil, Verdict{Status: sat.Unknown})
+	if _, ok, _ := c.Lookup(f, nil); ok {
+		t.Fatal("unknown verdict was cached")
+	}
+	// Sat without a full model is rejected too.
+	c.Insert(captureFormula(1), nil, Verdict{Status: sat.Sat, Model: []bool{true}})
+	if _, ok, _ := c.Lookup(f, nil); ok {
+		t.Fatal("incomplete model was cached")
+	}
+	model := make([]bool, f.NumVars())
+	model[0] = true
+	c.Insert(captureFormula(1), nil, Verdict{Status: sat.Sat, Model: model})
+	v, ok, _ := c.Lookup(f, nil)
+	if !ok || v.Status != sat.Sat {
+		t.Fatalf("lookup = (%+v, %v)", v, ok)
+	}
+	if !v.LitTrue(sat.PosLit(0)) || v.LitTrue(sat.NegLit(0)) {
+		t.Fatal("LitTrue does not honor literal polarity")
+	}
+
+	// Assumptions are part of the key.
+	if _, ok, _ := c.Lookup(f, []sat.Lit{sat.PosLit(0)}); ok {
+		t.Fatal("hit across different assumptions")
+	}
+	c.Insert(captureFormula(1), []sat.Lit{sat.PosLit(0)}, Verdict{Status: sat.Unsat})
+	if v, ok, _ := c.Lookup(f, []sat.Lit{sat.PosLit(0)}); !ok || v.Status != sat.Unsat {
+		t.Fatalf("assumption-keyed lookup = (%+v, %v)", v, ok)
+	}
+}
+
+func TestSolveCacheDistinctFormulas(t *testing.T) {
+	c := NewSolveCache(64)
+	for i := 0; i < 20; i++ {
+		c.Insert(captureFormula(i), nil, Verdict{Status: sat.Unsat})
+	}
+	for i := 0; i < 20; i++ {
+		v, ok, _ := c.Lookup(captureFormula(i), nil)
+		if !ok || v.Status != sat.Unsat {
+			t.Fatalf("formula %d: lookup = (%+v, %v)", i, v, ok)
+		}
+	}
+	if st := c.Stats(); st.Entries != 20 || st.Hits != 20 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestUmbrellaCacheStats(t *testing.T) {
+	c := New(8)
+	c.Window.Insert([]uint64{1}, "w")
+	c.Window.Lookup([]uint64{1})
+	c.Solve.Insert(captureFormula(0), nil, Verdict{Status: sat.Unsat})
+	c.Solve.Lookup(captureFormula(0), nil)
+	st := c.Stats()
+	if st.Hits != 2 || st.Entries != 2 {
+		t.Fatalf("umbrella stats = %+v", st)
+	}
+	var nilCache *Cache
+	if s := nilCache.Stats(); s != (Stats{}) {
+		t.Fatalf("nil cache stats = %+v", s)
+	}
+}
+
+func TestHashWordsDisperses(t *testing.T) {
+	seen := make(map[uint64][]uint64)
+	for i := 0; i < 4096; i++ {
+		k := []uint64{uint64(i), uint64(i * 3)}
+		h := HashWords(k)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("hash collision between %v and %v", prev, k)
+		}
+		seen[h] = k
+	}
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	s := NewStore(128)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			var err error
+			for i := 0; i < 500; i++ {
+				k := []uint64{uint64(i % 64)}
+				s.Insert(append([]uint64(nil), k...), fmt.Sprintf("v%d", i%64))
+				if v, ok, _ := s.Lookup(k); ok && v.(string) != fmt.Sprintf("v%d", i%64) {
+					err = fmt.Errorf("goroutine %d: key %v got %v", g, k, v)
+					break
+				}
+			}
+			done <- err
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package cache
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ecopatch/internal/cnf"
+	"ecopatch/internal/sat"
+)
+
+// parseDIMACSFormula reads a DIMACS CNF file into a capture Formula
+// (variable n maps to capture Var(n-1), matching the positional
+// numbering contract).
+func parseDIMACSFormula(t *testing.T, path string) *cnf.Formula {
+	t.Helper()
+	fh, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fh.Close()
+	f := &cnf.Formula{}
+	ensure := func(v int) {
+		for f.NumVars() < v {
+			f.NewVar()
+		}
+	}
+	var clause []sat.Lit
+	sc := bufio.NewScanner(fh)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") || strings.HasPrefix(line, "p") {
+			continue
+		}
+		for _, tok := range strings.Fields(line) {
+			n, err := strconv.Atoi(tok)
+			if err != nil {
+				t.Fatalf("%s: bad token %q", path, tok)
+			}
+			if n == 0 {
+				f.AddClause(clause...)
+				clause = clause[:0]
+				continue
+			}
+			v := n
+			if v < 0 {
+				v = -v
+			}
+			ensure(v)
+			l := sat.PosLit(sat.Var(v - 1))
+			if n < 0 {
+				l = l.Not()
+			}
+			clause = append(clause, l)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestDifferentialCorpus is the cache-correctness differential: every
+// corpus formula is solved directly and through the cache (cold, then
+// warm), and the three verdicts must agree exactly. Hits never change
+// verdicts, and no hit may be served off a hash match alone — every
+// collision the screen rejects is counted, and the hit verdict is
+// re-validated against the direct solve.
+func TestDifferentialCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "sat", "testdata", "corpus", "*.cnf"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("corpus not found: %v (%d files)", err, len(files))
+	}
+	c := NewSolveCache(64)
+	type outcome struct {
+		file   string
+		status sat.Status
+	}
+	var direct []outcome
+	for _, path := range files {
+		f := parseDIMACSFormula(t, path)
+
+		// Reference: direct solve of a replayed copy.
+		s := sat.New()
+		f.LoadInto(s)
+		want := s.Solve()
+		if want == sat.Unknown {
+			t.Fatalf("%s: reference solve unknown", path)
+		}
+		direct = append(direct, outcome{path, want})
+
+		// Cold pass: must miss, then populate.
+		if _, ok, _ := c.Lookup(f, nil); ok {
+			t.Fatalf("%s: hit before insert", path)
+		}
+		var model []bool
+		if want == sat.Sat {
+			model = make([]bool, f.NumVars())
+			for v := range model {
+				model[v] = s.ModelBool(sat.PosLit(sat.Var(v)))
+			}
+		}
+		c.Insert(f, nil, Verdict{Status: want, Model: model})
+	}
+
+	// Warm pass over re-parsed formulas: every lookup must hit with
+	// the direct verdict, and Sat models must satisfy the formula.
+	for _, d := range direct {
+		f := parseDIMACSFormula(t, d.file)
+		v, ok, _ := c.Lookup(f, nil)
+		if !ok {
+			t.Fatalf("%s: no hit on warm pass", d.file)
+		}
+		if v.Status != d.status {
+			t.Fatalf("%s: cached verdict %v, direct %v", d.file, v.Status, d.status)
+		}
+		if v.Status == sat.Sat && !modelSatisfies(f, v) {
+			t.Fatalf("%s: cached model does not satisfy the formula", d.file)
+		}
+	}
+	st := c.Stats()
+	if st.Hits != int64(len(files)) || st.Misses != int64(len(files)) {
+		t.Fatalf("stats = %+v, want %d hits and misses", st, len(files))
+	}
+}
+
+// modelSatisfies replays the formula into a solver with the model
+// asserted as units: the cached model is valid iff that is Sat.
+func modelSatisfies(f *cnf.Formula, v Verdict) bool {
+	s := sat.New()
+	f.LoadInto(s)
+	assumps := make([]sat.Lit, f.NumVars())
+	for i := range assumps {
+		assumps[i] = sat.MkLit(sat.Var(i), !v.LitTrue(sat.PosLit(sat.Var(i))))
+	}
+	return s.Solve(assumps...) == sat.Sat
+}

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"ecopatch/internal/aig"
+	"ecopatch/internal/cache"
 	"ecopatch/internal/cnf"
 	"ecopatch/internal/sat"
 )
@@ -37,6 +38,13 @@ type CheckOptions struct {
 	// counterexample always comes from the lowest-index satisfiable
 	// shard (a deciding shard only interrupts higher-index shards).
 	Shards int
+	// Cache, when non-nil, memoizes per-shard verdicts keyed by the
+	// captured CNF of the shard's diff query. A hit skips the solve
+	// entirely (the counterexample is reconstructed from the cached
+	// model); every hit is collision-screened by full formula
+	// comparison before it is trusted. Unknown verdicts are never
+	// cached.
+	Cache *cache.SolveCache
 }
 
 // Result reports the outcome of an equivalence check.
@@ -49,6 +57,13 @@ type Result struct {
 	FailingOutput int
 	// Conflicts is the number of SAT conflicts spent.
 	Conflicts int64
+	// Solve-cache traffic of this check (zero unless
+	// CheckOptions.Cache was set): shard verdicts served from the
+	// cache, shards solved fresh, and hash collisions screened out by
+	// formula comparison.
+	CacheHits       int64
+	CacheMisses     int64
+	CacheCollisions int64
 }
 
 // CheckAIGs decides whether two AIGs with identical PI/PO counts are
@@ -113,8 +128,8 @@ func checkPairs(m *aig.AIG, pis []aig.Lit, t1, t2 []aig.Lit, opt CheckOptions) (
 		shards = len(diff)
 	}
 	if shards <= 1 {
-		st, cex, conflicts := solvePairShard(m, pis, t1, t2, diff, opt, nil)
-		return mergePairVerdicts(m, t1, t2, []sat.Status{st}, [][]bool{cex}, conflicts, len(pis))
+		st, cex, conflicts, tally := solvePairShard(m, pis, t1, t2, diff, opt, nil)
+		return mergePairVerdicts(m, t1, t2, []sat.Status{st}, [][]bool{cex}, conflicts, tally)
 	}
 
 	// Contiguous chunks keep the merge deterministic: the verdict and
@@ -139,15 +154,19 @@ func checkPairs(m *aig.AIG, pis []aig.Lit, t1, t2 []aig.Lit, opt CheckOptions) (
 	statuses := make([]sat.Status, shards)
 	cexs := make([][]bool, shards)
 	var conflicts atomic.Int64
+	var hits, misses, colls atomic.Int64
 	var wg sync.WaitGroup
 	for k := 0; k < shards; k++ {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			st, cex, confl := solvePairShard(m, pis, t1, t2, diff[bounds[k]:bounds[k+1]], opt, solvers[k])
+			st, cex, confl, tl := solvePairShard(m, pis, t1, t2, diff[bounds[k]:bounds[k+1]], opt, solvers[k])
 			statuses[k] = st
 			cexs[k] = cex
 			conflicts.Add(confl)
+			hits.Add(tl.hits)
+			misses.Add(tl.misses)
+			colls.Add(tl.collisions)
 			if st == sat.Sat {
 				for j := k + 1; j < shards; j++ {
 					solvers[j].Interrupt()
@@ -156,13 +175,73 @@ func checkPairs(m *aig.AIG, pis []aig.Lit, t1, t2 []aig.Lit, opt CheckOptions) (
 		}(k)
 	}
 	wg.Wait()
-	return mergePairVerdicts(m, t1, t2, statuses, cexs, conflicts.Load(), len(pis))
+	tally := cacheTally{hits: hits.Load(), misses: misses.Load(), collisions: colls.Load()}
+	return mergePairVerdicts(m, t1, t2, statuses, cexs, conflicts.Load(), tally)
+}
+
+// cacheTally is per-check solve-cache traffic.
+type cacheTally struct {
+	hits, misses, collisions int64
+}
+
+// encodePairDiff Tseitin-encodes "some pair in idx differs" into
+// sink — PIs first, so counterexample readback never allocates
+// variables after solving — and returns the PI literals. The
+// variable-allocation sequence is deterministic, so capturing into a
+// cnf.Formula and replaying it into a solver yields the same literal
+// numbering as encoding into the solver directly.
+func encodePairDiff(sink cnf.Sink, m *aig.AIG, pis []aig.Lit, t1, t2 []aig.Lit, idx []int) []sat.Lit {
+	e := cnf.NewEncoder(sink, m)
+	piLits := make([]sat.Lit, len(pis))
+	for i, p := range pis {
+		piLits[i] = e.Lit(p)
+	}
+	// diff = OR over XORs; assert diff.
+	diffSel := make([]sat.Lit, 0, len(idx))
+	for _, i := range idx {
+		a := e.Lit(t1[i])
+		b := e.Lit(t2[i])
+		d := sat.PosLit(sink.NewVar())
+		// d -> (a xor b)
+		sink.AddClause(d.Not(), a, b)
+		sink.AddClause(d.Not(), a.Not(), b.Not())
+		// (a xor b) -> d
+		sink.AddClause(d, a, b.Not())
+		sink.AddClause(d, a.Not(), b)
+		diffSel = append(diffSel, d)
+	}
+	sink.AddClause(diffSel...)
+	return piLits
 }
 
 // solvePairShard decides "some pair in idx differs" with one solver
 // and encoder. s may be nil (a fresh solver is then built), and the
-// returned counterexample is indexed by PI position.
-func solvePairShard(m *aig.AIG, pis []aig.Lit, t1, t2 []aig.Lit, idx []int, opt CheckOptions, s *sat.Solver) (sat.Status, []bool, int64) {
+// returned counterexample is indexed by PI position. With a cache
+// configured the encoding is captured first and a screened hit is
+// served without solving.
+func solvePairShard(m *aig.AIG, pis []aig.Lit, t1, t2 []aig.Lit, idx []int, opt CheckOptions, s *sat.Solver) (sat.Status, []bool, int64, cacheTally) {
+	var f *cnf.Formula
+	var piLits []sat.Lit
+	var tally cacheTally
+	if opt.Cache != nil {
+		f = &cnf.Formula{}
+		piLits = encodePairDiff(f, m, pis, t1, t2, idx)
+		if v, ok, coll := opt.Cache.Lookup(f, nil); ok {
+			tally.hits = 1
+			tally.collisions = int64(coll)
+			var cex []bool
+			if v.Status == sat.Sat {
+				cex = make([]bool, len(pis))
+				for i := range piLits {
+					cex[i] = v.LitTrue(piLits[i])
+				}
+			}
+			return v.Status, cex, 0, tally
+		} else {
+			tally.misses = 1
+			tally.collisions = int64(coll)
+		}
+	}
 	if s == nil {
 		s = sat.New()
 		if opt.ConfBudget > 0 {
@@ -172,28 +251,11 @@ func solvePairShard(m *aig.AIG, pis []aig.Lit, t1, t2 []aig.Lit, idx []int, opt 
 			opt.OnSolver(s)
 		}
 	}
-	e := cnf.NewEncoder(s, m)
-	// Encode the PIs up front so counterexample readback never
-	// allocates variables after solving.
-	piLits := make([]sat.Lit, len(pis))
-	for i, p := range pis {
-		piLits[i] = e.Lit(p)
+	if f != nil {
+		f.LoadInto(s)
+	} else {
+		piLits = encodePairDiff(s, m, pis, t1, t2, idx)
 	}
-	// diff = OR over XORs; assert diff and solve.
-	diffSel := make([]sat.Lit, 0, len(idx))
-	for _, i := range idx {
-		a := e.Lit(t1[i])
-		b := e.Lit(t2[i])
-		d := sat.PosLit(s.NewVar())
-		// d -> (a xor b)
-		s.AddClause(d.Not(), a, b)
-		s.AddClause(d.Not(), a.Not(), b.Not())
-		// (a xor b) -> d
-		s.AddClause(d, a, b.Not())
-		s.AddClause(d, a.Not(), b)
-		diffSel = append(diffSel, d)
-	}
-	s.AddClause(diffSel...)
 	before := s.Stats.Conflicts
 	st := s.Solve()
 	var cex []bool
@@ -203,14 +265,24 @@ func solvePairShard(m *aig.AIG, pis []aig.Lit, t1, t2 []aig.Lit, idx []int, opt 
 			cex[i] = s.ModelBool(piLits[i])
 		}
 	}
-	return st, cex, s.Stats.Conflicts - before
+	if f != nil && st != sat.Unknown {
+		var model []bool
+		if st == sat.Sat {
+			model = make([]bool, f.NumVars())
+			for v := range model {
+				model[v] = s.ModelBool(sat.PosLit(sat.Var(v)))
+			}
+		}
+		opt.Cache.Insert(f, nil, cache.Verdict{Status: st, Model: model})
+	}
+	return st, cex, s.Stats.Conflicts - before, tally
 }
 
 // mergePairVerdicts folds shard outcomes into one Result. Sat beats
 // everything (a counterexample is a counterexample regardless of what
 // other shards did); all-Unsat means equivalent; otherwise some shard
 // gave up with no shard finding a difference — no verdict.
-func mergePairVerdicts(m *aig.AIG, t1, t2 []aig.Lit, statuses []sat.Status, cexs [][]bool, conflicts int64, nPIs int) (Result, error) {
+func mergePairVerdicts(m *aig.AIG, t1, t2 []aig.Lit, statuses []sat.Status, cexs [][]bool, conflicts int64, tally cacheTally) (Result, error) {
 	satShard := -1
 	allUnsat := true
 	for k, st := range statuses {
@@ -227,7 +299,8 @@ func mergePairVerdicts(m *aig.AIG, t1, t2 []aig.Lit, statuses []sat.Status, cexs
 	}
 	switch {
 	case satShard >= 0:
-		res := Result{Equivalent: false, Conflicts: conflicts}
+		res := Result{Equivalent: false, Conflicts: conflicts,
+			CacheHits: tally.hits, CacheMisses: tally.misses, CacheCollisions: tally.collisions}
 		res.Counterexample = cexs[satShard]
 		// Identify a failing output index by evaluation, scanning the
 		// full pair list so the lowest failing index is reported.
@@ -240,7 +313,8 @@ func mergePairVerdicts(m *aig.AIG, t1, t2 []aig.Lit, statuses []sat.Status, cexs
 		}
 		return res, nil
 	case allUnsat:
-		return Result{Equivalent: true, Conflicts: conflicts}, nil
+		return Result{Equivalent: true, Conflicts: conflicts,
+			CacheHits: tally.hits, CacheMisses: tally.misses, CacheCollisions: tally.collisions}, nil
 	default:
 		// Budget exhausted or interrupted: no verdict either way.
 		return Result{}, ErrGaveUp

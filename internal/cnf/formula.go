@@ -39,6 +39,67 @@ func (f *Formula) NumVars() int { return f.nVars }
 // NumClauses returns the number of clauses captured so far.
 func (f *Formula) NumClauses() int { return len(f.ends) }
 
+// FNV-1a constants for Hash.
+const (
+	fnvOffset uint64 = 1469598103934665603
+	fnvPrime  uint64 = 1099511628211
+)
+
+// Hash returns an FNV-1a fingerprint over the formula's full content
+// — variable count, clause boundaries and literals — plus the given
+// assumptions, in capture order. Two captures hash equal whenever
+// LoadInto would replay them identically under the same assumptions;
+// callers keying a cache on it must still screen collisions with
+// Equal before trusting a match.
+func (f *Formula) Hash(assumps []sat.Lit) uint64 {
+	h := fnvOffset
+	mix := func(v uint64) {
+		for i := 0; i < 64; i += 8 {
+			h ^= (v >> uint(i)) & 0xff
+			h *= fnvPrime
+		}
+	}
+	mix(uint64(f.nVars))
+	mix(uint64(len(f.ends)))
+	for _, e := range f.ends {
+		mix(uint64(uint32(e)))
+	}
+	for _, l := range f.lits {
+		mix(uint64(uint32(l)))
+	}
+	mix(uint64(len(assumps)))
+	for _, a := range assumps {
+		mix(uint64(uint32(a)))
+	}
+	return h
+}
+
+// Equal reports whether two captures are identical — same variable
+// count, same clauses in the same order with the same literals. This
+// is the collision screen behind Hash-keyed caches.
+func (f *Formula) Equal(o *Formula) bool {
+	if f.nVars != o.nVars || len(f.ends) != len(o.ends) || len(f.lits) != len(o.lits) {
+		return false
+	}
+	for i := range f.ends {
+		if f.ends[i] != o.ends[i] {
+			return false
+		}
+	}
+	for i := range f.lits {
+		if f.lits[i] != o.lits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Words reports the retained slice words of the capture, for cache
+// budget accounting.
+func (f *Formula) Words() int {
+	return (len(f.lits)+1)/2 + (len(f.ends)+1)/2 + 1
+}
+
 // LoadInto replays the captured formula into s: NumVars fresh
 // variables (s must be empty, or at least aligned so that the next
 // variable is Var(0) of the capture) followed by every clause in

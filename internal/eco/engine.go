@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ecopatch/internal/aig"
+	"ecopatch/internal/cache"
 	"ecopatch/internal/cnf"
 	"ecopatch/internal/netlist"
 	"ecopatch/internal/sat"
@@ -121,6 +122,18 @@ type Options struct {
 	// patches may differ from the serial ones but always verify.
 	Parallelism int
 
+	// Cache, when non-nil, memoizes solve work across (and within)
+	// runs: CEC pair-check and cofactor-feasibility verdicts by
+	// captured-formula hash, QBF feasibility outcomes and per-target
+	// patch functions by a canonical cone encoding. Every hit is
+	// collision-screened by full content comparison before it is
+	// trusted. A hit never changes a verdict, and at Parallelism=1 a
+	// cached run produces bit-for-bit the same patches as an uncached
+	// one — hits only skip work, so Stats work counters (SAT calls,
+	// cubes, conflicts) reflect the work actually performed. The same
+	// Cache may be shared by concurrent solves. Nil disables caching.
+	Cache *cache.Cache
+
 	// Timeout caps the wall-clock time of the whole solve. On expiry
 	// every active SAT solver is interrupted and the engine stops at
 	// the next stage boundary (target, support/patch phase, or the
@@ -173,6 +186,15 @@ type Stats struct {
 	StructuralFixes int // targets patched by the structural fallback
 	CubesEnumerated int
 
+	// Cache traffic (zero unless Options.Cache was set): queries
+	// served from the solve/window caches, queries computed fresh, and
+	// hash collisions screened out by full content comparison. An
+	// unscreened hit cannot happen, so CacheCollisions counts averted
+	// wrong answers, not served ones.
+	CacheHits       int64
+	CacheMisses     int64
+	CacheCollisions int64
+
 	// PortfolioRaces counts SAT queries raced across the diversified
 	// portfolio (Parallelism > 1 only); PortfolioWins counts, per
 	// member configuration label, how many races that config decided.
@@ -205,6 +227,9 @@ func (s *Stats) Add(o Stats) {
 	s.WindowPOs += o.WindowPOs
 	s.StructuralFixes += o.StructuralFixes
 	s.CubesEnumerated += o.CubesEnumerated
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.CacheCollisions += o.CacheCollisions
 	s.PortfolioRaces += o.PortfolioRaces
 	if len(o.PortfolioWins) > 0 {
 		if s.PortfolioWins == nil {
@@ -283,6 +308,11 @@ type engine struct {
 	// PO) so the patch can be rebuilt in any destination graph.
 	targetPatches []TargetPatch
 	patchAIGs     []*aig.AIG
+
+	// Pre-sort, pre-reorder install artifacts, kept so the window
+	// cache can snapshot an entry that replays installFinal exactly.
+	rawPatchAIGs []*aig.AIG
+	rawSupports  [][]string
 
 	usedSignals map[string]bool // support already paid for
 

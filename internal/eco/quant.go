@@ -2,10 +2,21 @@ package eco
 
 import (
 	"ecopatch/internal/aig"
+	"ecopatch/internal/cache"
 	"ecopatch/internal/cnf"
 	"ecopatch/internal/qbf"
 	"ecopatch/internal/sat"
 )
+
+// modelOf reads the full model of a satisfied solver, indexed by
+// capture variable, for insertion into the solve cache.
+func modelOf(s *sat.Solver, nVars int) []bool {
+	m := make([]bool, nVars)
+	for v := range m {
+		m[v] = s.ModelBool(sat.PosLit(sat.Var(v)))
+	}
+	return m
+}
 
 // selfPIMap returns the identity PI map of the working AIG.
 func (e *engine) selfPIMap() []aig.Lit {
@@ -23,16 +34,40 @@ func (e *engine) selfPIMap() []aig.Lit {
 func (e *engine) checkFeasible() (bool, error) {
 	k := len(e.tPIs)
 	if e.opt.UseQBF || k > e.opt.MaxQuantExpand {
+		// Window cache: the outcome — including the countermoves that
+		// drive move-guided quantification downstream — is keyed by the
+		// canonical cone of the full miter plus the target partition.
+		key := e.feasKey()
+		if key != nil {
+			if v, ok, coll := e.opt.Cache.Window.Lookup(key); ok {
+				fe := v.(*feasEntry)
+				e.stats.CacheHits++
+				e.stats.CacheCollisions += int64(coll)
+				e.stats.QBFCopies = fe.copies
+				e.moves = fe.moves
+				if !fe.feasible {
+					e.logf("infeasible: input witness found for ∃x∀t M(t,x) (cached)")
+				}
+				return fe.feasible, nil
+			} else {
+				e.stats.CacheMisses++
+				e.stats.CacheCollisions += int64(coll)
+			}
+		}
 		r, err := qbf.Solve(e.w, e.fullMiter, e.xPIs, e.tPIs, qbf.Options{
 			ConfBudget: e.opt.ConfBudget,
 			OnSolver:   e.group.add,
 		})
 		if err != nil {
+			// A give-up is not a fact about the instance; never cached.
 			e.logf("feasibility qbf gave up (%v); assuming feasible", err)
 			return true, nil
 		}
 		e.stats.QBFCopies = r.Copies
 		e.moves = r.Moves
+		if key != nil && !e.cancelled() {
+			e.opt.Cache.Window.Insert(key, &feasEntry{feasible: !r.Holds, copies: r.Copies, moves: r.Moves})
+		}
 		if r.Holds {
 			e.logf("infeasible: input witness found for ∃x∀t M(t,x)")
 		}
@@ -45,23 +80,60 @@ func (e *engine) checkFeasible() (bool, error) {
 	if quant == aig.ConstFalse {
 		return true, nil
 	}
-	var st sat.Status
-	if e.par() > 1 {
-		// Race the quantified check across the portfolio: capture the
-		// encoding once, replay it into every member.
-		var f cnf.Formula
-		enc := cnf.NewEncoder(&f, e.w)
+	// The solve cache keys on the captured encoding; capture is also
+	// what the portfolio path needs, and at Parallelism=1 replaying
+	// the capture into a fresh solver is bit-identical to encoding
+	// into it directly (the Formula replay contract).
+	useCache := e.solveCache() != nil
+	var f *cnf.Formula
+	if e.par() > 1 || useCache {
+		f = &cnf.Formula{}
+		enc := cnf.NewEncoder(f, e.w)
 		f.AddClause(enc.Lit(quant))
-		p := e.newPortfolio(&f)
-		e.stats.SATCalls++
-		st = p.Solve()
-		e.recordRace(p)
-	} else {
-		s := e.newSolver()
-		enc := cnf.NewEncoder(s, e.w)
-		s.AddClause(enc.Lit(quant))
-		e.stats.SATCalls++
-		st = s.Solve()
+	}
+	var st sat.Status
+	cached := false
+	if useCache {
+		if v, ok, coll := e.opt.Cache.Solve.Lookup(f, nil); ok {
+			e.stats.CacheHits++
+			e.stats.CacheCollisions += int64(coll)
+			st = v.Status
+			cached = true
+		} else {
+			e.stats.CacheMisses++
+			e.stats.CacheCollisions += int64(coll)
+		}
+	}
+	if !cached {
+		var model []bool
+		if e.par() > 1 {
+			// Race the quantified check across the portfolio: capture
+			// the encoding once, replay it into every member.
+			p := e.newPortfolio(f)
+			e.stats.SATCalls++
+			st = p.Solve()
+			e.recordRace(p)
+			if st == sat.Sat {
+				model = modelOf(p.Winner(), f.NumVars())
+			}
+		} else if f != nil {
+			s := e.newSolver()
+			f.LoadInto(s)
+			e.stats.SATCalls++
+			st = s.Solve()
+			if st == sat.Sat {
+				model = modelOf(s, f.NumVars())
+			}
+		} else {
+			s := e.newSolver()
+			enc := cnf.NewEncoder(s, e.w)
+			s.AddClause(enc.Lit(quant))
+			e.stats.SATCalls++
+			st = s.Solve()
+		}
+		if useCache {
+			e.opt.Cache.Solve.Insert(f, nil, cache.Verdict{Status: st, Model: model})
+		}
 	}
 	switch st {
 	case sat.Sat:

@@ -46,9 +46,35 @@ func (e *engine) rectifyAll(forceFullQuant bool) error {
 	return nil
 }
 
-// rectifyOne computes the patch for target i.
+// rectifyOne computes the patch for target i, consulting the
+// window-level patch cache first: a screened hit replays the stored
+// install and skips the SAT/synthesis pipeline entirely. Entries are
+// only stored for windows computed to completion on a live run — a
+// solve whose SAT phase was interrupted mid-window must not freeze
+// its degraded fallback into the cache.
 func (e *engine) rectifyOne(i int) error {
 	m0, m1 := e.cofactorMiters(i)
+	key := e.windowKey(i, m0, m1)
+	if key != nil {
+		if v, ok, coll := e.opt.Cache.Window.Lookup(key); ok {
+			e.stats.CacheHits++
+			e.stats.CacheCollisions += int64(coll)
+			e.installCachedPatch(i, v.(*patchEntry))
+			return nil
+		} else {
+			e.stats.CacheMisses++
+			e.stats.CacheCollisions += int64(coll)
+		}
+	}
+	err := e.rectifyOneCompute(i, m0, m1)
+	if err == nil && key != nil && !e.cancelled() {
+		e.opt.Cache.Window.Insert(key, e.snapshotPatch(i))
+	}
+	return err
+}
+
+// rectifyOneCompute is the uncached window pipeline for target i.
+func (e *engine) rectifyOneCompute(i int, m0, m1 aig.Lit) error {
 	if e.opt.ForceStructural {
 		return e.structuralPatch(i, m0)
 	}
@@ -233,8 +259,19 @@ func (e *engine) installPatch(i int, patch *aig.AIG, support []string, structura
 		slim.AddPO(patch.POName(0), root)
 		patch, support = slim, slimSupport
 	}
+	e.installFinal(i, patch, support, structural)
+}
 
-	e.patchAIGs[i] = patch
+// installFinal is the synthesis-independent tail of installPatch,
+// shared with the window cache's hit replay so a cached install stays
+// bit-identical to a cold one: costs are accounted in the caller's
+// support order, the working-AIG edge is built from the pre-reorder
+// patch (its structure feeds the cones of later targets), and only
+// then are Support and the stored AIG's PI order sorted. The
+// pre-reorder artifacts are recorded for snapshotPatch.
+func (e *engine) installFinal(i int, patch *aig.AIG, support []string, structural bool) {
+	e.rawPatchAIGs[i] = patch
+	e.rawSupports[i] = append([]string(nil), support...)
 	cost := 0
 	for _, sname := range support {
 		if !e.usedSignals[sname] {

@@ -24,7 +24,11 @@ func (e *engine) verify() (bool, error) {
 	res, err := cec.CheckLitsOpt(e.w, patched, e.specPOs, cec.CheckOptions{
 		OnSolver: e.group.add,
 		Shards:   e.par(),
+		Cache:    e.solveCache(),
 	})
+	e.stats.CacheHits += res.CacheHits
+	e.stats.CacheMisses += res.CacheMisses
+	e.stats.CacheCollisions += res.CacheCollisions
 	if err != nil {
 		if errors.Is(err, cec.ErrGaveUp) {
 			// Interrupted (deadline): no verdict, so the patch cannot

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -19,6 +20,12 @@ type Client struct {
 	Base string
 	// HTTP overrides the transport; nil uses http.DefaultClient.
 	HTTP *http.Client
+	// MaxRetries bounds how many times a 429-shed request is retried
+	// (after honoring the server's Retry-After). 0 disables retries.
+	MaxRetries int
+	// RetryBackoff is the sleep before a retry when the server sent
+	// no usable Retry-After; <= 0 falls back to one second.
+	RetryBackoff time.Duration
 }
 
 // APIError is a non-2xx response decoded from the error envelope.
@@ -82,6 +89,11 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		} else {
 			ae.Message = resp.Status
 		}
+		// The Retry-After header is authoritative over the JSON hint
+		// (proxies and load balancers set only the header).
+		if d, ok := parseRetryAfter(resp.Header.Get("Retry-After")); ok {
+			ae.RetryAfter = d
+		}
 		return ae
 	}
 	if out == nil {
@@ -90,17 +102,82 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// Submit posts a job and returns its initial status.
+// maxRetryAfter clamps server-suggested backoffs: a misconfigured (or
+// hostile) Retry-After must not park the client for an hour.
+const maxRetryAfter = 30 * time.Second
+
+// parseRetryAfter reads an HTTP Retry-After value in either RFC 9110
+// form: delay-seconds or an HTTP-date. Malformed, missing, or
+// negative values report ok=false so the caller falls back to its
+// default backoff; parsed values are clamped to [0, maxRetryAfter].
+func parseRetryAfter(v string) (time.Duration, bool) {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0, false
+	}
+	var d time.Duration
+	if secs, err := strconv.ParseFloat(v, 64); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		d = time.Duration(secs * float64(time.Second))
+	} else if t, err := http.ParseTime(v); err == nil {
+		d = time.Until(t)
+		if d < 0 {
+			d = 0
+		}
+	} else {
+		return 0, false
+	}
+	if d > maxRetryAfter {
+		d = maxRetryAfter
+	}
+	return d, true
+}
+
+// doRetry wraps do with bounded retries on 429 sheds: each rejection
+// is retried after the server's suggested backoff (RetryBackoff, then
+// one second, when the server gave none), up to MaxRetries times.
+// Only queue-full sheds retry — other errors, including 503 draining,
+// are permanent from this client's point of view.
+func (c *Client) doRetry(ctx context.Context, method, path string, body, out any) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = c.do(ctx, method, path, body, out)
+		if err == nil || !IsShed(err) || attempt >= c.MaxRetries {
+			return err
+		}
+		backoff := c.RetryBackoff
+		if backoff <= 0 {
+			backoff = time.Second
+		}
+		var ae *APIError
+		if errors.As(err, &ae) && ae.RetryAfter > 0 {
+			backoff = ae.RetryAfter
+		}
+		t := time.NewTimer(backoff)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return err
+		case <-t.C:
+		}
+	}
+}
+
+// Submit posts a job and returns its initial status, retrying
+// bounded-many times when the server sheds it with 429.
 func (c *Client) Submit(ctx context.Context, req JobRequest) (JobStatus, error) {
 	var st JobStatus
-	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st)
+	err := c.doRetry(ctx, http.MethodPost, "/v1/jobs", req, &st)
 	return st, err
 }
 
-// Status fetches one job.
+// Status fetches one job (retrying 429s like Submit — Wait inherits
+// the same resilience through this path).
 func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
 	var st JobStatus
-	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	err := c.doRetry(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
 	return st, err
 }
 

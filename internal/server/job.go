@@ -185,6 +185,10 @@ type JobStatus struct {
 	FinishedAt *time.Time `json:"finished_at,omitempty"`
 	Error      string     `json:"error,omitempty"`
 	Result     *JobResult `json:"result,omitempty"`
+	// DedupOf names the job whose solve produced (or will produce)
+	// this job's result, when the submission was deduplicated by the
+	// daemon's content-addressed result cache.
+	DedupOf string `json:"dedup_of,omitempty"`
 }
 
 // JobResult is the outcome of a finished solve. It embeds the

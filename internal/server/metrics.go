@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	cachepkg "ecopatch/internal/cache"
 	"ecopatch/internal/eco"
 )
 
@@ -44,6 +45,12 @@ type Metrics struct {
 	rejected  int64 // admission rejections: draining (503)
 	finished  map[State]int64
 
+	// Result-cache admission outcomes (only counted when the cache
+	// is enabled; hits + attached + misses == cache-eligible submits).
+	cacheHits     int64 // served instantly from a completed result
+	cacheAttached int64 // deduped onto an in-flight identical job
+	cacheMisses   int64 // went to the solve pool
+
 	queueWait *histogram // seconds from enqueue to worker pickup
 	solveTime *histogram // seconds inside eco.SolveContext
 
@@ -79,6 +86,27 @@ func (m *Metrics) Shed() {
 func (m *Metrics) RejectedDraining() {
 	m.mu.Lock()
 	m.rejected++
+	m.mu.Unlock()
+}
+
+// CacheHit counts one submission served from a completed result.
+func (m *Metrics) CacheHit() {
+	m.mu.Lock()
+	m.cacheHits++
+	m.mu.Unlock()
+}
+
+// CacheAttached counts one submission deduped onto an in-flight job.
+func (m *Metrics) CacheAttached() {
+	m.mu.Lock()
+	m.cacheAttached++
+	m.mu.Unlock()
+}
+
+// CacheMiss counts one cache-eligible submission that had to solve.
+func (m *Metrics) CacheMiss() {
+	m.mu.Lock()
+	m.cacheMisses++
 	m.mu.Unlock()
 }
 
@@ -120,6 +148,13 @@ type gaugeSnapshot struct {
 	cpuSlotsBusy  int
 	draining      bool
 	counts        map[State]int
+
+	// Result-cache and shared solve-cache occupancy (zero when the
+	// cache is disabled).
+	cacheEnabled     bool
+	cacheEntries     int // completed results retained for dedup
+	solveCacheStats  cachepkg.Stats
+	windowCacheStats cachepkg.Stats
 }
 
 // WritePrometheus renders the Prometheus text exposition format
@@ -138,6 +173,10 @@ func (m *Metrics) WritePrometheus(w io.Writer, g gaugeSnapshot) {
 	counter("ecod_jobs_submitted_total", "Jobs accepted into the queue.", m.submitted)
 	counter("ecod_jobs_shed_total", "Submissions rejected with 429 because the queue was full.", m.shed)
 	counter("ecod_jobs_rejected_draining_total", "Submissions rejected with 503 during drain.", m.rejected)
+
+	counter("ecod_cache_hits_total", "Submissions served instantly from a cached completed result.", m.cacheHits)
+	counter("ecod_cache_attached_total", "Submissions deduped onto an identical in-flight job.", m.cacheAttached)
+	counter("ecod_cache_misses_total", "Cache-eligible submissions that went to the solve pool.", m.cacheMisses)
 
 	fmt.Fprintf(w, "# HELP ecod_jobs_finished_total Terminal job transitions by state.\n# TYPE ecod_jobs_finished_total counter\n")
 	for _, s := range States {
@@ -168,6 +207,16 @@ func (m *Metrics) WritePrometheus(w io.Writer, g gaugeSnapshot) {
 	}
 	gauge("ecod_draining", "1 while the daemon is draining (no new admissions).", draining)
 
+	if g.cacheEnabled {
+		gauge("ecod_cache_entries", "Completed results retained by the dedup cache.", int64(g.cacheEntries))
+		sc := g.solveCacheStats
+		gauge("ecod_solve_cache_entries", "Entries in the shared SAT solve cache.", int64(sc.Entries))
+		counter("ecod_solve_cache_evictions_total", "Entries evicted from the shared SAT solve cache.", sc.Evictions)
+		wc := g.windowCacheStats
+		gauge("ecod_window_cache_entries", "Entries in the shared window/patch cache.", int64(wc.Entries))
+		counter("ecod_window_cache_evictions_total", "Entries evicted from the shared window/patch cache.", wc.Evictions)
+	}
+
 	writeHistogram(w, "ecod_queue_wait_seconds", "Time jobs spent queued before a worker picked them up.", m.queueWait)
 	writeHistogram(w, "ecod_solve_seconds", "Wall-clock time inside eco.SolveContext.", m.solveTime)
 
@@ -182,6 +231,9 @@ func (m *Metrics) WritePrometheus(w io.Writer, g gaugeSnapshot) {
 	fcounter := func(name, help string, v float64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
 	}
+	counter("ecod_eco_cache_hits_total", "Solve/window cache hits across finished jobs.", st.CacheHits)
+	counter("ecod_eco_cache_misses_total", "Solve/window cache misses across finished jobs.", st.CacheMisses)
+	counter("ecod_eco_cache_collisions_total", "Hash matches rejected by the full-content screen across finished jobs.", st.CacheCollisions)
 	fcounter("ecod_eco_support_seconds_total", "Support-selection wall clock.", st.SupportTime.Seconds())
 	fcounter("ecod_eco_patch_seconds_total", "Patch-computation wall clock.", st.PatchTime.Seconds())
 	fcounter("ecod_eco_verify_seconds_total", "Verification wall clock.", st.VerifyTime.Seconds())

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"ecopatch/internal/atomicio"
+	"ecopatch/internal/cache"
 	"ecopatch/internal/eco"
 )
 
@@ -48,6 +49,13 @@ type Config struct {
 	// ResultsDir, when set, persists every finished job's result as
 	// <dir>/<id>.json, written atomically.
 	ResultsDir string
+	// CacheEntries, when > 0, enables the daemon's two caches: the
+	// content-addressed result cache (completed results served
+	// instantly to identical submissions, in-flight duplicates
+	// attached to the job already solving them) and the shared
+	// eco/SAT solve cache handed to every job. Both are bounded to
+	// roughly this many entries. Zero disables caching entirely.
+	CacheEntries int
 	// Log receives operational lines; nil discards them.
 	Log *log.Logger
 }
@@ -82,6 +90,12 @@ type Server struct {
 	metrics *Metrics
 	slots   *slotSem
 
+	// rcache dedupes whole jobs by input digest; ecoCache is the
+	// shared solve/window cache threaded into every job's options.
+	// Both are nil when Config.CacheEntries is zero.
+	rcache   *resultCache
+	ecoCache *cache.Cache
+
 	queue    chan *Job
 	quit     chan struct{}
 	drained  chan struct{}
@@ -106,6 +120,10 @@ func New(cfg Config) *Server {
 		quit:    make(chan struct{}),
 		drained: make(chan struct{}),
 		solve:   eco.SolveContext,
+	}
+	if cfg.CacheEntries > 0 {
+		s.rcache = newResultCache(cfg.CacheEntries)
+		s.ecoCache = cache.New(cfg.CacheEntries)
 	}
 	s.store.onFinish = s.jobFinished
 	for i := 0; i < cfg.Workers; i++ {
@@ -154,6 +172,9 @@ func (s *Server) runJob(j *Job) {
 		par = s.cfg.CPUSlots
 	}
 	j.opt.Parallelism = par
+	if s.ecoCache != nil {
+		j.opt.Cache = s.ecoCache
+	}
 	held, ok := s.slots.acquire(par, s.quit)
 	if !ok {
 		s.store.Finish(j, StateCancelled, "server draining", nil)
@@ -194,7 +215,12 @@ func (s *Server) jobFinished(j *Job, status JobStatus) {
 		solve = status.FinishedAt.Sub(*status.StartedAt)
 	}
 	var stats *eco.Stats
-	if status.Result != nil {
+	// Aggregate engine counters only for jobs that actually ran a
+	// solve. Jobs finished without starting — cancelled while queued,
+	// dedup waiters, and instant cache hits — carry a copy of some
+	// other run's result (or none), and folding that copy in would
+	// count the same solve's work once per duplicate.
+	if status.Result != nil && status.StartedAt != nil {
 		// Reconstruct the counters the metrics surface aggregates
 		// from the wire cell (the full eco.Stats is not retained).
 		stats = &eco.Stats{
@@ -215,9 +241,24 @@ func (s *Server) jobFinished(j *Job, status JobStatus) {
 		stats.Solver.Removed = status.Result.LearntEvict
 		stats.Solver.SharedOut = status.Result.SharedOut
 		stats.Solver.SharedIn = status.Result.SharedIn
+		stats.CacheHits = status.Result.CacheHits
+		stats.CacheMisses = status.Result.CacheMisses
+		stats.CacheCollisions = status.Result.CacheCollisions
 	}
 	s.metrics.Finished(status.State, solve, stats)
 	s.cfg.Log.Printf("job %s (%s) -> %s", j.ID, j.Name, status.State)
+
+	// Resolve result-cache bookkeeping: cache the completed result and
+	// finish every duplicate submission that attached while this job
+	// was in flight. Waiters carry no digest, so this cannot recurse,
+	// and Finish is idempotent, so a waiter cancelled in the meantime
+	// keeps its cancellation.
+	if s.rcache != nil && j.digest != "" {
+		waiters := s.rcache.complete(j.digest, j.ID, status.State == StateDone, status.Result)
+		for _, wj := range waiters {
+			s.store.Finish(wj, status.State, status.Error, status.Result)
+		}
+	}
 
 	if s.cfg.ResultsDir != "" && status.Result != nil {
 		path := filepath.Join(s.cfg.ResultsDir, j.ID+".json")
@@ -353,13 +394,39 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		opt.Timeout = s.cfg.MaxTimeout
 	}
 
-	j := s.store.Add(inst.Name, inst, opt)
+	j := s.store.NewJob(inst.Name, inst, opt)
+	if s.rcache != nil {
+		digest := requestDigest(&req, opt)
+		if res, attached := s.rcache.admit(digest, j); res != nil {
+			// Completed result on file: the job is born terminal and
+			// never touches the queue or the solve pool.
+			s.metrics.CacheHit()
+			s.metrics.Submitted()
+			s.store.Register(j)
+			s.store.Finish(j, StateDone, "", res)
+			s.respondSubmitted(w, j)
+			return
+		} else if attached {
+			// Identical job already queued or running: this one rides
+			// along and is finished together with its parent.
+			s.metrics.CacheAttached()
+			s.metrics.Submitted()
+			s.store.Register(j)
+			s.respondSubmitted(w, j)
+			return
+		}
+		s.metrics.CacheMiss()
+		j.digest = digest
+	}
+
+	// Enqueue before registering: a shed job is then never visible by
+	// ID, so a racing DELETE cannot drive it to a second terminal
+	// transition (shed + cancelled) and double-count in /metrics.
 	select {
 	case s.queue <- j:
 	default:
 		// Admission control: bounded queue is full — shed the load
 		// now rather than queueing into unbounded latency.
-		s.store.Remove(j.ID)
 		s.metrics.Shed()
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(retryAfter.Seconds())))
 		writeJSON(w, http.StatusTooManyRequests, apiError{
@@ -369,6 +436,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.Submitted()
+	s.store.Register(j)
+	if s.rcache != nil && j.digest != "" {
+		s.rcache.markInflight(j.digest, j)
+	}
+	s.respondSubmitted(w, j)
+}
+
+// respondSubmitted writes the 201 for one admitted job.
+func (s *Server) respondSubmitted(w http.ResponseWriter, j *Job) {
 	status, _ := s.store.Get(j.ID)
 	w.Header().Set("Location", "/v1/jobs/"+j.ID)
 	writeJSON(w, http.StatusCreated, status)
@@ -414,7 +490,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WritePrometheus(w, gaugeSnapshot{
+	g := gaugeSnapshot{
 		queueDepth:    len(s.queue),
 		queueCapacity: cap(s.queue),
 		running:       int(s.running.Load()),
@@ -423,5 +499,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		cpuSlotsBusy:  s.cfg.CPUSlots - s.slots.available(),
 		draining:      s.draining.Load(),
 		counts:        s.store.Counts(),
-	})
+	}
+	if s.rcache != nil {
+		g.cacheEnabled = true
+		g.cacheEntries = s.rcache.entries()
+		g.solveCacheStats = s.ecoCache.Solve.Stats()
+		g.windowCacheStats = s.ecoCache.Window.Stats()
+	}
+	s.metrics.WritePrometheus(w, g)
 }

@@ -36,6 +36,13 @@ type Job struct {
 	userCancelled bool
 	// done closes when the job reaches a terminal state, for waiters.
 	done chan struct{}
+
+	// digest is the result-cache key of the job's input (empty when
+	// the cache is off or the job is a dedup waiter).
+	digest string
+	// dedupOf is the ID of the in-flight or completed job whose
+	// result this job shares (content-addressed dedup).
+	dedupOf string
 }
 
 // Store is the in-memory job index. It retains at most maxJobs
@@ -74,9 +81,13 @@ func newID() string {
 	return hex.EncodeToString(b[:])
 }
 
-// Add registers a new queued job and returns it.
-func (st *Store) Add(name string, inst *eco.Instance, opt eco.Options) *Job {
-	j := &Job{
+// NewJob builds a queued job without registering it in the index.
+// The submit path enqueues first and registers only on successful
+// admission: a job that was never admitted can then never be found —
+// and cancelled — by ID, so a shed submission cannot race a DELETE
+// into a phantom terminal transition that double-counts in /metrics.
+func (st *Store) NewJob(name string, inst *eco.Instance, opt eco.Options) *Job {
+	return &Job{
 		ID:       newID(),
 		Name:     name,
 		inst:     inst,
@@ -85,11 +96,23 @@ func (st *Store) Add(name string, inst *eco.Instance, opt eco.Options) *Job {
 		queuedAt: time.Now(),
 		done:     make(chan struct{}),
 	}
+}
+
+// Register makes a job visible in the index. Start/Finish operate on
+// the *Job directly, so a worker may legally pick the job up (or even
+// finish it) before registration completes.
+func (st *Store) Register(j *Job) {
 	st.mu.Lock()
 	st.jobs[j.ID] = j
 	st.order = append(st.order, j.ID)
 	st.evictLocked()
 	st.mu.Unlock()
+}
+
+// Add registers a new queued job and returns it.
+func (st *Store) Add(name string, inst *eco.Instance, opt eco.Options) *Job {
+	j := st.NewJob(name, inst, opt)
+	st.Register(j)
 	return j
 }
 
@@ -111,14 +134,6 @@ func (st *Store) evictLocked() {
 		kept = append(kept, id)
 	}
 	st.order = kept
-}
-
-// Remove deletes a job outright (used when admission sheds it before
-// it was ever visible as queued work).
-func (st *Store) Remove(id string) {
-	st.mu.Lock()
-	delete(st.jobs, id)
-	st.mu.Unlock()
 }
 
 // Get returns the status snapshot of one job.
@@ -178,6 +193,7 @@ func (j *Job) statusLocked() JobStatus {
 		QueuedAt: j.queuedAt,
 		Error:    j.errMsg,
 		Result:   j.result,
+		DedupOf:  j.dedupOf,
 	}
 	if !j.startedAt.IsZero() {
 		t := j.startedAt

@@ -52,11 +52,26 @@ grep -q '"state": "done"' "$workdir/result_p2.json" || {
 grep -q '"verified": true' "$workdir/result_p2.json" || {
 	echo "FAIL: parallel patch not verified"; cat "$workdir/result_p2.json"; exit 1; }
 
+# Duplicate submit: the exact same request again (same unit, same
+# options) must be served instantly from the daemon's content-
+# addressed result cache — state done with a verified result, and
+# ecod_cache_hits_total incremented.
+"$ECOD" submit -server "$base" -unit unit1 -wait >"$workdir/result_dup.json"
+grep -q '"state": "done"' "$workdir/result_dup.json" || {
+	echo "FAIL: duplicate job did not finish done"; cat "$workdir/result_dup.json"; exit 1; }
+grep -q '"verified": true' "$workdir/result_dup.json" || {
+	echo "FAIL: duplicate result not verified"; cat "$workdir/result_dup.json"; exit 1; }
+grep -q '"dedup_of"' "$workdir/result_dup.json" || {
+	echo "FAIL: duplicate not marked dedup_of"; cat "$workdir/result_dup.json"; exit 1; }
+
 # The metrics surface must show the finished jobs, nonzero solver
-# counters from the real solves, and the CPU-slot gauge.
+# counters from the real solves, the CPU-slot gauge, and exactly one
+# result-cache hit from the duplicate submit.
 "$ECOD" metrics -server "$base" >"$workdir/metrics.txt"
-grep -q 'ecod_jobs_finished_total{state="done"} 2' "$workdir/metrics.txt" || {
+grep -q 'ecod_jobs_finished_total{state="done"} 3' "$workdir/metrics.txt" || {
 	echo "FAIL: finished counter missing"; cat "$workdir/metrics.txt"; exit 1; }
+grep -q '^ecod_cache_hits_total 1$' "$workdir/metrics.txt" || {
+	echo "FAIL: result-cache hit not counted"; cat "$workdir/metrics.txt"; exit 1; }
 if grep -qE '^ecod_sat_solve_calls_total 0$' "$workdir/metrics.txt"; then
 	echo "FAIL: solver counters stayed zero"; cat "$workdir/metrics.txt"; exit 1
 fi

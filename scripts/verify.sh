@@ -18,6 +18,13 @@ go test -race -short ./...
 go test -race -count=1 -run 'Portfolio|Parallel|Shard|Slot|CPUSlots' \
 	./internal/sat ./internal/cec ./internal/eco ./internal/server
 
+# Focused race pass over the cache layer: the shared solve/window
+# stores (hit/miss/collision/eviction under concurrent access), the
+# engine determinism differentials, and the daemon's dedup paths.
+go test -race -short -count=1 ./internal/cache
+go test -race -count=1 -run 'Cache|Dedup|Retry|Warm' \
+	./internal/eco ./internal/server ./internal/bench
+
 # Optional, non-gating: microbenchmark sweep (scripts/bench.sh writes
 # BENCH_sat.txt / BENCH_sat.json). Enable with BENCH=1.
 if [ "${BENCH:-0}" = "1" ]; then
