@@ -17,7 +17,7 @@
 //
 //	ecobench [-mode table1|copies|mincalls|patchcmp] [-scale N]
 //	         [-unit unitK] [-modes baseline,minassume,exact]
-//	         [-j N] [-p N] [-timeout 30s] [-cache N] [-warm]
+//	         [-j N] [-p N] [-timeout 30s] [-cache N] [-warm] [-prep]
 //	         [-json report.json]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
@@ -53,6 +53,7 @@ func realMain() int {
 		timeout    = flag.Duration("timeout", 0, "per-(unit,mode) deadline for table1 cells (0 = none)")
 		cacheEnt   = flag.Int("cache", 0, "attach a shared solve/window cache of N entries to the table1 sweep (0 = off)")
 		warm       = flag.Bool("warm", false, "run table1 twice against one cache (cold then warm) and report the speedup")
+		prep       = flag.Bool("prep", false, "enable CNF preprocessing (BVE, subsumption, vivification) on every captured solve")
 		jsonPath   = flag.String("json", "", "also write the table1 report as JSON to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile (go tool pprof) to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile taken at exit to this file")
@@ -100,7 +101,7 @@ func realMain() int {
 				run   func() error
 			}{
 				{"Table 1", func() error {
-					return runTable1(*scale, *unit, modes, *jobs, *par, *timeout, *cacheEnt, *warm, *jsonPath)
+					return runTable1(*scale, *unit, modes, *jobs, *par, *timeout, *cacheEnt, *warm, *prep, *jsonPath)
 				}},
 				{"E5: minimize_assumptions SAT calls (§3.4.1)", func() error { return bench.RunMinCalls(os.Stdout) }},
 				{"E6: miter copies for structural multi-target (§3.6.2)", func() error { return bench.RunCopies(*scale, os.Stdout) }},
@@ -113,7 +114,7 @@ func realMain() int {
 				fmt.Println()
 			}
 		case "table1":
-			err = runTable1(*scale, *unit, modes, *jobs, *par, *timeout, *cacheEnt, *warm, *jsonPath)
+			err = runTable1(*scale, *unit, modes, *jobs, *par, *timeout, *cacheEnt, *warm, *prep, *jsonPath)
 		case "copies":
 			err = bench.RunCopies(*scale, os.Stdout)
 		case "mincalls":
@@ -158,10 +159,10 @@ func parseModes(s string) ([]string, error) {
 	return modes, nil
 }
 
-func runTable1(scale int, unit string, modes []string, jobs, par int, timeout time.Duration, cacheEnt int, warm bool, jsonPath string) error {
+func runTable1(scale int, unit string, modes []string, jobs, par int, timeout time.Duration, cacheEnt int, warm, prep bool, jsonPath string) error {
 	opts := bench.RunOptions{
 		Scale: scale, Modes: modes, Jobs: jobs, Timeout: timeout,
-		Parallelism: par, CacheEntries: cacheEnt,
+		Parallelism: par, CacheEntries: cacheEnt, Preprocess: prep,
 	}
 	if unit != "" {
 		opts.Units = []string{unit}

@@ -5,6 +5,7 @@
 //	ecod serve [-addr :8080] [-workers N] [-cpu-slots N] [-queue N]
 //	           [-max-jobs N] [-default-timeout 0] [-max-timeout 0]
 //	           [-results-dir DIR] [-drain-grace 10s] [-cache-entries 256]
+//	           [-prep]
 //
 // The daemon exposes POST /v1/jobs, GET /v1/jobs[/{id}],
 // DELETE /v1/jobs/{id}, /healthz and /metrics; SIGTERM/SIGINT drain
@@ -15,8 +16,8 @@
 //
 //	ecod submit  -server URL (-dir DIR | -unit unitK [-scale N])
 //	             [-name S] [-support minimize|final|exact]
-//	             [-patch cubes|interp] [-budget N] [-p N] [-timeout 30s]
-//	             [-wait] [-o patch.v]
+//	             [-patch cubes|interp] [-budget N] [-p N] [-prep]
+//	             [-timeout 30s] [-wait] [-o patch.v]
 //	ecod status  -server URL ID
 //	ecod wait    -server URL ID [-poll 200ms] [-o patch.v]
 //	ecod cancel  -server URL ID
@@ -101,6 +102,7 @@ func cmdServe(args []string) error {
 		resultsDir = fs.String("results-dir", "", "persist finished job results as <dir>/<id>.json")
 		grace      = fs.Duration("drain-grace", 10*time.Second, "time in-flight solves get to finish on SIGTERM before interruption")
 		cacheEnt   = fs.Int("cache-entries", 256, "content-addressed result cache + shared solve cache size (0 disables)")
+		prep       = fs.Bool("prep", false, "enable CNF preprocessing for jobs that do not set it (skipped for interp-patch jobs)")
 	)
 	fs.Parse(args)
 
@@ -111,15 +113,16 @@ func cmdServe(args []string) error {
 		}
 	}
 	srv := server.New(server.Config{
-		Workers:        *workers,
-		CPUSlots:       *cpuSlots,
-		QueueCap:       *queueCap,
-		MaxJobs:        *maxJobs,
-		DefaultTimeout: *defTimeout,
-		MaxTimeout:     *maxTimeout,
-		ResultsDir:     *resultsDir,
-		CacheEntries:   *cacheEnt,
-		Log:            logger,
+		Workers:           *workers,
+		CPUSlots:          *cpuSlots,
+		QueueCap:          *queueCap,
+		MaxJobs:           *maxJobs,
+		DefaultTimeout:    *defTimeout,
+		MaxTimeout:        *maxTimeout,
+		ResultsDir:        *resultsDir,
+		CacheEntries:      *cacheEnt,
+		DefaultPreprocess: *prep,
+		Log:               logger,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -170,6 +173,7 @@ func cmdSubmit(args []string) error {
 		patchA  = fs.String("patch", "", "patch computation: cubes, interp")
 		budget  = fs.Int64("budget", 0, "SAT conflict budget per call (0 = unlimited)")
 		par     = fs.Int("p", 0, "intra-solve parallelism for this job (0 = serial daemon default)")
+		prep    = fs.Bool("prep", false, "enable CNF preprocessing for this job (incompatible with -patch interp)")
 		timeout = fs.Duration("timeout", 0, "per-job deadline (0 = server default)")
 		wait    = fs.Bool("wait", false, "poll the job to completion and print the result")
 		out     = fs.String("o", "", "with -wait: write the patch netlist here ('-' for stdout)")
@@ -194,6 +198,11 @@ func cmdSubmit(args []string) error {
 		ConfBudget:  *budget,
 		TimeoutSec:  timeout.Seconds(),
 		Parallelism: *par,
+	}
+	if *prep {
+		// Only an explicit -prep is sent; absent lets the server
+		// default (-prep on serve) decide.
+		req.Options.Preprocess = prep
 	}
 
 	c := &server.Client{Base: *base, MaxRetries: *retries}

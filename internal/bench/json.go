@@ -12,11 +12,11 @@ import (
 // by `ecobench -json`. Schema identifies the layout so downstream
 // tooling can reject files it does not understand.
 type JSONReport struct {
-	Schema     string    `json:"schema"` // "ecobench/table1@v1"
-	Experiment string    `json:"experiment"`
-	Scale      int       `json:"scale"`
-	Modes      []string  `json:"modes"`
-	Jobs       int       `json:"jobs"`
+	Schema     string   `json:"schema"` // "ecobench/table1@v1"
+	Experiment string   `json:"experiment"`
+	Scale      int      `json:"scale"`
+	Modes      []string `json:"modes"`
+	Jobs       int      `json:"jobs"`
 	// Parallelism is the per-cell intra-solve thread count (additive
 	// field; absent in pre-parallelism reports means 1).
 	Parallelism int     `json:"parallelism,omitempty"`
@@ -24,9 +24,12 @@ type JSONReport struct {
 	// CacheEntries and WarmSpeedup are additive cache-run fields:
 	// the shared-cache size of the sweep (0 = no cache) and, for
 	// warm-vs-cold runs, the geomean cold/warm wall-clock ratio.
-	CacheEntries int       `json:"cache_entries,omitempty"`
-	WarmSpeedup  float64   `json:"warm_speedup,omitempty"`
-	Rows         []JSONRow `json:"rows"`
+	CacheEntries int     `json:"cache_entries,omitempty"`
+	WarmSpeedup  float64 `json:"warm_speedup,omitempty"`
+	// Preprocess records whether the sweep ran with CNF preprocessing
+	// (additive field; absent in pre-prep reports means off).
+	Preprocess bool      `json:"preprocess,omitempty"`
+	Rows       []JSONRow `json:"rows"`
 }
 
 // JSONRow is one benchmark unit; Results is keyed by mode name.
@@ -77,6 +80,13 @@ type JSONCell struct {
 	CacheMisses     int64   `json:"cache_misses,omitempty"`
 	CacheCollisions int64   `json:"cache_collisions,omitempty"`
 	ColdSeconds     float64 `json:"cold_seconds,omitempty"`
+
+	// Additive preprocessing counters (present only when the cell ran
+	// with -prep; the schema stays table1@v1).
+	PrepVarsEliminated   int64   `json:"prep_vars_eliminated,omitempty"`
+	PrepClausesSubsumed  int64   `json:"prep_clauses_subsumed,omitempty"`
+	PrepLitsStrengthened int64   `json:"prep_lits_strengthened,omitempty"`
+	PrepSeconds          float64 `json:"prep_seconds,omitempty"`
 }
 
 // cellFromAlgo maps one sweep cell into its JSON form.
@@ -109,6 +119,11 @@ func cellFromAlgo(a AlgoResult) JSONCell {
 		CacheHits:       a.CacheHits,
 		CacheMisses:     a.CacheMisses,
 		CacheCollisions: a.CacheCollisions,
+
+		PrepVarsEliminated:   a.PrepVarsEliminated,
+		PrepClausesSubsumed:  a.PrepClausesSubsumed,
+		PrepLitsStrengthened: a.PrepLitsStrengthened,
+		PrepSeconds:          a.PrepSeconds,
 	}
 }
 
@@ -139,6 +154,7 @@ func NewJSONReport(opts RunOptions, modes []string, rows []Table1Row) JSONReport
 		rep.Parallelism = 1
 	}
 	rep.CacheEntries = opts.CacheEntries
+	rep.Preprocess = opts.Preprocess
 	if opts.Timeout > 0 {
 		rep.TimeoutSec = float64(opts.Timeout) / float64(time.Second)
 	}

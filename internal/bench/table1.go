@@ -56,6 +56,12 @@ type AlgoResult struct {
 	CacheHits       int64
 	CacheMisses     int64
 	CacheCollisions int64
+
+	// Preprocessing counters (zero unless the cell ran with -prep).
+	PrepVarsEliminated   int64
+	PrepClausesSubsumed  int64
+	PrepLitsStrengthened int64
+	PrepSeconds          float64
 }
 
 // Table1Row aggregates one benchmark unit across the three modes.
@@ -136,6 +142,7 @@ func RunUnitWith(cfg Config, mode string, opts RunOptions) (Table1Row, error) {
 	opt.Timeout = opts.Timeout
 	opt.Parallelism = opts.Parallelism
 	opt.Cache = opts.Cache
+	opt.Preprocess = opts.Preprocess
 	if opt.Parallelism <= 0 {
 		// Bench cells default to the serial engine, not the
 		// GOMAXPROCS-aware engine default: rows must be bit-identical
@@ -183,6 +190,11 @@ func AlgoFromResult(res *eco.Result) AlgoResult {
 		CacheHits:       res.Stats.CacheHits,
 		CacheMisses:     res.Stats.CacheMisses,
 		CacheCollisions: res.Stats.CacheCollisions,
+
+		PrepVarsEliminated:   res.Stats.Prep.VarsEliminated,
+		PrepClausesSubsumed:  res.Stats.Prep.ClausesSubsumed,
+		PrepLitsStrengthened: res.Stats.Prep.LitsStrengthened,
+		PrepSeconds:          res.Stats.Prep.PrepTime.Seconds(),
 	}
 }
 
@@ -205,6 +217,10 @@ type RunOptions struct {
 	// Cache, when non-nil, is the shared cache handed to every cell —
 	// the warm-run harness threads one cache through both passes.
 	Cache *cache.Cache
+	// Preprocess enables CNF preprocessing (bounded variable
+	// elimination, subsumption, vivification) on every captured solve
+	// of the sweep (ecobench -prep).
+	Preprocess bool
 }
 
 // RunTable1 reproduces Table 1: every unit in every requested mode.

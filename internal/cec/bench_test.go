@@ -113,7 +113,49 @@ func BenchmarkSignatureKeys(b *testing.B) {
 			}
 		}
 	})
+	// The sweep looks a node's key up several times per epoch (bucket
+	// registration, candidate probing, post-flush re-lookup); "memo"
+	// replicates Sweep's per-epoch memoization against "fnv-relookup",
+	// which recomputes the fold on every lookup as Sweep once did.
+	const lookups = 4
+	b.Run("fnv-relookup", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var sink uint64
+			for l := 0; l < lookups; l++ {
+				for _, s := range sigs {
+					h, _ := canonKey(s)
+					sink ^= h
+				}
+			}
+			benchSink = sink
+		}
+	})
+	b.Run("memo", func(b *testing.B) {
+		b.ReportAllocs()
+		keys := make([]uint64, nodes)
+		keyed := make([]bool, nodes)
+		for i := 0; i < b.N; i++ {
+			for n := range keyed {
+				keyed[n] = false // new epoch
+			}
+			var sink uint64
+			for l := 0; l < lookups; l++ {
+				for n, s := range sigs {
+					if !keyed[n] {
+						keys[n], _ = canonKey(s)
+						keyed[n] = true
+					}
+					sink ^= keys[n]
+				}
+			}
+			benchSink = sink
+		}
+	})
 }
+
+// benchSink defeats dead-code elimination in the key benchmarks.
+var benchSink uint64
 
 // BenchmarkSweepRefine stresses signature canonicalization: a single
 // simulation round leaves many spurious candidate classes, so the

@@ -45,6 +45,15 @@ type CheckOptions struct {
 	// comparison before it is trusted. Unknown verdicts are never
 	// cached.
 	Cache *cache.SolveCache
+	// Preprocess, when enabled, simplifies each shard's captured diff
+	// query (bounded variable elimination, subsumption, vivification)
+	// before it is cached or solved. PI variables are frozen so
+	// counterexample readback stays exact; cached models are extended
+	// through the reconstruction stack, so they remain valid for the
+	// original encoding. With a cache configured the key is the
+	// post-preprocess formula, so semantically-converging encodings hit
+	// the same line.
+	Preprocess sat.PrepConfig
 }
 
 // Result reports the outcome of an equivalence check.
@@ -64,6 +73,9 @@ type Result struct {
 	CacheHits       int64
 	CacheMisses     int64
 	CacheCollisions int64
+	// Prep aggregates the preprocessing work of every shard (zero
+	// unless CheckOptions.Preprocess was enabled).
+	Prep sat.PrepStats
 }
 
 // CheckAIGs decides whether two AIGs with identical PI/PO counts are
@@ -153,8 +165,8 @@ func checkPairs(m *aig.AIG, pis []aig.Lit, t1, t2 []aig.Lit, opt CheckOptions) (
 	}
 	statuses := make([]sat.Status, shards)
 	cexs := make([][]bool, shards)
+	tallies := make([]cacheTally, shards)
 	var conflicts atomic.Int64
-	var hits, misses, colls atomic.Int64
 	var wg sync.WaitGroup
 	for k := 0; k < shards; k++ {
 		wg.Add(1)
@@ -164,9 +176,7 @@ func checkPairs(m *aig.AIG, pis []aig.Lit, t1, t2 []aig.Lit, opt CheckOptions) (
 			statuses[k] = st
 			cexs[k] = cex
 			conflicts.Add(confl)
-			hits.Add(tl.hits)
-			misses.Add(tl.misses)
-			colls.Add(tl.collisions)
+			tallies[k] = tl
 			if st == sat.Sat {
 				for j := k + 1; j < shards; j++ {
 					solvers[j].Interrupt()
@@ -175,13 +185,24 @@ func checkPairs(m *aig.AIG, pis []aig.Lit, t1, t2 []aig.Lit, opt CheckOptions) (
 		}(k)
 	}
 	wg.Wait()
-	tally := cacheTally{hits: hits.Load(), misses: misses.Load(), collisions: colls.Load()}
+	var tally cacheTally
+	for _, tl := range tallies {
+		tally.add(tl)
+	}
 	return mergePairVerdicts(m, t1, t2, statuses, cexs, conflicts.Load(), tally)
 }
 
-// cacheTally is per-check solve-cache traffic.
+// cacheTally is per-shard solve-cache and preprocessing traffic.
 type cacheTally struct {
 	hits, misses, collisions int64
+	prep                     sat.PrepStats
+}
+
+func (t *cacheTally) add(o cacheTally) {
+	t.hits += o.hits
+	t.misses += o.misses
+	t.collisions += o.collisions
+	t.prep.Add(o.prep)
 }
 
 // encodePairDiff Tseitin-encodes "some pair in idx differs" into
@@ -218,14 +239,26 @@ func encodePairDiff(sink cnf.Sink, m *aig.AIG, pis []aig.Lit, t1, t2 []aig.Lit, 
 // and encoder. s may be nil (a fresh solver is then built), and the
 // returned counterexample is indexed by PI position. With a cache
 // configured the encoding is captured first and a screened hit is
-// served without solving.
+// served without solving; with preprocessing enabled the capture is
+// simplified (PI variables frozen) before caching or solving, and
+// every cached model is reconstruction-extended so it stays valid for
+// the original encoding.
 func solvePairShard(m *aig.AIG, pis []aig.Lit, t1, t2 []aig.Lit, idx []int, opt CheckOptions, s *sat.Solver) (sat.Status, []bool, int64, cacheTally) {
 	var f *cnf.Formula
+	var rec *sat.Reconstruction
 	var piLits []sat.Lit
 	var tally cacheTally
-	if opt.Cache != nil {
+	if opt.Cache != nil || opt.Preprocess.Enable {
 		f = &cnf.Formula{}
 		piLits = encodePairDiff(f, m, pis, t1, t2, idx)
+		if opt.Preprocess.Enable {
+			pp := f.Preprocess(piLits, opt.Preprocess)
+			tally.prep = pp.Stats
+			rec = pp.Rec
+			f = pp.F
+		}
+	}
+	if opt.Cache != nil {
 		if v, ok, coll := opt.Cache.Lookup(f, nil); ok {
 			tally.hits = 1
 			tally.collisions = int64(coll)
@@ -265,13 +298,18 @@ func solvePairShard(m *aig.AIG, pis []aig.Lit, t1, t2 []aig.Lit, idx []int, opt 
 			cex[i] = s.ModelBool(piLits[i])
 		}
 	}
-	if f != nil && st != sat.Unknown {
+	if opt.Cache != nil && st != sat.Unknown {
 		var model []bool
 		if st == sat.Sat {
 			model = make([]bool, f.NumVars())
 			for v := range model {
 				model[v] = s.ModelBool(sat.PosLit(sat.Var(v)))
 			}
+			// Re-derive eliminated variables so the cached model is a
+			// model of the original encoding, not just the simplified
+			// one (it satisfies both: every simplified clause is a
+			// consequence of the original formula).
+			rec.Extend(model)
 		}
 		opt.Cache.Insert(f, nil, cache.Verdict{Status: st, Model: model})
 	}
@@ -300,7 +338,8 @@ func mergePairVerdicts(m *aig.AIG, t1, t2 []aig.Lit, statuses []sat.Status, cexs
 	switch {
 	case satShard >= 0:
 		res := Result{Equivalent: false, Conflicts: conflicts,
-			CacheHits: tally.hits, CacheMisses: tally.misses, CacheCollisions: tally.collisions}
+			CacheHits: tally.hits, CacheMisses: tally.misses, CacheCollisions: tally.collisions,
+			Prep: tally.prep}
 		res.Counterexample = cexs[satShard]
 		// Identify a failing output index by evaluation, scanning the
 		// full pair list so the lowest failing index is reported.
@@ -314,7 +353,8 @@ func mergePairVerdicts(m *aig.AIG, t1, t2 []aig.Lit, statuses []sat.Status, cexs
 		return res, nil
 	case allUnsat:
 		return Result{Equivalent: true, Conflicts: conflicts,
-			CacheHits: tally.hits, CacheMisses: tally.misses, CacheCollisions: tally.collisions}, nil
+			CacheHits: tally.hits, CacheMisses: tally.misses, CacheCollisions: tally.collisions,
+			Prep: tally.prep}, nil
 	default:
 		// Budget exhausted or interrupted: no verdict either way.
 		return Result{}, ErrGaveUp

@@ -168,17 +168,34 @@ func Sweep(g *aig.AIG, opt SweepOptions) *aig.AIG {
 	for i := range sigs {
 		sigs[i] = make([]uint64, 0, opt.SimRounds+4)
 	}
+	var keyed []bool // declared with the memo below; cleared per round
 	addRound := func(piWords []uint64) {
 		words := g.SimWords(piWords)
 		for n := range sigs {
 			sigs[n] = append(sigs[n], words[n])
+		}
+		for n := range keyed {
+			keyed[n] = false
 		}
 	}
 	for r := 0; r < opt.SimRounds; r++ {
 		addRound(g.RandomSimWords(rng))
 	}
 
-	canon := func(n int) (uint64, bool) { return canonKey(sigs[n]) }
+	// Canonical keys are memoized per simulation epoch: the main loop,
+	// PI registration, and every flushCex rebuild look keys up far more
+	// often than signatures change, and each canonKey call is an
+	// O(rounds) fold. A new simulation round invalidates every memo.
+	keys := make([]uint64, g.NumNodes())
+	compls := make([]bool, g.NumNodes())
+	keyed = make([]bool, g.NumNodes())
+	canon := func(n int) (uint64, bool) {
+		if !keyed[n] {
+			keys[n], compls[n] = canonKey(sigs[n])
+			keyed[n] = true
+		}
+		return keys[n], compls[n]
+	}
 	sameCanonSig := func(a, b int) bool { return canonSigsEqual(sigs[a], sigs[b]) }
 
 	ng := aig.New()

@@ -1,0 +1,40 @@
+package cnf
+
+import "ecopatch/internal/sat"
+
+// Preprocessed is a captured formula after a sat.Preprocess pass: the
+// simplified Formula (same variable numbering — eliminated variables
+// simply no longer occur), the model-reconstruction stack, and the
+// pass counters. When Unsat is set the pass refuted the formula
+// outright; F then holds a single empty clause, so LoadInto still
+// yields the right verdict without special-casing.
+type Preprocessed struct {
+	F     *Formula
+	Rec   *sat.Reconstruction
+	Stats sat.PrepStats
+	Unsat bool
+}
+
+// Preprocess runs the SatELite-style simplification pass over the
+// capture and returns the result without mutating f. frozen lists
+// literals whose variables must survive elimination — assumption and
+// model-readback variables of incremental callers — so follow-up
+// Solve calls and model reads over them stay exact on the simplified
+// formula. Models of the simplified formula must be passed through
+// Rec.Extend before being read against f's full variable set.
+func (f *Formula) Preprocess(frozen []sat.Lit, cfg sat.PrepConfig) *Preprocessed {
+	var fz []bool
+	if len(frozen) > 0 {
+		fz = make([]bool, f.nVars)
+		for _, l := range frozen {
+			fz[l.Var()] = true
+		}
+	}
+	res := sat.Preprocess(f.nVars, f.lits, f.ends, fz, cfg)
+	return &Preprocessed{
+		F:     &Formula{nVars: res.NumVars, lits: res.Lits, ends: res.Ends},
+		Rec:   res.Rec,
+		Stats: res.Stats,
+		Unsat: res.Unsat,
+	}
+}

@@ -138,6 +138,10 @@ func (e *engine) appendOptionsKey(buf []uint64) []uint64 {
 	set(2, o.FunctionalMatch)
 	set(3, o.ForceStructural)
 	set(4, e.par() == 1)
+	// Preprocessed runs solve simplified queries and may synthesize
+	// different (equally valid) patches; keep their window entries
+	// apart so each mode stays reproducible against itself.
+	set(5, o.Preprocess)
 	return append(buf,
 		uint64(o.Support), uint64(o.Patch), flags,
 		uint64(o.ConfBudget), uint64(o.MaxCubes), uint64(o.MaxQuantExpand),

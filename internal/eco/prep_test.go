@@ -1,0 +1,152 @@
+package eco
+
+import (
+	"errors"
+	"testing"
+
+	"ecopatch/internal/cache"
+)
+
+// TestPrepSerialReproducible extends the Parallelism=1 determinism
+// contract to preprocessing: two prep-on serial runs must be
+// bit-for-bit identical (patches, costs, netlists) and record
+// identical prep counters.
+func TestPrepSerialReproducible(t *testing.T) {
+	for name, tc := range parallelCases(t) {
+		t.Run(name, func(t *testing.T) {
+			opt := tc.opt
+			opt.Parallelism = 1
+			opt.Preprocess = true
+			var snaps []string
+			var rounds []int64
+			for run := 0; run < 2; run++ {
+				res, err := Solve(tc.inst, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Verified {
+					t.Fatal("not verified")
+				}
+				snaps = append(snaps, snapshotResult(res))
+				rounds = append(rounds, res.Stats.Prep.Rounds)
+			}
+			if snaps[0] != snaps[1] {
+				t.Fatalf("Preprocess+Parallelism=1 not reproducible:\nrun0:\n%s\nrun1:\n%s",
+					snaps[0], snaps[1])
+			}
+			if rounds[0] != rounds[1] {
+				t.Fatalf("prep rounds differ between identical runs: %d vs %d", rounds[0], rounds[1])
+			}
+			if rounds[0] == 0 {
+				t.Fatal("Preprocess=true ran no simplification rounds")
+			}
+		})
+	}
+}
+
+// TestPrepVerdictParity runs every case with preprocessing off and on
+// (serial and portfolio): verdicts must agree, and the prep-on patch
+// must pass the independent netlist-splice verification.
+func TestPrepVerdictParity(t *testing.T) {
+	for name, tc := range parallelCases(t) {
+		t.Run(name, func(t *testing.T) {
+			plain := tc.opt
+			plain.Parallelism = 1
+			ref, err := Solve(tc.inst, plain)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, par := range []int{1, 4} {
+				opt := tc.opt
+				opt.Parallelism = par
+				opt.Preprocess = true
+				res, err := Solve(tc.inst, opt)
+				if err != nil {
+					t.Fatalf("p=%d: %v", par, err)
+				}
+				if res.Feasible != ref.Feasible || res.Verified != ref.Verified {
+					t.Fatalf("p=%d verdict mismatch: prep feasible=%v verified=%v, plain feasible=%v verified=%v",
+						par, res.Feasible, res.Verified, ref.Feasible, ref.Verified)
+				}
+				if len(res.Patches) != len(ref.Patches) {
+					t.Fatalf("p=%d patch count: prep %d, plain %d", par, len(res.Patches), len(ref.Patches))
+				}
+				ok, err := VerifyPatch(tc.inst, res.Patch)
+				if err != nil || !ok {
+					t.Fatalf("p=%d prep patch failed VerifyPatch: ok=%v err=%v\n%s", par, ok, err, res.Patch)
+				}
+			}
+		})
+	}
+}
+
+// TestPrepCachedRunsStayIdentical pins the cache interplay: prep-on
+// runs against a shared cache stay identical to the uncached prep-on
+// reference (entries key the post-preprocess formula, and window
+// entries never mix with prep-off runs via the options fingerprint).
+func TestPrepCachedRunsStayIdentical(t *testing.T) {
+	tc := parallelCases(t)["multi"]
+	opt := tc.opt
+	opt.Parallelism = 1
+	opt.Preprocess = true
+	ref, err := Solve(tc.inst, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := snapshotResult(ref)
+
+	// Warm the cache with a prep-OFF run first: the prep-on runs below
+	// must not consume any of its entries.
+	c := cache.New(1024)
+	off := tc.opt
+	off.Parallelism = 1
+	off.Cache = c
+	if _, err := Solve(tc.inst, off); err != nil {
+		t.Fatal(err)
+	}
+
+	opt.Cache = c
+	for run := 0; run < 2; run++ {
+		res, err := Solve(tc.inst, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := snapshotResult(res); got != want {
+			t.Fatalf("prep-on cached run %d diverged:\nwant:\n%s\ngot:\n%s", run, want, got)
+		}
+	}
+}
+
+// TestPrepInterpolationRejected pins the proof-logging exclusion at
+// the API boundary: enabling both returns a config error instead of a
+// bogus proof.
+func TestPrepInterpolationRejected(t *testing.T) {
+	tc := parallelCases(t)["single"]
+	opt := tc.opt
+	opt.Patch = PatchInterpolation
+	opt.Preprocess = true
+	if _, err := Solve(tc.inst, opt); !errors.Is(err, ErrPrepWithProofs) {
+		t.Fatalf("Preprocess+PatchInterpolation returned %v, want ErrPrepWithProofs", err)
+	}
+}
+
+// TestInterpolationWithPrepOff is the matching regression: with
+// preprocessing off, the interpolation path (resolution-proof replay)
+// still solves and verifies.
+func TestInterpolationWithPrepOff(t *testing.T) {
+	tc := parallelCases(t)["multi"]
+	opt := tc.opt
+	opt.Patch = PatchInterpolation
+	opt.Preprocess = false
+	res, err := Solve(tc.inst, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatal("interpolation patch not verified with preprocessing off")
+	}
+	ok, err := VerifyPatch(tc.inst, res.Patch)
+	if err != nil || !ok {
+		t.Fatalf("interpolation patch failed VerifyPatch: ok=%v err=%v", ok, err)
+	}
+}

@@ -152,23 +152,48 @@ func (e *engine) satPatch(i int, m0, m1 aig.Lit) error {
 	// Expression (2): UNSAT under all equalities iff the divisors can
 	// express a patch. At Parallelism > 1 the query races across the
 	// portfolio and the winner carries on as the incremental solver
-	// for support minimization and cube enumeration below.
+	// for support minimization and cube enumeration below. With
+	// preprocessing on, the captured encoding is simplified once
+	// (shared by every member); the miter roots, equality selectors
+	// and both divisor-copy literal sets are frozen — everything the
+	// incremental follow-ups assume, read back, or block on.
 	var s *sat.Solver
 	var ec exprTwoEnc
-	if e.par() > 1 {
+	if e.par() > 1 || e.opt.Preprocess {
 		var f cnf.Formula
 		ec = e.encodeExprTwo(&f, m0, m1, divs)
-		p := e.newPortfolio(&f)
-		e.stats.SATCalls++
-		st := p.Solve(append([]sat.Lit{ec.r1, ec.r2}, ec.auxs...)...)
-		e.recordRace(p)
-		switch st {
-		case sat.Sat:
-			return errInsufficient
-		case sat.Unknown:
-			return errBudget
+		load := &f
+		if e.opt.Preprocess {
+			frozen := make([]sat.Lit, 0, 2+3*len(divs))
+			frozen = append(frozen, ec.r1, ec.r2)
+			frozen = append(frozen, ec.auxs...)
+			frozen = append(frozen, ec.d1s...)
+			frozen = append(frozen, ec.d2s...)
+			load = e.preprocess(&f, frozen).F
 		}
-		s = p.Winner()
+		if e.par() > 1 {
+			p := e.newPortfolio(load)
+			e.stats.SATCalls++
+			st := p.Solve(append([]sat.Lit{ec.r1, ec.r2}, ec.auxs...)...)
+			e.recordRace(p)
+			switch st {
+			case sat.Sat:
+				return errInsufficient
+			case sat.Unknown:
+				return errBudget
+			}
+			s = p.Winner()
+		} else {
+			s = e.newSolver()
+			load.LoadInto(s)
+			e.stats.SATCalls++
+			switch s.Solve(append([]sat.Lit{ec.r1, ec.r2}, ec.auxs...)...) {
+			case sat.Sat:
+				return errInsufficient
+			case sat.Unknown:
+				return errBudget
+			}
+		}
 	} else {
 		s = e.newSolver()
 		ec = e.encodeExprTwo(s, m0, m1, divs)

@@ -78,7 +78,7 @@ type Config struct {
 	BlockMargin float64
 	// LBDWindow and TrailWindow size the two moving averages.
 	// Defaults 50 and 5000.
-	LBDWindow  int
+	LBDWindow   int
 	TrailWindow int
 	// BlockMinConflicts disables restart blocking until this many
 	// conflicts have accumulated. Default 10000.
@@ -94,6 +94,14 @@ type Config struct {
 	Phase PhaseInit
 	// Seed feeds the PhaseRand hash. Ignored by the other modes.
 	Seed uint64
+
+	// Preprocess tunes the CNF preprocessing pass (see Preprocess).
+	// The pass itself runs over captured formulas before they reach a
+	// solver, not inside the solver; the knobs live here so callers
+	// configure search and simplification in one place. Preprocessing
+	// rewrites the formula, so it is incompatible with resolution-proof
+	// logging: StartProof refuses when Preprocess.Enable is set.
+	Preprocess PrepConfig
 }
 
 // DefaultConfig returns the Glucose-style defaults.

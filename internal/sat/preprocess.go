@@ -1,0 +1,905 @@
+package sat
+
+// CNF preprocessing in the SatELite tradition (Eén & Biere, SAT'05):
+// bounded variable elimination by clause distribution, forward and
+// backward subsumption with self-subsuming resolution, and clause
+// vivification with failed-literal probing on the largest clauses.
+// The pass runs over a captured clause list — not a live solver — so
+// one simplification can be shared by every member of a portfolio and
+// the simplified formula can key a solve cache.
+//
+// Eliminating a variable removes it from the formula, so a satisfying
+// assignment of the simplified CNF says nothing about it. The
+// Reconstruction stack records, per eliminated variable, enough of its
+// original clauses to re-derive an exact value (the MiniSat/SatELite
+// extend-model discipline): Extend turns any model of the simplified
+// formula into a model of the original one.
+//
+// Preprocessing is intentionally proof-free: it rewrites the formula,
+// so a resolution proof logged against the simplified clauses would
+// not refute the original ones. StartProof refuses to run on a solver
+// whose Config enables preprocessing.
+
+import (
+	"sort"
+	"time"
+)
+
+// PrepConfig tunes the preprocessing pass. The zero value means
+// "disabled"; set Enable and leave the other knobs zero for defaults.
+type PrepConfig struct {
+	// Enable turns the pass on.
+	Enable bool
+	// MaxOccs bounds variable elimination: a variable occurring more
+	// than MaxOccs times in each polarity is never a candidate (its
+	// resolvent set is quadratic). Default 20.
+	MaxOccs int
+	// Growth is the clause-count growth tolerated per elimination: a
+	// variable is eliminated only when the non-tautological resolvents
+	// number at most (occurrences removed + Growth). Default 0 — the
+	// classic "never grow the formula" bound.
+	Growth int
+	// MaxResolventLen skips eliminations that would create a resolvent
+	// longer than this. Default 32.
+	MaxResolventLen int
+	// VivifyMax bounds vivification to the VivifyMax largest clauses
+	// per round (the "top tier": long clauses are where literal drops
+	// pay most). Default 64.
+	VivifyMax int
+	// ProbeMax bounds failed-literal probing to the ProbeMax
+	// most-occurring unassigned variables per round. Default 64.
+	ProbeMax int
+	// Rounds bounds the subsume→vivify→eliminate fixpoint iteration.
+	// Default 3.
+	Rounds int
+}
+
+// DefaultPrepConfig returns the enabled pass with default bounds.
+func DefaultPrepConfig() PrepConfig {
+	c := PrepConfig{Enable: true}
+	c.applyDefaults()
+	return c
+}
+
+// applyDefaults fills zero knobs so hand-built configs stay valid.
+func (c *PrepConfig) applyDefaults() {
+	if c.MaxOccs <= 0 {
+		c.MaxOccs = 20
+	}
+	if c.MaxResolventLen <= 0 {
+		c.MaxResolventLen = 32
+	}
+	if c.VivifyMax <= 0 {
+		c.VivifyMax = 64
+	}
+	if c.ProbeMax <= 0 {
+		c.ProbeMax = 64
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 3
+	}
+}
+
+// PrepStats counts the work of one preprocessing pass. All fields are
+// additive so callers can aggregate across passes.
+type PrepStats struct {
+	VarsEliminated   int64 // variables removed by bounded elimination
+	ClausesSubsumed  int64 // clauses deleted by (backward) subsumption
+	LitsStrengthened int64 // literals removed by self-subsumption + vivification
+	FailedLits       int64 // units derived by failed-literal probing
+	Rounds           int64 // simplification rounds actually run
+	PrepTime         time.Duration
+}
+
+// Add accumulates o into s.
+func (s *PrepStats) Add(o PrepStats) {
+	s.VarsEliminated += o.VarsEliminated
+	s.ClausesSubsumed += o.ClausesSubsumed
+	s.LitsStrengthened += o.LitsStrengthened
+	s.FailedLits += o.FailedLits
+	s.Rounds += o.Rounds
+	s.PrepTime += o.PrepTime
+}
+
+// Reconstruction is the model-extension stack of one preprocessing
+// pass. Records are pushed in elimination order and replayed in
+// reverse by Extend; each record is a clause of the eliminated
+// variable with that variable's literal stored last (per variable:
+// the clauses of its less-occurring polarity, then a unit of the
+// opposite literal, so the unit seeds the default value and the
+// clauses override it where needed).
+type Reconstruction struct {
+	lits []Lit
+	lens []int32
+	vars int64 // eliminated variables, for sanity reporting
+}
+
+// Eliminated returns the number of variables the stack re-derives.
+func (r *Reconstruction) Eliminated() int {
+	if r == nil {
+		return 0
+	}
+	return int(r.vars)
+}
+
+// push records one clause with the eliminated literal last.
+func (r *Reconstruction) push(cl []Lit, elim Lit) {
+	n := int32(0)
+	for _, l := range cl {
+		if l != elim {
+			r.lits = append(r.lits, l)
+			n++
+		}
+	}
+	r.lits = append(r.lits, elim)
+	r.lens = append(r.lens, n+1)
+}
+
+// Extend rewrites model — indexed by variable, sized to the original
+// variable count — so that every eliminated variable is assigned a
+// value consistent with the original formula. Values of surviving
+// variables are never touched; given a model of the simplified
+// formula, the result satisfies the original one. A nil receiver is a
+// no-op, so callers can thread the stack unconditionally.
+func (r *Reconstruction) Extend(model []bool) {
+	if r == nil {
+		return
+	}
+	end := len(r.lits)
+	for i := len(r.lens) - 1; i >= 0; i-- {
+		n := int(r.lens[i])
+		cl := r.lits[end-n : end]
+		end -= n
+		satisfied := false
+		for _, l := range cl[:n-1] {
+			if model[l.Var()] == !l.Sign() {
+				satisfied = true
+				break
+			}
+		}
+		if !satisfied {
+			last := cl[n-1]
+			model[last.Var()] = !last.Sign()
+		}
+	}
+}
+
+// PrepResult is the outcome of a Preprocess pass: the simplified
+// clause list in the flat capture layout (variable numbering is
+// unchanged — eliminated variables simply no longer occur), the
+// reconstruction stack, and the work counters. When Unsat is set the
+// pass refuted the formula outright and the clause list is a single
+// empty clause, so replaying it into a solver yields Unsat without
+// special-casing.
+type PrepResult struct {
+	NumVars int
+	Lits    []Lit
+	Ends    []int32
+	Rec     *Reconstruction
+	Stats   PrepStats
+	Unsat   bool
+}
+
+// pclause is one live clause of the preprocessor: literals kept
+// sorted (subset tests are merges), with a variable-membership
+// signature for the subsumption prefilter — the same FNV-free
+// fold-to-64-bits trick cec.Sweep uses for signature buckets.
+type pclause struct {
+	lits []Lit
+	sig  uint64
+	dead bool
+}
+
+func varSig(lits []Lit) uint64 {
+	var s uint64
+	for _, l := range lits {
+		s |= 1 << (uint(l.Var()) % 64)
+	}
+	return s
+}
+
+// prep is the working state of one pass.
+type prep struct {
+	cfg     PrepConfig
+	nVars   int
+	frozen  []bool
+	clauses []pclause
+	occ     [][]int32 // per literal index: clause indices (lazily stale)
+	assigns []LBool   // top-level units
+	unitQ   []Lit
+	elim    []bool
+	rec     *Reconstruction
+	stats   PrepStats
+	unsat   bool
+
+	// probe scratch: epoch-stamped temporary assignment.
+	tmpVal   []LBool
+	tmpTrail []Lit
+}
+
+// Preprocess simplifies the flat clause list (nVars variables;
+// clause i is lits[ends[i-1]:ends[i]]) and returns the simplified
+// formula plus the reconstruction stack. frozen, when non-nil, marks
+// variables that must survive: assumption and readback variables of
+// incremental callers are never eliminated, so their literals stay
+// exact on the simplified formula. The input slices are not mutated,
+// and the pass is fully deterministic — same input, same output.
+func Preprocess(nVars int, lits []Lit, ends []int32, frozen []bool, cfg PrepConfig) *PrepResult {
+	start := time.Now()
+	cfg.applyDefaults()
+	p := &prep{
+		cfg:     cfg,
+		nVars:   nVars,
+		frozen:  frozen,
+		occ:     make([][]int32, 2*nVars),
+		assigns: make([]LBool, nVars),
+		elim:    make([]bool, nVars),
+		rec:     &Reconstruction{},
+		tmpVal:  make([]LBool, nVars),
+	}
+	var begin int32
+	for _, end := range ends {
+		p.addClause(lits[begin:end])
+		begin = end
+	}
+	p.propagate()
+	for round := 0; round < cfg.Rounds && !p.unsat; round++ {
+		p.stats.Rounds++
+		changed := p.subsumeAll()
+		if p.unsat {
+			break
+		}
+		if p.vivifyAndProbe() {
+			changed = true
+		}
+		if p.unsat {
+			break
+		}
+		if p.eliminateVars() {
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+	res := &PrepResult{NumVars: nVars, Rec: p.rec, Stats: p.stats}
+	res.Stats.PrepTime = time.Since(start)
+	if p.unsat {
+		res.Unsat = true
+		res.Ends = []int32{0}
+		return res
+	}
+	// Deterministic output order: the derived units in variable order,
+	// then every surviving clause in arena order.
+	for v := 0; v < nVars; v++ {
+		switch p.assigns[v] {
+		case LTrue:
+			res.Lits = append(res.Lits, PosLit(Var(v)))
+			res.Ends = append(res.Ends, int32(len(res.Lits)))
+		case LFalse:
+			res.Lits = append(res.Lits, NegLit(Var(v)))
+			res.Ends = append(res.Ends, int32(len(res.Lits)))
+		}
+	}
+	for i := range p.clauses {
+		c := &p.clauses[i]
+		if c.dead {
+			continue
+		}
+		res.Lits = append(res.Lits, c.lits...)
+		res.Ends = append(res.Ends, int32(len(res.Lits)))
+	}
+	return res
+}
+
+func (p *prep) value(l Lit) LBool {
+	v := p.assigns[l.Var()]
+	if l.Sign() {
+		return v.Not()
+	}
+	return v
+}
+
+// enqueue asserts a top-level unit.
+func (p *prep) enqueue(l Lit) {
+	switch p.value(l) {
+	case LTrue:
+		return
+	case LFalse:
+		p.unsat = true
+		return
+	}
+	if l.Sign() {
+		p.assigns[l.Var()] = LFalse
+	} else {
+		p.assigns[l.Var()] = LTrue
+	}
+	p.unitQ = append(p.unitQ, l)
+}
+
+// addClause normalizes (sort, dedupe, drop false literals, skip
+// satisfied and tautological clauses) and registers a clause.
+func (p *prep) addClause(in []Lit) {
+	if p.unsat {
+		return
+	}
+	cl := make([]Lit, 0, len(in))
+	for _, l := range in {
+		switch p.value(l) {
+		case LTrue:
+			return // satisfied at top level
+		case LFalse:
+			continue
+		}
+		cl = append(cl, l)
+	}
+	sort.Slice(cl, func(i, j int) bool { return cl[i] < cl[j] })
+	out := cl[:0]
+	var prev Lit = LitUndef
+	for _, l := range cl {
+		if l == prev {
+			continue
+		}
+		if prev != LitUndef && l == prev.Not() {
+			return // tautology
+		}
+		out = append(out, l)
+		prev = l
+	}
+	switch len(out) {
+	case 0:
+		p.unsat = true
+		return
+	case 1:
+		p.enqueue(out[0])
+		return
+	}
+	idx := int32(len(p.clauses))
+	p.clauses = append(p.clauses, pclause{lits: out, sig: varSig(out)})
+	for _, l := range out {
+		p.occ[l] = append(p.occ[l], idx)
+	}
+}
+
+// propagate drains the top-level unit queue: clauses satisfied by a
+// unit die, clauses containing its negation are strengthened.
+func (p *prep) propagate() {
+	for len(p.unitQ) > 0 && !p.unsat {
+		l := p.unitQ[0]
+		p.unitQ = p.unitQ[1:]
+		// Occurrence lists are lazily stale: entries may reference
+		// clauses that were strengthened past the literal, so verify
+		// membership before acting.
+		for _, ci := range p.occ[l] {
+			c := &p.clauses[ci]
+			if !c.dead && containsLit(c.lits, l) {
+				c.dead = true
+			}
+		}
+		p.occ[l] = nil
+		neg := l.Not()
+		for _, ci := range p.occ[neg] {
+			c := &p.clauses[ci]
+			if c.dead || !containsLit(c.lits, neg) {
+				continue
+			}
+			p.removeLit(ci, neg)
+			if p.unsat {
+				return
+			}
+		}
+		p.occ[neg] = nil
+	}
+}
+
+// removeLit strengthens clause ci by deleting literal l, retiring the
+// clause if it collapses to a unit.
+func (p *prep) removeLit(ci int32, l Lit) {
+	c := &p.clauses[ci]
+	out := c.lits[:0]
+	for _, x := range c.lits {
+		if x != l {
+			out = append(out, x)
+		}
+	}
+	c.lits = out
+	c.sig = varSig(out)
+	switch len(out) {
+	case 0:
+		p.unsat = true
+	case 1:
+		c.dead = true
+		p.enqueue(out[0])
+	}
+}
+
+// compactOcc drops stale entries (dead clauses, or clauses that no
+// longer contain l after strengthening) from one occurrence list and
+// returns it.
+func (p *prep) compactOcc(l Lit) []int32 {
+	list := p.occ[l]
+	out := list[:0]
+	for _, ci := range list {
+		c := &p.clauses[ci]
+		if c.dead {
+			continue
+		}
+		if !containsLit(c.lits, l) {
+			continue
+		}
+		out = append(out, ci)
+	}
+	p.occ[l] = out
+	return out
+}
+
+func containsLit(sorted []Lit, l Lit) bool {
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= l })
+	return i < len(sorted) && sorted[i] == l
+}
+
+// subset reports a ⊆ b for sorted literal slices.
+func subset(a, b []Lit) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	j := 0
+	for _, l := range a {
+		for j < len(b) && b[j] < l {
+			j++
+		}
+		if j == len(b) || b[j] != l {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// subsetExcept reports (a \ {skip}) ∪ {skip.Not()} ⊆ b — the
+// self-subsumption shape: a with one literal flipped is contained in
+// b, so b can drop the flipped literal.
+func subsetExcept(a, b []Lit, skip Lit) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	flip := skip.Not()
+	sawFlip := false
+	j := 0
+	for _, l := range a {
+		if l == skip {
+			l = flip
+			// The flipped literal breaks the sort order of a; search b
+			// directly for it instead of merging.
+			if !containsLit(b, flip) {
+				return false
+			}
+			sawFlip = true
+			continue
+		}
+		for j < len(b) && b[j] < l {
+			j++
+		}
+		if j == len(b) || b[j] != l {
+			return false
+		}
+		j++
+	}
+	return sawFlip
+}
+
+// subsumeAll runs one backward-subsumption + self-subsuming-resolution
+// pass over every live clause. Returns whether anything changed.
+func (p *prep) subsumeAll() bool {
+	changed := false
+	for ci := range p.clauses {
+		c := &p.clauses[ci]
+		if c.dead || p.unsat {
+			continue
+		}
+		// Probe the occurrence list of c's rarest literal: every clause
+		// subsumed by c must contain all of c's literals.
+		min := c.lits[0]
+		for _, l := range c.lits[1:] {
+			if len(p.occ[l]) < len(p.occ[min]) {
+				min = l
+			}
+		}
+		for _, di := range p.compactOcc(min) {
+			if di == int32(ci) {
+				continue
+			}
+			d := &p.clauses[di]
+			if d.dead || len(d.lits) < len(c.lits) {
+				continue
+			}
+			if c.sig&^d.sig != 0 {
+				continue
+			}
+			if subset(c.lits, d.lits) {
+				d.dead = true
+				p.stats.ClausesSubsumed++
+				changed = true
+			}
+		}
+		// Self-subsuming resolution: for each literal l of c, a clause
+		// d ⊇ (c \ {l}) ∪ {¬l} loses ¬l. The variable signature is
+		// polarity-blind, so c.sig still prefilters.
+		for li := 0; li < len(c.lits); li++ {
+			l := c.lits[li]
+			for _, di := range p.compactOcc(l.Not()) {
+				d := &p.clauses[di]
+				if d.dead || len(d.lits) < len(c.lits) {
+					continue
+				}
+				if c.sig&^d.sig != 0 {
+					continue
+				}
+				if subsetExcept(c.lits, d.lits, l) {
+					p.removeLit(di, l.Not())
+					p.stats.LitsStrengthened++
+					changed = true
+					if p.unsat {
+						return changed
+					}
+				}
+			}
+			if c.dead {
+				break // c itself collapsed via unit propagation below
+			}
+		}
+		if len(p.unitQ) > 0 {
+			p.propagate()
+			changed = true
+		}
+	}
+	return changed
+}
+
+// tmpAssign sets a probe-local value; returns false on conflict with
+// an existing probe-local or top-level value.
+func (p *prep) tmpAssign(l Lit) bool {
+	switch p.value(l) {
+	case LTrue:
+		return true
+	case LFalse:
+		return false
+	}
+	v := l.Var()
+	cur := p.tmpVal[v]
+	want := LTrue
+	if l.Sign() {
+		want = LFalse
+	}
+	if cur != LUndef {
+		return cur == want
+	}
+	p.tmpVal[v] = want
+	p.tmpTrail = append(p.tmpTrail, l)
+	return true
+}
+
+func (p *prep) tmpValue(l Lit) LBool {
+	if v := p.value(l); v != LUndef {
+		return v
+	}
+	t := p.tmpVal[l.Var()]
+	if l.Sign() {
+		return t.Not()
+	}
+	return t
+}
+
+func (p *prep) tmpReset() {
+	for _, l := range p.tmpTrail {
+		p.tmpVal[l.Var()] = LUndef
+	}
+	p.tmpTrail = p.tmpTrail[:0]
+}
+
+// tmpPropagate runs unit propagation over the probe-local assignment
+// starting from trail position from, ignoring clause skip (the clause
+// being vivified). Returns false on conflict.
+func (p *prep) tmpPropagate(from int, skip int32) bool {
+	for q := from; q < len(p.tmpTrail); q++ {
+		neg := p.tmpTrail[q].Not()
+		for _, ci := range p.occ[neg] {
+			if ci == skip {
+				continue
+			}
+			c := &p.clauses[ci]
+			if c.dead || !containsLit(c.lits, neg) {
+				continue
+			}
+			unassigned := LitUndef
+			satisfied := false
+			for _, x := range c.lits {
+				switch p.tmpValue(x) {
+				case LTrue:
+					satisfied = true
+				case LUndef:
+					if unassigned == LitUndef {
+						unassigned = x
+					} else {
+						unassigned = -2 // more than one
+					}
+				}
+				if satisfied {
+					break
+				}
+			}
+			if satisfied {
+				continue
+			}
+			switch unassigned {
+			case LitUndef:
+				return false // all false: conflict
+			case -2:
+			default:
+				if !p.tmpAssign(unassigned) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// vivifyAndProbe vivifies the VivifyMax longest clauses (assume the
+// negation of each literal in turn; a conflict or an implied literal
+// proves a shorter clause) and probes the ProbeMax most-occurring
+// variables for failed literals. Both are equivalence-preserving.
+// Returns whether anything changed.
+func (p *prep) vivifyAndProbe() bool {
+	changed := false
+	// Top tier: live clauses of length >= 3, longest first (ties in
+	// arena order, so the pass is deterministic).
+	var tier []int32
+	for ci := range p.clauses {
+		if !p.clauses[ci].dead && len(p.clauses[ci].lits) >= 3 {
+			tier = append(tier, int32(ci))
+		}
+	}
+	sort.SliceStable(tier, func(i, j int) bool {
+		return len(p.clauses[tier[i]].lits) > len(p.clauses[tier[j]].lits)
+	})
+	if len(tier) > p.cfg.VivifyMax {
+		tier = tier[:p.cfg.VivifyMax]
+	}
+	for _, ci := range tier {
+		if p.unsat {
+			break
+		}
+		c := &p.clauses[ci]
+		if c.dead {
+			continue
+		}
+		lits := append([]Lit(nil), c.lits...)
+		var kept []Lit
+		shortened := false
+		p.tmpReset()
+		for _, l := range lits {
+			switch p.tmpValue(l) {
+			case LTrue:
+				// The kept prefix already implies l: the clause shrinks
+				// to kept + {l}.
+				kept = append(kept, l)
+				shortened = true
+			case LFalse:
+				// The kept prefix implies ¬l: drop l.
+				shortened = true
+				continue
+			default:
+				mark := len(p.tmpTrail)
+				p.tmpAssign(l.Not())
+				if !p.tmpPropagate(mark, ci) {
+					kept = append(kept, l)
+					shortened = true
+				} else {
+					kept = append(kept, l)
+					continue
+				}
+			}
+			break
+		}
+		p.tmpReset()
+		if !shortened || len(kept) >= len(lits) {
+			continue
+		}
+		p.stats.LitsStrengthened += int64(len(lits) - len(kept))
+		changed = true
+		c.dead = true // re-added below in normalized form
+		p.addClause(kept)
+		p.propagate()
+	}
+	// Failed-literal probing over the most-occurring unassigned vars.
+	type cand struct {
+		v    Var
+		occs int
+	}
+	var cands []cand
+	for v := 0; v < p.nVars; v++ {
+		if p.assigns[v] != LUndef || p.elim[v] {
+			continue
+		}
+		n := len(p.occ[PosLit(Var(v))]) + len(p.occ[NegLit(Var(v))])
+		if n > 0 {
+			cands = append(cands, cand{Var(v), n})
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].occs > cands[j].occs })
+	if len(cands) > p.cfg.ProbeMax {
+		cands = cands[:p.cfg.ProbeMax]
+	}
+	for _, cd := range cands {
+		if p.unsat {
+			break
+		}
+		if p.assigns[cd.v] != LUndef {
+			continue
+		}
+		for _, l := range [2]Lit{PosLit(cd.v), NegLit(cd.v)} {
+			if p.value(l) != LUndef {
+				continue
+			}
+			p.tmpReset()
+			p.tmpAssign(l)
+			ok := p.tmpPropagate(0, -1)
+			p.tmpReset()
+			if !ok {
+				p.stats.FailedLits++
+				changed = true
+				p.enqueue(l.Not())
+				p.propagate()
+				if p.unsat {
+					return changed
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// eliminateVars runs one bounded-variable-elimination sweep in
+// ascending-occurrence order. Returns whether anything changed.
+func (p *prep) eliminateVars() bool {
+	type cand struct {
+		v    Var
+		occs int
+	}
+	var cands []cand
+	for v := 0; v < p.nVars; v++ {
+		if p.elim[v] || p.assigns[v] != LUndef {
+			continue
+		}
+		if p.frozen != nil && p.frozen[v] {
+			continue
+		}
+		pos := len(p.compactOcc(PosLit(Var(v))))
+		neg := len(p.compactOcc(NegLit(Var(v))))
+		if pos == 0 && neg == 0 {
+			continue
+		}
+		if pos > p.cfg.MaxOccs && neg > p.cfg.MaxOccs {
+			continue
+		}
+		cands = append(cands, cand{Var(v), pos + neg})
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].occs < cands[j].occs })
+	changed := false
+	for _, cd := range cands {
+		if p.unsat {
+			break
+		}
+		if p.tryEliminate(cd.v) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// tryEliminate eliminates v by clause distribution when the resolvent
+// set stays within the growth bound.
+func (p *prep) tryEliminate(v Var) bool {
+	if p.elim[v] || p.assigns[v] != LUndef {
+		return false
+	}
+	lp, ln := PosLit(v), NegLit(v)
+	pos := append([]int32(nil), p.compactOcc(lp)...)
+	neg := append([]int32(nil), p.compactOcc(ln)...)
+	if len(pos) == 0 && len(neg) == 0 {
+		return false
+	}
+	limit := len(pos) + len(neg) + p.cfg.Growth
+	// Count and collect non-tautological resolvents, bailing out the
+	// moment the bound is exceeded.
+	var resolvents [][]Lit
+	for _, pi := range pos {
+		for _, ni := range neg {
+			r, taut := resolve(p.clauses[pi].lits, p.clauses[ni].lits, v)
+			if taut {
+				continue
+			}
+			if len(r) > p.cfg.MaxResolventLen {
+				return false
+			}
+			resolvents = append(resolvents, r)
+			if len(resolvents) > limit {
+				return false
+			}
+		}
+	}
+	// Commit: push the reconstruction record (smaller polarity side
+	// plus a unit of the opposite literal), retire the occurrences,
+	// add the resolvents.
+	if len(pos) <= len(neg) {
+		for _, pi := range pos {
+			p.rec.push(p.clauses[pi].lits, lp)
+		}
+		p.rec.push(nil, ln)
+	} else {
+		for _, ni := range neg {
+			p.rec.push(p.clauses[ni].lits, ln)
+		}
+		p.rec.push(nil, lp)
+	}
+	p.rec.vars++
+	for _, ci := range pos {
+		p.clauses[ci].dead = true
+	}
+	for _, ci := range neg {
+		p.clauses[ci].dead = true
+	}
+	p.occ[lp] = nil
+	p.occ[ln] = nil
+	p.elim[v] = true
+	p.stats.VarsEliminated++
+	for _, r := range resolvents {
+		p.addClause(r)
+		if p.unsat {
+			return true
+		}
+	}
+	p.propagate()
+	return true
+}
+
+// resolve returns the resolvent of sorted clauses a (containing v
+// positively) and b (containing v negatively) on v, reporting
+// tautologies.
+func resolve(a, b []Lit, v Var) ([]Lit, bool) {
+	out := make([]Lit, 0, len(a)+len(b)-2)
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		la, lb := a[i], b[j]
+		switch {
+		case la.Var() == v:
+			i++
+		case lb.Var() == v:
+			j++
+		case la == lb:
+			out = append(out, la)
+			i++
+			j++
+		case la == lb.Not():
+			return nil, true
+		case la < lb:
+			out = append(out, la)
+			i++
+		default:
+			out = append(out, lb)
+			j++
+		}
+	}
+	for ; i < len(a); i++ {
+		if a[i].Var() != v {
+			out = append(out, a[i])
+		}
+	}
+	for ; j < len(b); j++ {
+		if b[j].Var() != v {
+			out = append(out, b[j])
+		}
+	}
+	return out, false
+}

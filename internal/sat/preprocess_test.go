@@ -1,0 +1,448 @@
+package sat
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+// flattenClauses converts DIMACS-style int clauses into the flat
+// capture layout Preprocess consumes.
+func flattenClauses(clauses [][]int) (lits []Lit, ends []int32) {
+	for _, cl := range clauses {
+		for _, dl := range cl {
+			v := dl
+			if v < 0 {
+				v = -v
+			}
+			lits = append(lits, MkLit(Var(v-1), dl < 0))
+		}
+		ends = append(ends, int32(len(lits)))
+	}
+	return
+}
+
+// loadPrepResult replays a simplified formula into a fresh solver.
+func loadPrepResult(s *Solver, r *PrepResult) bool {
+	s.EnsureVars(r.NumVars)
+	ok := true
+	var begin int32
+	for _, end := range r.Ends {
+		if !s.AddClause(r.Lits[begin:end]...) {
+			ok = false
+		}
+		begin = end
+	}
+	return ok
+}
+
+// fullModel reads the solver's model as a plain bool slice over the
+// original variable range (unassigned variables read as false; the
+// reconstruction stack overrides eliminated ones).
+func fullModel(s *Solver, nVars int) []bool {
+	m := make([]bool, nVars)
+	for v := 0; v < nVars; v++ {
+		m[v] = s.ModelBool(PosLit(Var(v)))
+	}
+	return m
+}
+
+// checkBoolModel verifies a bool model against DIMACS-style clauses.
+func checkBoolModel(t *testing.T, model []bool, clauses [][]int) {
+	t.Helper()
+	for _, cl := range clauses {
+		ok := false
+		for _, dl := range cl {
+			v := dl
+			if v < 0 {
+				v = -v
+			}
+			if model[v-1] == (dl > 0) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("reconstructed model does not satisfy original clause %v", cl)
+		}
+	}
+}
+
+// prepOf runs Preprocess over int clauses with default knobs.
+func prepOf(nVars int, clauses [][]int, frozen []bool) *PrepResult {
+	lits, ends := flattenClauses(clauses)
+	return Preprocess(nVars, lits, ends, frozen, DefaultPrepConfig())
+}
+
+// TestPrepSubsumption pins backward subsumption: a clause containing a
+// strict superset of another's literals is deleted. All variables are
+// frozen so elimination cannot mask the effect.
+func TestPrepSubsumption(t *testing.T) {
+	clauses := [][]int{{1, 2}, {1, 2, 3}, {-1, 3}, {-2, -3, 4}}
+	frozen := []bool{true, true, true, true}
+	r := prepOf(4, clauses, frozen)
+	if r.Unsat {
+		t.Fatal("prep refuted a satisfiable formula")
+	}
+	if r.Stats.ClausesSubsumed < 1 {
+		t.Fatalf("ClausesSubsumed = %d, want >= 1", r.Stats.ClausesSubsumed)
+	}
+	if r.Stats.VarsEliminated != 0 {
+		t.Fatalf("VarsEliminated = %d with all vars frozen", r.Stats.VarsEliminated)
+	}
+}
+
+// TestPrepSelfSubsumption pins self-subsuming resolution: (1 2) with
+// (-1 2 3) strengthens the latter to (2 3).
+func TestPrepSelfSubsumption(t *testing.T) {
+	clauses := [][]int{{1, 2}, {-1, 2, 3}, {-2, 4}, {-3, -4}}
+	frozen := []bool{true, true, true, true}
+	r := prepOf(4, clauses, frozen)
+	if r.Unsat {
+		t.Fatal("prep refuted a satisfiable formula")
+	}
+	if r.Stats.LitsStrengthened < 1 {
+		t.Fatalf("LitsStrengthened = %d, want >= 1", r.Stats.LitsStrengthened)
+	}
+}
+
+// TestPrepBVEReconstruction pins bounded variable elimination plus
+// exact model reconstruction: an AND-gate definition is eliminated,
+// and the extended model must still satisfy the definition clauses.
+func TestPrepBVEReconstruction(t *testing.T) {
+	// Var 3 is a Tseitin AND gate: 3 <-> 1&2; var 4 forces 3 via (3 4),
+	// (-4 1): satisfiable, and 3 must be re-derived consistently.
+	clauses := [][]int{{-3, 1}, {-3, 2}, {3, -1, -2}, {3, 4}, {-4, 1}}
+	r := prepOf(4, clauses, nil)
+	if r.Unsat {
+		t.Fatal("prep refuted a satisfiable formula")
+	}
+	if r.Stats.VarsEliminated < 1 {
+		t.Fatalf("VarsEliminated = %d, want >= 1", r.Stats.VarsEliminated)
+	}
+	s := New()
+	if !loadPrepResult(s, r) {
+		t.Fatal("simplified formula trivially unsat")
+	}
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("simplified solve = %v, want Sat", st)
+	}
+	m := fullModel(s, 4)
+	r.Rec.Extend(m)
+	checkBoolModel(t, m, clauses)
+}
+
+// TestPrepUnsat pins outright refutation: the result is a single empty
+// clause, so replaying it into a solver yields Unsat with no
+// special-casing.
+func TestPrepUnsat(t *testing.T) {
+	for _, tc := range [][][]int{
+		{{1}, {-1}},
+		{{1}, {-1, 2}, {-2, -1}},
+		{{1, 2}, {1, -2}, {-1, 2}, {-1, -2}},
+	} {
+		r := prepOf(2, tc, nil)
+		if !r.Unsat {
+			t.Fatalf("prep missed unsat on %v", tc)
+		}
+		if len(r.Ends) != 1 || r.Ends[0] != 0 {
+			t.Fatalf("unsat result Ends = %v, want [0]", r.Ends)
+		}
+		s := New()
+		if loadPrepResult(s, r) {
+			t.Fatal("empty clause loaded as satisfiable")
+		}
+		if st := s.Solve(); st != Unsat {
+			t.Fatalf("solve = %v, want Unsat", st)
+		}
+	}
+}
+
+// TestPrepFrozen pins the freeze contract: frozen variables are never
+// eliminated, so assumptions over them remain exact.
+func TestPrepFrozen(t *testing.T) {
+	clauses := [][]int{{-3, 1}, {-3, 2}, {3, -1, -2}, {3, 4}, {-4, 1}}
+	frozen := []bool{true, true, true, true}
+	r := prepOf(4, clauses, frozen)
+	if r.Stats.VarsEliminated != 0 {
+		t.Fatalf("VarsEliminated = %d with all vars frozen", r.Stats.VarsEliminated)
+	}
+}
+
+// TestPrepAssumptionParity solves random formulas under every
+// assumption pattern over the frozen prefix, prep-on vs prep-off, and
+// requires identical verdicts plus valid reconstructed models.
+func TestPrepAssumptionParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const nVars, nFrozen = 12, 3
+	for round := 0; round < 30; round++ {
+		nClauses := 20 + rng.Intn(25)
+		clauses := make([][]int, 0, nClauses)
+		for i := 0; i < nClauses; i++ {
+			w := 2 + rng.Intn(2)
+			cl := make([]int, 0, w)
+			for j := 0; j < w; j++ {
+				v := 1 + rng.Intn(nVars)
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				cl = append(cl, v)
+			}
+			clauses = append(clauses, cl)
+		}
+		frozen := make([]bool, nVars)
+		for v := 0; v < nFrozen; v++ {
+			frozen[v] = true
+		}
+		r := prepOf(nVars, clauses, frozen)
+		lits, ends := flattenClauses(clauses)
+
+		for pat := 0; pat < 1<<nFrozen; pat++ {
+			assumps := make([]Lit, nFrozen)
+			for v := 0; v < nFrozen; v++ {
+				assumps[v] = MkLit(Var(v), pat>>uint(v)&1 == 1)
+			}
+			base := New()
+			base.EnsureVars(nVars)
+			var begin int32
+			for _, end := range ends {
+				base.AddClause(lits[begin:end]...)
+				begin = end
+			}
+			want := base.Solve(assumps...)
+
+			var got Status
+			var ps *Solver
+			if r.Unsat {
+				got = Unsat
+			} else {
+				ps = New()
+				if !loadPrepResult(ps, r) {
+					got = Unsat
+				} else {
+					got = ps.Solve(assumps...)
+				}
+			}
+			if got != want {
+				t.Fatalf("round %d pattern %b: prep verdict %v, plain %v",
+					round, pat, got, want)
+			}
+			if got == Sat {
+				m := fullModel(ps, nVars)
+				r.Rec.Extend(m)
+				checkBoolModel(t, m, clauses)
+				for v := 0; v < nFrozen; v++ {
+					if m[v] != (pat>>uint(v)&1 == 0) {
+						t.Fatalf("round %d pattern %b: assumption var %d flipped", round, pat, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPrepDeterminism pins the bit-for-bit reproducibility contract:
+// two passes over the same input produce identical output and
+// reconstruction stacks.
+func TestPrepDeterminism(t *testing.T) {
+	_, clauses := readDIMACSClauses(t, filepath.Join("testdata", "corpus", "rand3sat_50_260.cnf"))
+	a := prepOf(50, clauses, nil)
+	b := prepOf(50, clauses, nil)
+	if len(a.Lits) != len(b.Lits) || len(a.Ends) != len(b.Ends) {
+		t.Fatalf("shape mismatch: %d/%d lits, %d/%d ends",
+			len(a.Lits), len(b.Lits), len(a.Ends), len(b.Ends))
+	}
+	for i := range a.Lits {
+		if a.Lits[i] != b.Lits[i] {
+			t.Fatalf("lit %d differs", i)
+		}
+	}
+	for i := range a.Ends {
+		if a.Ends[i] != b.Ends[i] {
+			t.Fatalf("end %d differs", i)
+		}
+	}
+	if len(a.Rec.lits) != len(b.Rec.lits) || len(a.Rec.lens) != len(b.Rec.lens) {
+		t.Fatal("reconstruction stacks differ in shape")
+	}
+	for i := range a.Rec.lits {
+		if a.Rec.lits[i] != b.Rec.lits[i] {
+			t.Fatalf("reconstruction lit %d differs", i)
+		}
+	}
+}
+
+// TestPrepInputUnchanged pins that Preprocess never mutates the
+// caller's slices.
+func TestPrepInputUnchanged(t *testing.T) {
+	clauses := [][]int{{-3, 1}, {-3, 2}, {3, -1, -2}, {3, 4}, {-4, 1}, {1, 2, 3}}
+	lits, ends := flattenClauses(clauses)
+	litsCopy := append([]Lit(nil), lits...)
+	endsCopy := append([]int32(nil), ends...)
+	Preprocess(4, lits, ends, nil, DefaultPrepConfig())
+	for i := range lits {
+		if lits[i] != litsCopy[i] {
+			t.Fatalf("input lit %d mutated", i)
+		}
+	}
+	for i := range ends {
+		if ends[i] != endsCopy[i] {
+			t.Fatalf("input end %d mutated", i)
+		}
+	}
+}
+
+// TestPrepCorpusDifferential solves every corpus formula prep-on vs
+// prep-off: verdicts must match, and on SAT the reconstructed model
+// must satisfy the original clauses.
+func TestPrepCorpusDifferential(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.cnf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("empty corpus")
+	}
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			nVars, clauses := readDIMACSClauses(t, path)
+			plain := loadCorpusSolver(t, path, DefaultConfig(), false)
+			want := plain.Solve()
+			if want == Unknown {
+				t.Fatal("plain solver gave up without budget")
+			}
+			r := prepOf(nVars, clauses, nil)
+			var got Status
+			var ps *Solver
+			if r.Unsat {
+				got = Unsat
+			} else {
+				ps = New()
+				if !loadPrepResult(ps, r) {
+					got = Unsat
+				} else {
+					got = ps.Solve()
+				}
+			}
+			if got != want {
+				t.Fatalf("verdict mismatch: prep %v, plain %v", got, want)
+			}
+			if got == Sat && ps != nil {
+				m := fullModel(ps, nVars)
+				r.Rec.Extend(m)
+				checkBoolModel(t, m, clauses)
+			}
+			t.Logf("vars-elim=%d subsumed=%d strengthened=%d failed-lits=%d rounds=%d",
+				r.Stats.VarsEliminated, r.Stats.ClausesSubsumed,
+				r.Stats.LitsStrengthened, r.Stats.FailedLits, r.Stats.Rounds)
+		})
+	}
+}
+
+// TestStartProofPrepPanics pins the proof/prep exclusion at the sat
+// level: StartProof refuses on a solver configured with preprocessing.
+func TestStartProofPrepPanics(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Preprocess = DefaultPrepConfig()
+	s := NewWithConfig(cfg)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("StartProof did not panic with Preprocess enabled")
+		}
+	}()
+	s.StartProof()
+}
+
+// FuzzPrepReconstruction fuzzes the full prep pipeline: decode a CNF
+// from the input bytes, preprocess, solve both versions, require
+// verdict parity, and validate the reconstructed model against the
+// original clauses (cross-checked against brute force when small).
+func FuzzPrepReconstruction(f *testing.F) {
+	f.Add([]byte{3, 1, 2, 0, 3, 4, 0, 5, 6, 0})
+	f.Add([]byte{2, 1, 0, 2, 0, 3, 4, 0})
+	f.Add([]byte{4, 1, 2, 3, 0, 4, 5, 6, 0, 7, 8, 0, 2, 4, 0})
+	f.Add([]byte{1, 1, 0, 2, 0})
+	f.Add([]byte{5, 1, 3, 5, 0, 2, 4, 6, 0, 7, 9, 0, 8, 10, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		nVars := 1 + int(data[0])%10
+		var clauses [][]int
+		var cur []int
+		for _, b := range data[1:] {
+			code := int(b) % (2*nVars + 1)
+			if code == 0 {
+				if len(cur) > 0 {
+					clauses = append(clauses, cur)
+					cur = nil
+				}
+				continue
+			}
+			dl := (code + 1) / 2
+			if code%2 == 0 {
+				dl = -dl
+			}
+			cur = append(cur, dl)
+		}
+		if len(cur) > 0 {
+			clauses = append(clauses, cur)
+		}
+		if len(clauses) == 0 || len(clauses) > 64 {
+			return
+		}
+		lits, ends := flattenClauses(clauses)
+		base := New()
+		base.EnsureVars(nVars)
+		var begin int32
+		for _, end := range ends {
+			base.AddClause(lits[begin:end]...)
+			begin = end
+		}
+		want := base.Solve()
+
+		r := Preprocess(nVars, lits, ends, nil, DefaultPrepConfig())
+		var got Status
+		var ps *Solver
+		if r.Unsat {
+			got = Unsat
+		} else {
+			ps = New()
+			if !loadPrepResult(ps, r) {
+				got = Unsat
+			} else {
+				got = ps.Solve()
+			}
+		}
+		if got != want {
+			t.Fatalf("verdict mismatch: prep %v, plain %v (%v)", got, want, clauses)
+		}
+		if nVars <= 10 {
+			bf := liftStatus(bruteForceSAT(nVars, clauses))
+			if got != bf {
+				t.Fatalf("verdict %v disagrees with brute force %v (%v)", got, bf, clauses)
+			}
+		}
+		if got == Sat && ps != nil {
+			m := fullModel(ps, nVars)
+			r.Rec.Extend(m)
+			for _, cl := range clauses {
+				ok := false
+				for _, dl := range cl {
+					v := dl
+					if v < 0 {
+						v = -v
+					}
+					if m[v-1] == (dl > 0) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("reconstructed model violates clause %v (%v)", cl, clauses)
+				}
+			}
+		}
+	})
+}

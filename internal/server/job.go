@@ -84,6 +84,10 @@ type JobOptions struct {
 	// pool. 0 means 1 — the daemon keeps jobs serial by default so one
 	// job cannot monopolize the workers.
 	Parallelism int `json:"parallelism,omitempty"`
+	// Preprocess enables CNF preprocessing (BVE, subsumption,
+	// vivification) on the job's captured solves. Absent takes the
+	// server default (-prep); incompatible with patch "interp".
+	Preprocess *bool `json:"preprocess,omitempty"`
 }
 
 // Eco materializes the engine options, starting from DefaultOptions.
@@ -137,6 +141,12 @@ func (o JobOptions) Eco() (eco.Options, error) {
 	// The zero value is normalized to 1 by the worker (serial daemon
 	// default), then clamped to the CPU-slot pool.
 	opt.Parallelism = o.Parallelism
+	if o.Preprocess != nil {
+		opt.Preprocess = *o.Preprocess
+	}
+	if opt.Preprocess && opt.Patch == eco.PatchInterpolation {
+		return opt, fmt.Errorf("preprocess is incompatible with patch \"interp\" (proof logging needs the original clauses)")
+	}
 	return opt, nil
 }
 

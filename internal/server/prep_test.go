@@ -1,0 +1,107 @@
+package server
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"ecopatch/internal/eco"
+	"ecopatch/internal/sat"
+)
+
+// TestJobOptionsPreprocess pins the wire-level validation: explicit
+// preprocess composes with cube patches, is rejected with
+// interpolation patches (prep is incompatible with proof logging),
+// and absent means off at this layer (the server default applies
+// later, at admission).
+func TestJobOptionsPreprocess(t *testing.T) {
+	on := true
+	opt, err := JobOptions{Preprocess: &on}.Eco()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opt.Preprocess {
+		t.Fatal("explicit preprocess=true not applied")
+	}
+	if _, err := (JobOptions{Preprocess: &on, Patch: "interp"}).Eco(); err == nil {
+		t.Fatal("preprocess + interp accepted; want config error")
+	}
+	opt, err = JobOptions{}.Eco()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Preprocess {
+		t.Fatal("absent preprocess defaulted on at the options layer")
+	}
+}
+
+// TestServerDefaultPreprocess pins the -prep server default: jobs
+// that leave preprocess unset inherit it, interpolation jobs are
+// skipped (not rejected), and an explicit false wins over the
+// default.
+func TestServerDefaultPreprocess(t *testing.T) {
+	opts := make(chan eco.Options, 1)
+	s, c := newTestServer(t, Config{Workers: 1, QueueCap: 8, DefaultPreprocess: true})
+	s.solve = func(ctx context.Context, inst *eco.Instance, opt eco.Options) (*eco.Result, error) {
+		opts <- opt
+		res := &eco.Result{Feasible: true, Verified: true}
+		if opt.Preprocess {
+			res.Stats.Prep = sat.PrepStats{
+				VarsEliminated:   4,
+				ClausesSubsumed:  2,
+				LitsStrengthened: 1,
+				PrepTime:         time.Millisecond,
+			}
+		}
+		return res, nil
+	}
+	ctx := context.Background()
+
+	submit := func(jo JobOptions) eco.Options {
+		t.Helper()
+		req := testRequest()
+		req.Options = jo
+		st, err := c.Submit(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Wait(ctx, st.ID, 2*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case opt := <-opts:
+			return opt
+		case <-time.After(5 * time.Second):
+			t.Fatal("solve never ran")
+			return eco.Options{}
+		}
+	}
+
+	if opt := submit(JobOptions{}); !opt.Preprocess {
+		t.Fatal("unset preprocess did not inherit the server default")
+	}
+	if opt := submit(JobOptions{Patch: "interp"}); opt.Preprocess {
+		t.Fatal("server default applied to an interpolation job")
+	}
+	off := false
+	if opt := submit(JobOptions{Preprocess: &off}); opt.Preprocess {
+		t.Fatal("explicit preprocess=false overridden by the server default")
+	}
+
+	// The prep counters of finished jobs must surface in /metrics
+	// (only the first submit above ran with prep on).
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"ecod_sat_prep_vars_eliminated_total 4",
+		"ecod_sat_prep_clauses_subsumed_total 2",
+		"ecod_sat_prep_lits_strengthened_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

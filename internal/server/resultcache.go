@@ -54,6 +54,7 @@ func requestDigest(req *JobRequest, opt eco.Options) string {
 	wi(int64(opt.MaxQuantExpand))
 	wi(int64(opt.Timeout / time.Nanosecond))
 	wi(int64(opt.Parallelism))
+	wb(opt.Preprocess)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

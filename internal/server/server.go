@@ -49,6 +49,12 @@ type Config struct {
 	// ResultsDir, when set, persists every finished job's result as
 	// <dir>/<id>.json, written atomically.
 	ResultsDir string
+	// DefaultPreprocess enables CNF preprocessing for jobs that leave
+	// "preprocess" unset (ecod serve -prep). The default is skipped,
+	// not errored, for interpolation-patch jobs: preprocessing is
+	// incompatible with proof logging, and a server-wide default must
+	// not reject jobs that never asked for it.
+	DefaultPreprocess bool
 	// CacheEntries, when > 0, enables the daemon's two caches: the
 	// content-addressed result cache (completed results served
 	// instantly to identical submissions, in-flight duplicates
@@ -244,6 +250,10 @@ func (s *Server) jobFinished(j *Job, status JobStatus) {
 		stats.CacheHits = status.Result.CacheHits
 		stats.CacheMisses = status.Result.CacheMisses
 		stats.CacheCollisions = status.Result.CacheCollisions
+		stats.Prep.VarsEliminated = status.Result.PrepVarsEliminated
+		stats.Prep.ClausesSubsumed = status.Result.PrepClausesSubsumed
+		stats.Prep.LitsStrengthened = status.Result.PrepLitsStrengthened
+		stats.Prep.PrepTime = time.Duration(status.Result.PrepSeconds * float64(time.Second))
 	}
 	s.metrics.Finished(status.State, solve, stats)
 	s.cfg.Log.Printf("job %s (%s) -> %s", j.ID, j.Name, status.State)
@@ -389,6 +399,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if opt.Timeout == 0 {
 		opt.Timeout = s.cfg.DefaultTimeout
+	}
+	if req.Options.Preprocess == nil && s.cfg.DefaultPreprocess && opt.Patch != eco.PatchInterpolation {
+		opt.Preprocess = true
 	}
 	if s.cfg.MaxTimeout > 0 && (opt.Timeout == 0 || opt.Timeout > s.cfg.MaxTimeout) {
 		opt.Timeout = s.cfg.MaxTimeout

@@ -12,7 +12,9 @@
 # Also records the Table-1 sweep at intra-solve parallelism 1 and 4
 # (BENCH_table1_p1.json / BENCH_table1_p4.json, additive fields on
 # ecobench/table1@v1) so the serial/parallel wall-clock ratio is
-# tracked alongside the microbenchmarks.
+# tracked alongside the microbenchmarks, plus a preprocessing run
+# (BENCH_table1_prep.json) whose cells carry the prep_* counters for
+# before/after comparison against the p1 baseline.
 #
 # Run from the repository root. Non-gating: failures here never block
 # verify.sh.
@@ -71,4 +73,6 @@ go run ./cmd/ecobench -mode table1 -p 1 -timeout "$T1_TIMEOUT" \
 	-json BENCH_table1_p1.json >/dev/null
 go run ./cmd/ecobench -mode table1 -p 4 -timeout "$T1_TIMEOUT" \
 	-json BENCH_table1_p4.json >/dev/null
-echo "wrote BENCH_table1_p1.json and BENCH_table1_p4.json"
+go run ./cmd/ecobench -mode table1 -p 1 -prep -timeout "$T1_TIMEOUT" \
+	-json BENCH_table1_prep.json >/dev/null
+echo "wrote BENCH_table1_p1.json, BENCH_table1_p4.json and BENCH_table1_prep.json"

@@ -25,10 +25,21 @@ go test -race -short -count=1 ./internal/cache
 go test -race -count=1 -run 'Cache|Dedup|Retry|Warm' \
 	./internal/eco ./internal/server ./internal/bench
 
+# Focused race pass over the CNF preprocessing layer: BVE + model
+# reconstruction, subsumption/strengthening, vivification, and the
+# prep-on differentials through the engine and the equivalence
+# checker.
+go test -race -count=1 -run 'Prep|Reconstruct|Vivif|Subsum|Elim' \
+	./internal/sat ./internal/cnf ./internal/eco ./internal/cec
+
 # Optional, non-gating: microbenchmark sweep (scripts/bench.sh writes
-# BENCH_sat.txt / BENCH_sat.json). Enable with BENCH=1.
+# BENCH_sat.txt / BENCH_sat.json) and a short fuzz smoke over the
+# preprocessing model-reconstruction stack. Enable with BENCH=1.
 if [ "${BENCH:-0}" = "1" ]; then
 	./scripts/bench.sh || echo "bench.sh failed (non-gating)"
+	go test -run FuzzPrepReconstruction -fuzz FuzzPrepReconstruction \
+		-fuzztime=10s ./internal/sat \
+		|| echo "prep fuzz smoke failed (non-gating)"
 fi
 
 # Optional, gating when enabled: end-to-end ecod daemon smoke test
