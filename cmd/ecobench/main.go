@@ -17,8 +17,8 @@
 //
 //	ecobench [-mode table1|copies|mincalls|patchcmp] [-scale N]
 //	         [-unit unitK] [-modes baseline,minassume,exact]
-//	         [-j N] [-p N] [-timeout 30s] [-cache N] [-warm] [-prep]
-//	         [-json report.json]
+//	         [-j N] [-p N] [-timeout 30s] [-cache N] [-cache-file f] [-warm]
+//	         [-prep] [-json report.json]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
@@ -34,6 +34,7 @@ import (
 
 	"ecopatch/internal/atomicio"
 	"ecopatch/internal/bench"
+	"ecopatch/internal/cache"
 )
 
 func main() {
@@ -52,6 +53,7 @@ func realMain() int {
 		par        = flag.Int("p", 1, "intra-solve parallelism per cell (SAT portfolio + sharded verification); 1 = serial deterministic engine")
 		timeout    = flag.Duration("timeout", 0, "per-(unit,mode) deadline for table1 cells (0 = none)")
 		cacheEnt   = flag.Int("cache", 0, "attach a shared solve/window cache of N entries to the table1 sweep (0 = off)")
+		cacheFile  = flag.String("cache-file", "", "persist the solve cache to this file: load it before the table1 sweep, save it after (implies -cache when unset)")
 		warm       = flag.Bool("warm", false, "run table1 twice against one cache (cold then warm) and report the speedup")
 		prep       = flag.Bool("prep", false, "enable CNF preprocessing (BVE, subsumption, vivification) on every captured solve")
 		jsonPath   = flag.String("json", "", "also write the table1 report as JSON to this file")
@@ -101,7 +103,7 @@ func realMain() int {
 				run   func() error
 			}{
 				{"Table 1", func() error {
-					return runTable1(*scale, *unit, modes, *jobs, *par, *timeout, *cacheEnt, *warm, *prep, *jsonPath)
+					return runTable1(*scale, *unit, modes, *jobs, *par, *timeout, *cacheEnt, *cacheFile, *warm, *prep, *jsonPath)
 				}},
 				{"E5: minimize_assumptions SAT calls (§3.4.1)", func() error { return bench.RunMinCalls(os.Stdout) }},
 				{"E6: miter copies for structural multi-target (§3.6.2)", func() error { return bench.RunCopies(*scale, os.Stdout) }},
@@ -114,7 +116,7 @@ func realMain() int {
 				fmt.Println()
 			}
 		case "table1":
-			err = runTable1(*scale, *unit, modes, *jobs, *par, *timeout, *cacheEnt, *warm, *prep, *jsonPath)
+			err = runTable1(*scale, *unit, modes, *jobs, *par, *timeout, *cacheEnt, *cacheFile, *warm, *prep, *jsonPath)
 		case "copies":
 			err = bench.RunCopies(*scale, os.Stdout)
 		case "mincalls":
@@ -159,13 +161,27 @@ func parseModes(s string) ([]string, error) {
 	return modes, nil
 }
 
-func runTable1(scale int, unit string, modes []string, jobs, par int, timeout time.Duration, cacheEnt int, warm, prep bool, jsonPath string) error {
+func runTable1(scale int, unit string, modes []string, jobs, par int, timeout time.Duration, cacheEnt int, cacheFile string, warm, prep bool, jsonPath string) error {
 	opts := bench.RunOptions{
 		Scale: scale, Modes: modes, Jobs: jobs, Timeout: timeout,
 		Parallelism: par, CacheEntries: cacheEnt, Preprocess: prep,
 	}
 	if unit != "" {
 		opts.Units = []string{unit}
+	}
+	if cacheFile != "" {
+		// Persistent cache: build the shared cache here so it can be
+		// warmed from disk before the sweep and snapshotted after.
+		if opts.CacheEntries <= 0 {
+			opts.CacheEntries = 4096
+		}
+		opts.Cache = cache.New(opts.CacheEntries)
+		restored, skipped, err := bench.LoadCacheFile(cacheFile, opts.Cache)
+		if err != nil {
+			return fmt.Errorf("-cache-file load: %w", err)
+		}
+		fmt.Printf("cache-file: restored %d entries from %s (%d skipped)\n",
+			restored, cacheFile, skipped)
 	}
 	var rep bench.JSONReport
 	if warm {
@@ -180,6 +196,13 @@ func runTable1(scale int, unit string, modes []string, jobs, par int, timeout ti
 			return err
 		}
 		rep = bench.NewJSONReport(opts, modes, rows)
+	}
+	if cacheFile != "" {
+		saved, err := bench.SaveCacheFile(cacheFile, opts.Cache)
+		if err != nil {
+			return fmt.Errorf("-cache-file save: %w", err)
+		}
+		fmt.Printf("cache-file: saved %d entries to %s\n", saved, cacheFile)
 	}
 	if jsonPath == "" {
 		return nil

@@ -4,8 +4,8 @@
 //
 //	ecod serve [-addr :8080] [-workers N] [-cpu-slots N] [-queue N]
 //	           [-max-jobs N] [-default-timeout 0] [-max-timeout 0]
-//	           [-results-dir DIR] [-drain-grace 10s] [-cache-entries 256]
-//	           [-prep]
+//	           [-results-dir DIR] [-data-dir DIR] [-drain-grace 10s]
+//	           [-cache-entries 256] [-prep]
 //
 // The daemon exposes POST /v1/jobs, GET /v1/jobs[/{id}],
 // DELETE /v1/jobs/{id}, /healthz and /metrics; SIGTERM/SIGINT drain
@@ -21,7 +21,7 @@
 //	ecod status  -server URL ID
 //	ecod wait    -server URL ID [-poll 200ms] [-o patch.v]
 //	ecod cancel  -server URL ID
-//	ecod list    -server URL
+//	ecod list    -server URL [-state STATE] [-limit N]
 //	ecod metrics -server URL
 package main
 
@@ -100,6 +100,7 @@ func cmdServe(args []string) error {
 		defTimeout = fs.Duration("default-timeout", 0, "deadline for jobs that set none (0 = unbounded)")
 		maxTimeout = fs.Duration("max-timeout", 0, "clamp on per-job deadlines (0 = no clamp)")
 		resultsDir = fs.String("results-dir", "", "persist finished job results as <dir>/<id>.json")
+		dataDir    = fs.String("data-dir", "", "crash-safe persistence: replay solve cache and job history from this directory on boot")
 		grace      = fs.Duration("drain-grace", 10*time.Second, "time in-flight solves get to finish on SIGTERM before interruption")
 		cacheEnt   = fs.Int("cache-entries", 256, "content-addressed result cache + shared solve cache size (0 disables)")
 		prep       = fs.Bool("prep", false, "enable CNF preprocessing for jobs that do not set it (skipped for interp-patch jobs)")
@@ -112,7 +113,7 @@ func cmdServe(args []string) error {
 			return err
 		}
 	}
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		Workers:           *workers,
 		CPUSlots:          *cpuSlots,
 		QueueCap:          *queueCap,
@@ -120,10 +121,14 @@ func cmdServe(args []string) error {
 		DefaultTimeout:    *defTimeout,
 		MaxTimeout:        *maxTimeout,
 		ResultsDir:        *resultsDir,
+		DataDir:           *dataDir,
 		CacheEntries:      *cacheEnt,
 		DefaultPreprocess: *prep,
 		Log:               logger,
 	})
+	if err != nil {
+		return err
+	}
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
@@ -328,9 +333,11 @@ func cmdJobOp(op string, args []string) error {
 func cmdList(args []string) error {
 	fs := flag.NewFlagSet("ecod list", flag.ExitOnError)
 	base := clientFlags(fs)
+	state := fs.String("state", "", "keep only jobs in this state (queued, running, done, failed, cancelled, timeout)")
+	limit := fs.Int("limit", 0, "keep only the most recently submitted N jobs (0 = all)")
 	fs.Parse(args)
 	c := &server.Client{Base: *base}
-	jobs, err := c.List(context.Background())
+	jobs, err := c.List(context.Background(), *state, *limit)
 	if err != nil {
 		return err
 	}

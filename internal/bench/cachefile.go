@@ -1,0 +1,25 @@
+package bench
+
+import (
+	"ecopatch/internal/cache"
+	"ecopatch/internal/persist"
+)
+
+// LoadCacheFile warms c's solve cache from a snapshot file written by
+// SaveCacheFile (ecobench -cache-file). A missing file is not an
+// error — the run simply starts cold. It returns how many entries
+// were restored and how many records were skipped (corrupt frames or
+// entries evicted by the cache bound); every restored entry is
+// re-screened word for word on lookup, so a stale or foreign file can
+// slow a run down but never change its verdicts.
+func LoadCacheFile(path string, c *cache.Cache) (restored, skipped int, err error) {
+	return persist.LoadSolveCacheFile(path, c.Solve)
+}
+
+// SaveCacheFile atomically snapshots c's solve cache to path so the
+// next ecobench run can start warm. The window cache is not saved:
+// its values are in-memory AIG cones with no stable encoding, and
+// they rebuild cheaply from the warmed solve results.
+func SaveCacheFile(path string, c *cache.Cache) (int, error) {
+	return persist.SaveSolveCacheFile(path, c.Solve)
+}

@@ -1,0 +1,84 @@
+package eco
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ecopatch/internal/cache"
+	"ecopatch/internal/persist"
+)
+
+// TestPersistedCacheDeterminism extends the cache determinism
+// contract across a disk round trip: at Parallelism=1 a run served
+// from a persisted cache (save -> load into a fresh cache) must be
+// bit-for-bit identical to both the in-memory warm run and the
+// uncached cold reference. A disk detour may change wall clock only —
+// never verdicts, costs, or netlists.
+func TestPersistedCacheDeterminism(t *testing.T) {
+	for name, tc := range parallelCases(t) {
+		t.Run(name, func(t *testing.T) {
+			base := tc.opt
+			base.Parallelism = 1
+
+			// Cold reference: no cache at all.
+			ref, err := Solve(tc.inst, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := snapshotResult(ref)
+
+			// Populate an in-memory cache and confirm the warm run
+			// matches before anything touches disk.
+			warm := cache.New(1024)
+			opt := base
+			opt.Cache = warm
+			if _, err := Solve(tc.inst, opt); err != nil {
+				t.Fatal(err)
+			}
+			res, err := Solve(tc.inst, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := snapshotResult(res); got != want {
+				t.Fatalf("in-memory warm run diverged:\nwant:\n%s\ngot:\n%s", want, got)
+			}
+			if res.Stats.CacheHits == 0 {
+				t.Fatal("in-memory warm run recorded no cache hits")
+			}
+
+			// Round-trip the solve cache through a file into a fresh
+			// cache, as ecobench -cache-file does between processes.
+			// Some cases exercise only the window cache (which is
+			// deliberately not persisted) — for those the file round
+			// trip is empty but determinism must still hold.
+			path := filepath.Join(t.TempDir(), "solve.cache")
+			saved, err := persist.SaveSolveCacheFile(path, warm.Solve)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if saved != warm.Solve.Stats().Entries {
+				t.Fatalf("saved %d entries, cache holds %d", saved, warm.Solve.Stats().Entries)
+			}
+			fresh := cache.New(1024)
+			restored, skipped, err := persist.LoadSolveCacheFile(path, fresh.Solve)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if restored != saved || skipped != 0 {
+				t.Fatalf("restored %d/%d entries (%d skipped)", restored, saved, skipped)
+			}
+
+			opt.Cache = fresh
+			res, err = Solve(tc.inst, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := snapshotResult(res); got != want {
+				t.Fatalf("persisted-cache run diverged from cold reference:\nwant:\n%s\ngot:\n%s", want, got)
+			}
+			if restored > 0 && res.Stats.CacheHits == 0 {
+				t.Fatal("persisted-cache run recorded no solve cache hits")
+			}
+		})
+	}
+}

@@ -1,0 +1,127 @@
+package persist
+
+import (
+	"bytes"
+	"testing"
+
+	"ecopatch/internal/cache"
+	"ecopatch/internal/cnf"
+	"ecopatch/internal/sat"
+)
+
+// FuzzPersistDecode feeds arbitrary bytes through the full recovery
+// path — ScanRecords framing plus DecodeSolve on every CRC-valid
+// solve record — and asserts the invariants a crashed daemon relies
+// on: recovery never panics, never errors on a prefix of a valid log,
+// and never replays a structurally invalid solve entry.
+func FuzzPersistDecode(f *testing.F) {
+	// Seed 1: a valid two-record log (one Sat solve, one job record).
+	ff := mkFuzzFormula()
+	solve := EncodeSolve(ff, []sat.Lit{sat.MkLit(0, true)},
+		cache.Verdict{Status: sat.Sat, Model: []bool{true, false, true}})
+	var valid []byte
+	valid = frame(valid[:0], RecSolve, solve)
+	job := frame(nil, RecJob, []byte(`{"id":"j1","state":"done"}`))
+	valid = append(append([]byte(nil), valid...), job...)
+	f.Add(valid)
+
+	// Seed 2: truncations at interesting boundaries.
+	for _, cut := range []int{0, 1, 3, 4, 7, 8, 9, len(valid) / 2, len(valid) - 1} {
+		if cut <= len(valid) {
+			f.Add(append([]byte(nil), valid[:cut]...))
+		}
+	}
+	// Seed 3: bit flips in header, CRC, and body regions.
+	for _, i := range []int{0, 2, 4, 6, 8, 12, len(valid) - 2} {
+		mut := append([]byte(nil), valid...)
+		mut[i] ^= 0x80
+		f.Add(mut)
+	}
+	// Seed 4: a frame whose declared length is huge.
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 1})
+	// Seed 5: an Unsat solve record and an empty payload.
+	unsat := EncodeSolve(ff, nil, cache.Verdict{Status: sat.Unsat})
+	f.Add(frame(nil, RecSolve, unsat))
+	f.Add(frame(nil, RecSolve, nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, validOff, torn, err := ScanRecords(bytes.NewReader(data), func(typ RecordType, payload []byte) {
+			if typ != RecSolve {
+				return
+			}
+			fr, assumps, v, derr := DecodeSolve(payload)
+			if derr != nil {
+				return // skipped, never replayed
+			}
+			// Anything that decodes must satisfy every invariant the
+			// cache assumes of an inserted entry.
+			nVars, lits, ends := fr.Raw()
+			if len(ends) > 0 && int(ends[len(ends)-1]) != len(lits) {
+				t.Fatalf("decoded formula with inconsistent ends")
+			}
+			prev := int32(0)
+			for _, e := range ends {
+				if e < prev {
+					t.Fatalf("decoded formula with non-monotone ends")
+				}
+				prev = e
+			}
+			for _, l := range lits {
+				if int(l.Var()) >= nVars {
+					t.Fatalf("decoded literal out of range")
+				}
+			}
+			for _, a := range assumps {
+				if int(a.Var()) >= nVars {
+					t.Fatalf("decoded assumption out of range")
+				}
+			}
+			switch v.Status {
+			case sat.Sat:
+				if len(v.Model) < nVars {
+					t.Fatalf("decoded Sat verdict with short model")
+				}
+			case sat.Unsat:
+				if v.Model != nil {
+					t.Fatalf("decoded Unsat verdict carrying a model")
+				}
+			default:
+				t.Fatalf("decoded verdict with status %v", v.Status)
+			}
+			// Round-trip: re-encoding an accepted entry must be stable.
+			re := EncodeSolve(fr, assumps, v)
+			fr2, a2, v2, err2 := DecodeSolve(re)
+			if err2 != nil {
+				t.Fatalf("re-encode of accepted entry fails decode: %v", err2)
+			}
+			if !fr2.Equal(fr) || len(a2) != len(assumps) || v2.Status != v.Status {
+				t.Fatalf("re-encode round-trip drifted")
+			}
+		})
+		if err != nil {
+			t.Fatalf("ScanRecords returned error on arbitrary bytes: %v", err)
+		}
+		// validOff is the truncation point recovery would keep: it must
+		// lie within the input and cover at least the minimum frame size
+		// (8-byte header + 1 type byte) per intact record.
+		if validOff > int64(len(data)) {
+			t.Fatalf("valid offset %d beyond input length %d", validOff, len(data))
+		}
+		if validOff < n*(headerBytes+1) {
+			t.Fatalf("valid offset %d too small for %d records", validOff, n)
+		}
+		if torn && len(data) == 0 {
+			t.Fatalf("empty input reported a torn tail")
+		}
+	})
+}
+
+func mkFuzzFormula() *cnf.Formula {
+	f := &cnf.Formula{}
+	for i := 0; i < 3; i++ {
+		f.NewVar()
+	}
+	f.AddClause(sat.MkLit(0, false), sat.MkLit(1, true))
+	f.AddClause(sat.MkLit(2, false))
+	return f
+}

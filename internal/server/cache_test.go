@@ -200,7 +200,7 @@ func TestShedJobNotVisibleOrDoubleCounted(t *testing.T) {
 	if !IsShed(err) {
 		t.Fatalf("expected shed, got %v", err)
 	}
-	if jobs, err := c.List(ctx); err != nil || len(jobs) != 2 {
+	if jobs, err := c.List(ctx, "", 0); err != nil || len(jobs) != 2 {
 		t.Fatalf("list after shed: %v, %d jobs (want 2)", err, len(jobs))
 	}
 

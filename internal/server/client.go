@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -181,12 +182,25 @@ func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
 	return st, err
 }
 
-// List fetches every retained job (summaries, no results).
-func (c *Client) List(ctx context.Context) ([]JobStatus, error) {
+// List fetches retained jobs (summaries, no results). A non-empty
+// state keeps only jobs in that state; limit > 0 keeps only the most
+// recently submitted limit jobs. Zero values fetch everything.
+func (c *Client) List(ctx context.Context, state string, limit int) ([]JobStatus, error) {
+	q := url.Values{}
+	if state != "" {
+		q.Set("state", state)
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	path := "/v1/jobs"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
 	var out struct {
 		Jobs []JobStatus `json:"jobs"`
 	}
-	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	err := c.do(ctx, http.MethodGet, path, nil, &out)
 	return out.Jobs, err
 }
 

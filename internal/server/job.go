@@ -199,6 +199,10 @@ type JobStatus struct {
 	// this job's result, when the submission was deduplicated by the
 	// daemon's content-addressed result cache.
 	DedupOf string `json:"dedup_of,omitempty"`
+	// Recovered marks a job restored from the persistence log after a
+	// daemon crash while it was queued or running: its solve died with
+	// the process, so it reports failed with a "recovered" error.
+	Recovered bool `json:"recovered,omitempty"`
 }
 
 // JobResult is the outcome of a finished solve. It embeds the

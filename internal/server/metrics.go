@@ -3,12 +3,15 @@ package server
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
 
 	cachepkg "ecopatch/internal/cache"
 	"ecopatch/internal/eco"
+	"ecopatch/internal/persist"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the solve-latency
@@ -155,6 +158,38 @@ type gaugeSnapshot struct {
 	cacheEntries     int // completed results retained for dedup
 	solveCacheStats  cachepkg.Stats
 	windowCacheStats cachepkg.Stats
+
+	// Persistence-log counters (persistEnabled false without -data-dir)
+	// and process uptime.
+	persistEnabled bool
+	persist        persist.Stats
+	uptimeSec      float64
+}
+
+// buildInfo caches the ecod_build_info line: go version plus the main
+// module's version and VCS revision when the binary carries them.
+var buildInfo struct {
+	once sync.Once
+	line string
+}
+
+func buildInfoLine() string {
+	buildInfo.once.Do(func() {
+		version, revision := "unknown", "unknown"
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			if bi.Main.Version != "" {
+				version = bi.Main.Version
+			}
+			for _, s := range bi.Settings {
+				if s.Key == "vcs.revision" {
+					revision = s.Value
+				}
+			}
+		}
+		buildInfo.line = fmt.Sprintf("ecod_build_info{go_version=%q,version=%q,revision=%q} 1\n",
+			runtime.Version(), version, revision)
+	})
+	return buildInfo.line
 }
 
 // WritePrometheus renders the Prometheus text exposition format
@@ -206,6 +241,22 @@ func (m *Metrics) WritePrometheus(w io.Writer, g gaugeSnapshot) {
 		draining = 1
 	}
 	gauge("ecod_draining", "1 while the daemon is draining (no new admissions).", draining)
+
+	fmt.Fprintf(w, "# HELP ecod_uptime_seconds Seconds since the daemon started.\n# TYPE ecod_uptime_seconds gauge\necod_uptime_seconds %g\n", g.uptimeSec)
+	fmt.Fprintf(w, "# HELP ecod_build_info Build metadata as labels, value fixed at 1.\n# TYPE ecod_build_info gauge\n%s", buildInfoLine())
+
+	if g.persistEnabled {
+		p := g.persist
+		counter("ecod_persist_records_total", "Records appended to the persistence log since boot.", p.Records)
+		counter("ecod_persist_bytes_total", "Bytes appended to the persistence log since boot.", p.Bytes)
+		counter("ecod_persist_replayed_total", "Records replayed from the persistence log at boot.", p.Replayed)
+		counter("ecod_persist_torn_tail_total", "Torn or corrupt log tails dropped by recovery scans.", p.TornTail)
+		counter("ecod_persist_compactions_total", "Completed persistence-log compactions.", p.Compactions)
+		counter("ecod_persist_fsync_batches_total", "Group-commit fsync batches issued by the persistence log.", p.FsyncBatches)
+		gauge("ecod_persist_live_records", "On-disk records still live (not superseded or evicted).", p.Live)
+		gauge("ecod_persist_garbage_records", "On-disk records known dead, feeding the compaction trigger.", p.Garbage)
+		gauge("ecod_persist_segments", "Segment files in the data directory.", int64(p.Segments))
+	}
 
 	if g.cacheEnabled {
 		gauge("ecod_cache_entries", "Completed results retained by the dedup cache.", int64(g.cacheEntries))

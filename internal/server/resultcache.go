@@ -168,6 +168,27 @@ func (rc *resultCache) complete(digest, jobID string, cacheable bool, res *JobRe
 	return fl.waiters
 }
 
+// restore warms the done cache with a completed result replayed from
+// the persistence log (skipping digests already present — replay is
+// first-wins, matching the live path's "first insertion wins"). FIFO
+// bound applies as on the live path.
+func (rc *resultCache) restore(digest, jobID string, res *JobResult) {
+	if digest == "" || res == nil {
+		return
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if _, ok := rc.done[digest]; ok {
+		return
+	}
+	rc.done[digest] = &doneEntry{res: res, jobID: jobID}
+	rc.order = append(rc.order, digest)
+	for len(rc.order) > rc.max {
+		delete(rc.done, rc.order[0])
+		rc.order = rc.order[1:]
+	}
+}
+
 // entries reports the completed-result count, for the metrics gauge.
 func (rc *resultCache) entries() int {
 	rc.mu.Lock()

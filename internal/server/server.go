@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,6 +56,13 @@ type Config struct {
 	// incompatible with proof logging, and a server-wide default must
 	// not reject jobs that never asked for it.
 	DefaultPreprocess bool
+	// DataDir, when set, enables crash-safe persistence: solve-cache
+	// entries and job transitions are appended to a segment log in this
+	// directory and replayed on the next boot — finished jobs stay
+	// listable with their results, identical re-submissions hit the
+	// warmed result cache, and jobs that were queued or running at the
+	// crash come back as failed with Recovered set.
+	DataDir string
 	// CacheEntries, when > 0, enables the daemon's two caches: the
 	// content-addressed result cache (completed results served
 	// instantly to identical submissions, in-flight duplicates
@@ -102,6 +110,11 @@ type Server struct {
 	rcache   *resultCache
 	ecoCache *cache.Cache
 
+	// persist is the on-disk durability layer (nil without DataDir);
+	// start stamps boot time for the uptime gauge.
+	persist *persistence
+	start   time.Time
+
 	queue    chan *Job
 	quit     chan struct{}
 	drained  chan struct{}
@@ -114,8 +127,10 @@ type Server struct {
 	solve func(ctx context.Context, inst *eco.Instance, opt eco.Options) (*eco.Result, error)
 }
 
-// New builds a server and starts its worker pool.
-func New(cfg Config) *Server {
+// New builds a server and starts its worker pool. With Config.DataDir
+// set it also opens the persistence log and replays it — the only way
+// New can fail.
+func New(cfg Config) (*Server, error) {
 	cfg.fill()
 	s := &Server{
 		cfg:     cfg,
@@ -126,17 +141,27 @@ func New(cfg Config) *Server {
 		quit:    make(chan struct{}),
 		drained: make(chan struct{}),
 		solve:   eco.SolveContext,
+		start:   time.Now(),
 	}
 	if cfg.CacheEntries > 0 {
 		s.rcache = newResultCache(cfg.CacheEntries)
 		s.ecoCache = cache.New(cfg.CacheEntries)
 	}
 	s.store.onFinish = s.jobFinished
+	if cfg.DataDir != "" {
+		// Replay happens here, before any worker or handler exists, so
+		// the stores are warmed without racing live traffic.
+		p, err := openPersistence(s, cfg.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		s.persist = p
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
 // Metrics exposes the metrics set (for embedding hosts).
@@ -193,6 +218,7 @@ func (s *Server) runJob(j *Job) {
 	if !s.store.Start(j, cancel) {
 		return // cancelled while queued
 	}
+	s.persistJob(j, false)
 	s.metrics.QueueWait(time.Since(j.queuedAt))
 	s.running.Add(1)
 	defer s.running.Add(-1)
@@ -211,6 +237,26 @@ func (s *Server) runJob(j *Job) {
 	default:
 		s.store.Finish(j, StateDone, "", resultFromEco(res))
 	}
+}
+
+// persistJob appends the job's current status to the persistence log
+// (no-op without DataDir). Non-terminal snapshots ride the async path.
+func (s *Server) persistJob(j *Job, durable bool) {
+	if s.persist == nil {
+		return
+	}
+	status, ok := s.store.Get(j.ID)
+	if !ok {
+		// Not registered yet (worker outran the submit goroutine):
+		// snapshot through the job's own fields under the store lock.
+		status = func() JobStatus {
+			s.store.mu.Lock()
+			defer s.store.mu.Unlock()
+			return j.statusLocked()
+		}()
+	}
+	status.Result = nil // terminal records carry results via jobFinished
+	s.persist.saveJob(j, status, durable)
 }
 
 // jobFinished is the store's terminal-transition hook: metrics and
@@ -257,6 +303,12 @@ func (s *Server) jobFinished(j *Job, status JobStatus) {
 	}
 	s.metrics.Finished(status.State, solve, stats)
 	s.cfg.Log.Printf("job %s (%s) -> %s", j.ID, j.Name, status.State)
+
+	// Terminal records are durable (group-commit fsync): a finished
+	// job — result included — must survive kill -9.
+	if s.persist != nil {
+		s.persist.saveJob(j, status, true)
+	}
 
 	// Resolve result-cache bookkeeping: cache the completed result and
 	// finish every duplicate submission that attached while this job
@@ -327,6 +379,14 @@ sweep:
 		case j := <-s.queue:
 			s.store.Finish(j, StateCancelled, "server draining", nil)
 		default:
+			// Every Finish has run by now, so the log holds the final
+			// state of every job; seal it before declaring the drain
+			// done. A kill -9 skips this — that is what recovery is for.
+			if s.persist != nil {
+				if err := s.persist.lg.Close(); err != nil {
+					s.cfg.Log.Printf("persist: close: %v", err)
+				}
+			}
 			close(s.drained)
 			s.cfg.Log.Printf("drain complete")
 			return
@@ -425,6 +485,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			s.metrics.CacheAttached()
 			s.metrics.Submitted()
 			s.store.Register(j)
+			s.persistJob(j, false)
 			s.respondSubmitted(w, j)
 			return
 		}
@@ -453,6 +514,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.rcache != nil && j.digest != "" {
 		s.rcache.markInflight(j.digest, j)
 	}
+	s.persistJob(j, false)
 	s.respondSubmitted(w, j)
 }
 
@@ -473,9 +535,34 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var state State
+	if v := q.Get("state"); v != "" {
+		state = State(v)
+		valid := false
+		for _, known := range States {
+			if state == known {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown state %q", v))
+			return
+		}
+	}
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid limit %q", v))
+			return
+		}
+		limit = n
+	}
 	writeJSON(w, http.StatusOK, struct {
 		Jobs []JobStatus `json:"jobs"`
-	}{Jobs: s.store.List()})
+	}{Jobs: s.store.List(state, limit)})
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
@@ -518,6 +605,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		g.cacheEntries = s.rcache.entries()
 		g.solveCacheStats = s.ecoCache.Solve.Stats()
 		g.windowCacheStats = s.ecoCache.Window.Stats()
+	}
+	g.uptimeSec = time.Since(s.start).Seconds()
+	if s.persist != nil {
+		g.persistEnabled = true
+		g.persist = s.persist.lg.Stats()
 	}
 	s.metrics.WritePrometheus(w, g)
 }

@@ -39,7 +39,10 @@ func testRequest() JobRequest {
 // a client. Cleanup drains with no grace so tests never leak workers.
 func newTestServer(t *testing.T, cfg Config) (*Server, *Client) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	hs := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		s.Drain(0)
@@ -163,7 +166,7 @@ func TestQueueFullSheds429(t *testing.T) {
 		t.Fatalf("want Retry-After on shed, got %+v", ae)
 	}
 	// The shed job must not linger in the store.
-	if jobs, err := c.List(ctx); err != nil || len(jobs) != 2 {
+	if jobs, err := c.List(ctx, "", 0); err != nil || len(jobs) != 2 {
 		t.Fatalf("list = %v jobs, err %v; want 2", len(jobs), err)
 	}
 

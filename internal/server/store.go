@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ecopatch/internal/eco"
@@ -43,6 +44,15 @@ type Job struct {
 	// dedupOf is the ID of the in-flight or completed job whose
 	// result this job shares (content-addressed dedup).
 	dedupOf string
+
+	// recovered marks a job restored from the persistence log that was
+	// queued or running when the daemon died: its solve context died
+	// with the process, so it is restored as failed.
+	recovered bool
+	// persistCount counts this job's on-disk records (atomic: the
+	// submit goroutine and the worker both append); every record past
+	// the first supersedes the previous one as log garbage.
+	persistCount atomic.Int32
 }
 
 // Store is the in-memory job index. It retains at most maxJobs
@@ -58,6 +68,10 @@ type Store struct {
 	// onFinish observes every terminal transition (metrics, result
 	// files). Called without the store lock held.
 	onFinish func(*Job, JobStatus)
+	// onEvict observes capacity evictions (n jobs dropped), called
+	// without the store lock held. The persist layer hooks it for
+	// garbage accounting.
+	onEvict func(n int)
 }
 
 // NewStore builds a store retaining up to maxJobs entries
@@ -105,8 +119,55 @@ func (st *Store) Register(j *Job) {
 	st.mu.Lock()
 	st.jobs[j.ID] = j
 	st.order = append(st.order, j.ID)
-	st.evictLocked()
+	evicted := st.evictLocked()
+	onEvict := st.onEvict
 	st.mu.Unlock()
+	if evicted > 0 && onEvict != nil {
+		onEvict(evicted)
+	}
+}
+
+// Restore inserts a terminal job recovered from the persistence log.
+// The job is born finished (its done channel pre-closed) and carries
+// whatever result the log preserved. Reports false when the ID is
+// already present (an idempotent replay re-delivering a record).
+func (st *Store) Restore(s JobStatus) bool {
+	if !s.State.Terminal() {
+		return false // recovery converts these to failed before calling
+	}
+	st.mu.Lock()
+	if _, ok := st.jobs[s.ID]; ok {
+		st.mu.Unlock()
+		return false
+	}
+	j := &Job{
+		ID:        s.ID,
+		Name:      s.Name,
+		state:     s.State,
+		queuedAt:  s.QueuedAt,
+		errMsg:    s.Error,
+		result:    s.Result,
+		dedupOf:   s.DedupOf,
+		recovered: s.Recovered,
+		done:      make(chan struct{}),
+	}
+	if s.StartedAt != nil {
+		j.startedAt = *s.StartedAt
+	}
+	if s.FinishedAt != nil {
+		j.finishedAt = *s.FinishedAt
+	}
+	close(j.done)
+	j.persistCount.Store(1) // its live log record
+	st.jobs[j.ID] = j
+	st.order = append(st.order, j.ID)
+	evicted := st.evictLocked()
+	onEvict := st.onEvict
+	st.mu.Unlock()
+	if evicted > 0 && onEvict != nil {
+		onEvict(evicted)
+	}
+	return true
 }
 
 // Add registers a new queued job and returns it.
@@ -116,11 +177,13 @@ func (st *Store) Add(name string, inst *eco.Instance, opt eco.Options) *Job {
 	return j
 }
 
-// evictLocked drops the oldest terminal jobs while over capacity.
-func (st *Store) evictLocked() {
+// evictLocked drops the oldest terminal jobs while over capacity,
+// returning how many were dropped.
+func (st *Store) evictLocked() int {
 	if len(st.jobs) <= st.maxJobs {
-		return
+		return 0
 	}
+	evicted := 0
 	kept := st.order[:0]
 	for _, id := range st.order {
 		j, ok := st.jobs[id]
@@ -129,11 +192,13 @@ func (st *Store) evictLocked() {
 		}
 		if len(st.jobs) > st.maxJobs && j.state.Terminal() {
 			delete(st.jobs, id)
+			evicted++
 			continue
 		}
 		kept = append(kept, id)
 	}
 	st.order = kept
+	return evicted
 }
 
 // Get returns the status snapshot of one job.
@@ -159,15 +224,37 @@ func (st *Store) Done(id string) <-chan struct{} {
 
 // List returns status snapshots in submission order, without results
 // (listings stay small even when jobs carry big patch netlists).
-func (st *Store) List() []JobStatus {
+// A non-empty state keeps only jobs in that state; limit > 0 keeps
+// only the most recently submitted limit jobs after filtering.
+func (st *Store) List(state State, limit int) []JobStatus {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	out := make([]JobStatus, 0, len(st.order))
 	for _, id := range st.order {
 		if j, ok := st.jobs[id]; ok {
+			if state != "" && j.state != state {
+				continue
+			}
 			s := j.statusLocked()
 			s.Result = nil
 			out = append(out, s)
+		}
+	}
+	if limit > 0 && len(out) > limit {
+		out = out[len(out)-limit:]
+	}
+	return out
+}
+
+// persistSnapshot renders every retained job as a log record, for the
+// persistence layer's compaction snapshot.
+func (st *Store) persistSnapshot() []jobRecord {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]jobRecord, 0, len(st.order))
+	for _, id := range st.order {
+		if j, ok := st.jobs[id]; ok {
+			out = append(out, jobRecord{Digest: j.digest, Status: j.statusLocked()})
 		}
 	}
 	return out
@@ -187,13 +274,14 @@ func (st *Store) Counts() map[State]int {
 // statusLocked snapshots the wire form. Caller holds st.mu.
 func (j *Job) statusLocked() JobStatus {
 	s := JobStatus{
-		ID:       j.ID,
-		Name:     j.Name,
-		State:    j.state,
-		QueuedAt: j.queuedAt,
-		Error:    j.errMsg,
-		Result:   j.result,
-		DedupOf:  j.dedupOf,
+		ID:        j.ID,
+		Name:      j.Name,
+		State:     j.state,
+		QueuedAt:  j.queuedAt,
+		Error:     j.errMsg,
+		Result:    j.result,
+		DedupOf:   j.dedupOf,
+		Recovered: j.recovered,
 	}
 	if !j.startedAt.IsZero() {
 		t := j.startedAt

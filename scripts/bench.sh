@@ -14,7 +14,9 @@
 # ecobench/table1@v1) so the serial/parallel wall-clock ratio is
 # tracked alongside the microbenchmarks, plus a preprocessing run
 # (BENCH_table1_prep.json) whose cells carry the prep_* counters for
-# before/after comparison against the p1 baseline.
+# before/after comparison against the p1 baseline, and a
+# restart-warm run against a persisted solve-cache file
+# (BENCH_table1_persist.json, experiment E14).
 #
 # Run from the repository root. Non-gating: failures here never block
 # verify.sh.
@@ -76,3 +78,15 @@ go run ./cmd/ecobench -mode table1 -p 4 -timeout "$T1_TIMEOUT" \
 go run ./cmd/ecobench -mode table1 -p 1 -prep -timeout "$T1_TIMEOUT" \
 	-json BENCH_table1_prep.json >/dev/null
 echo "wrote BENCH_table1_p1.json, BENCH_table1_p4.json and BENCH_table1_prep.json"
+
+# Persistence: the suite twice in two separate processes sharing only
+# a solve-cache file — the restart-warm run (experiment E14) is what
+# gets recorded.
+persist_cache=$(mktemp)
+rm -f "$persist_cache"
+go run ./cmd/ecobench -mode table1 -p 1 -timeout "$T1_TIMEOUT" \
+	-cache-file "$persist_cache" >/dev/null
+go run ./cmd/ecobench -mode table1 -p 1 -timeout "$T1_TIMEOUT" \
+	-cache-file "$persist_cache" -json BENCH_table1_persist.json >/dev/null
+rm -f "$persist_cache"
+echo "wrote BENCH_table1_persist.json"

@@ -1,0 +1,131 @@
+#!/bin/sh
+# Crash-safety smoke test for the ecod persistence layer: run a daemon
+# with -data-dir, finish a job, kill -9 the process (no drain, no
+# fsync of the async tail), restart on the same directory, and assert
+# the job history and result cache survived — then tear the final log
+# record and assert the daemon recovers the intact prefix and keeps
+# serving.
+#
+# Run from the repository root. Gating when invoked via
+# `SMOKE=1 scripts/verify.sh`.
+set -eu
+
+workdir=$(mktemp -d)
+ECOD="$workdir/ecod"
+data="$workdir/data"
+trap 'kill -9 "$server_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$ECOD" ./cmd/ecod
+
+# start_daemon <logfile>: launch on a fresh random port against $data,
+# wait for /healthz, set $server_pid and $base.
+start_daemon() {
+	log=$1
+	attempt=0
+	while :; do
+		port=$((20000 + ($$ + attempt * 37) % 10000 + attempt))
+		"$ECOD" serve -addr "127.0.0.1:$port" -workers 2 -queue 8 \
+			-data-dir "$data" 2>"$log" &
+		server_pid=$!
+		for _ in $(seq 1 50); do
+			if curl -sf "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; then
+				base="http://127.0.0.1:$port"
+				return 0
+			fi
+			kill -0 "$server_pid" 2>/dev/null || break
+			sleep 0.1
+		done
+		kill "$server_pid" 2>/dev/null || true
+		wait "$server_pid" 2>/dev/null || true
+		attempt=$((attempt + 1))
+		[ "$attempt" -lt 3 ] || { echo "FAIL: server did not come up"; cat "$log"; exit 1; }
+	done
+}
+
+# --- Daemon 1: do real work, then die hard. -------------------------
+start_daemon "$workdir/ecod1.log"
+echo "ecod[1] up on $base (pid $server_pid)"
+
+"$ECOD" submit -server "$base" -unit unit1 -wait >"$workdir/result.json"
+grep -q '"state": "done"' "$workdir/result.json" || {
+	echo "FAIL: job did not finish done"; cat "$workdir/result.json"; exit 1; }
+grep -q '"verified": true' "$workdir/result.json" || {
+	echo "FAIL: patch not verified"; cat "$workdir/result.json"; exit 1; }
+job_id=$(sed -n 's/.*"id": "\([^"]*\)".*/\1/p' "$workdir/result.json" | head -1)
+[ -n "$job_id" ] || { echo "FAIL: no job id parsed"; cat "$workdir/result.json"; exit 1; }
+
+# A second job submitted without -wait right before the kill: depending
+# on timing it dies queued/running and must recover as failed, or it
+# finishes and must survive as done. Either way it must be in the
+# restored history with a terminal state.
+midrun_id=$("$ECOD" submit -server "$base" -unit unit2 -name midrun)
+
+kill -9 "$server_pid"
+wait "$server_pid" 2>/dev/null || true
+echo "ecod[1] killed -9"
+[ -n "$(ls "$data"/seg-*.log 2>/dev/null)" ] || {
+	echo "FAIL: no log segments written"; ls -la "$data"; exit 1; }
+
+# --- Daemon 2: replay, serve history, hit the persisted cache. ------
+start_daemon "$workdir/ecod2.log"
+echo "ecod[2] up on $base (pid $server_pid)"
+
+"$ECOD" status -server "$base" "$job_id" >"$workdir/status.json"
+grep -q '"state": "done"' "$workdir/status.json" || {
+	echo "FAIL: finished job not restored done"; cat "$workdir/status.json"; exit 1; }
+grep -q '"patch"' "$workdir/status.json" || {
+	echo "FAIL: restored job lost its result"; cat "$workdir/status.json"; exit 1; }
+
+"$ECOD" status -server "$base" "$midrun_id" >"$workdir/midrun.json"
+grep -qE '"state": "(done|failed)"' "$workdir/midrun.json" || {
+	echo "FAIL: mid-run job not restored terminal"; cat "$workdir/midrun.json"; exit 1; }
+if grep -q '"state": "failed"' "$workdir/midrun.json"; then
+	grep -q '"recovered": true' "$workdir/midrun.json" || {
+		echo "FAIL: interrupted job not marked recovered"; cat "$workdir/midrun.json"; exit 1; }
+fi
+
+"$ECOD" list -server "$base" -state done >"$workdir/list.txt"
+grep -q "$job_id" "$workdir/list.txt" || {
+	echo "FAIL: finished job not listable after restart"; cat "$workdir/list.txt"; exit 1; }
+
+# Duplicate re-submit of the finished request: served from the
+# persisted result cache, pointing at the original job.
+"$ECOD" submit -server "$base" -unit unit1 -wait >"$workdir/result_dup.json"
+grep -q '"state": "done"' "$workdir/result_dup.json" || {
+	echo "FAIL: duplicate did not finish done"; cat "$workdir/result_dup.json"; exit 1; }
+grep -q "\"dedup_of\": \"$job_id\"" "$workdir/result_dup.json" || {
+	echo "FAIL: duplicate not deduped to the restored job"; cat "$workdir/result_dup.json"; exit 1; }
+
+"$ECOD" metrics -server "$base" >"$workdir/metrics2.txt"
+grep -q '^ecod_cache_hits_total 1$' "$workdir/metrics2.txt" || {
+	echo "FAIL: duplicate not served from the persisted cache"; cat "$workdir/metrics2.txt"; exit 1; }
+grep -qE '^ecod_persist_replayed_total [1-9]' "$workdir/metrics2.txt" || {
+	echo "FAIL: replay counter stayed zero"; cat "$workdir/metrics2.txt"; exit 1; }
+
+kill -9 "$server_pid"
+wait "$server_pid" 2>/dev/null || true
+
+# --- Daemon 3: torn final record. -----------------------------------
+# Append garbage to the newest segment — the torn tail a crash mid-
+# write leaves. Recovery must count it, truncate to the intact prefix,
+# and keep serving.
+newest=$(ls "$data"/seg-*.log | tail -1)
+printf '\336\255\276\357\001' >>"$newest"
+
+start_daemon "$workdir/ecod3.log"
+echo "ecod[3] up on $base (pid $server_pid)"
+
+"$ECOD" metrics -server "$base" >"$workdir/metrics3.txt"
+grep -q '^ecod_persist_torn_tail_total 1$' "$workdir/metrics3.txt" || {
+	echo "FAIL: torn tail not detected"; cat "$workdir/metrics3.txt"; exit 1; }
+"$ECOD" status -server "$base" "$job_id" >"$workdir/status3.json"
+grep -q '"state": "done"' "$workdir/status3.json" || {
+	echo "FAIL: history lost after torn-tail recovery"; cat "$workdir/status3.json"; exit 1; }
+"$ECOD" submit -server "$base" -unit unit3 -wait >"$workdir/result3.json"
+grep -q '"state": "done"' "$workdir/result3.json" || {
+	echo "FAIL: daemon not serving after torn-tail recovery"; cat "$workdir/result3.json"; exit 1; }
+
+kill -TERM "$server_pid"
+wait "$server_pid" || { echo "FAIL: non-zero exit on drain"; exit 1; }
+
+echo "PASS: ecod persistence smoke test"

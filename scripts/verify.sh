@@ -32,6 +32,14 @@ go test -race -count=1 -run 'Cache|Dedup|Retry|Warm' \
 go test -race -count=1 -run 'Prep|Reconstruct|Vivif|Subsum|Elim' \
 	./internal/sat ./internal/cnf ./internal/eco ./internal/cec
 
+# Focused race pass over the persistence layer: the segment log
+# (group-commit fsync, rotation, compaction vs concurrent appends),
+# torn-tail recovery, the daemon's replay/restore paths, and the
+# persisted-cache determinism differential.
+go test -race -count=1 ./internal/persist
+go test -race -count=1 -run 'Persist|Restart|Recover|Torn|Compact|List' \
+	./internal/server ./internal/eco
+
 # Optional, non-gating: microbenchmark sweep (scripts/bench.sh writes
 # BENCH_sat.txt / BENCH_sat.json) and a short fuzz smoke over the
 # preprocessing model-reconstruction stack. Enable with BENCH=1.
@@ -40,11 +48,16 @@ if [ "${BENCH:-0}" = "1" ]; then
 	go test -run FuzzPrepReconstruction -fuzz FuzzPrepReconstruction \
 		-fuzztime=10s ./internal/sat \
 		|| echo "prep fuzz smoke failed (non-gating)"
+	go test -run FuzzPersistDecode -fuzz FuzzPersistDecode \
+		-fuzztime=10s ./internal/persist \
+		|| echo "persist fuzz smoke failed (non-gating)"
 fi
 
-# Optional, gating when enabled: end-to-end ecod daemon smoke test
-# (serve, submit over HTTP, check metrics, SIGTERM drain). Enable
-# with SMOKE=1.
+# Optional, gating when enabled: end-to-end ecod daemon smoke tests —
+# serve/submit/metrics/drain, then the crash-safety pass (kill -9,
+# restart on the same -data-dir, torn-tail recovery). Enable with
+# SMOKE=1.
 if [ "${SMOKE:-0}" = "1" ]; then
 	./scripts/smoke_server.sh
+	./scripts/smoke_persist.sh
 fi
