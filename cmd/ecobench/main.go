@@ -18,7 +18,7 @@
 //	ecobench [-mode table1|copies|mincalls|patchcmp] [-scale N]
 //	         [-unit unitK] [-modes baseline,minassume,exact]
 //	         [-j N] [-p N] [-timeout 30s] [-cache N] [-cache-file f] [-warm]
-//	         [-prep] [-json report.json]
+//	         [-prep] [-sim] [-json report.json]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
@@ -56,6 +56,7 @@ func realMain() int {
 		cacheFile  = flag.String("cache-file", "", "persist the solve cache to this file: load it before the table1 sweep, save it after (implies -cache when unset)")
 		warm       = flag.Bool("warm", false, "run table1 twice against one cache (cold then warm) and report the speedup")
 		prep       = flag.Bool("prep", false, "enable CNF preprocessing (BVE, subsumption, vivification) on every captured solve")
+		sim        = flag.Bool("sim", false, "enable the bit-parallel simulation layer (pattern-bank SAT-call elision + divisor pruning)")
 		jsonPath   = flag.String("json", "", "also write the table1 report as JSON to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile (go tool pprof) to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile taken at exit to this file")
@@ -103,7 +104,7 @@ func realMain() int {
 				run   func() error
 			}{
 				{"Table 1", func() error {
-					return runTable1(*scale, *unit, modes, *jobs, *par, *timeout, *cacheEnt, *cacheFile, *warm, *prep, *jsonPath)
+					return runTable1(*scale, *unit, modes, *jobs, *par, *timeout, *cacheEnt, *cacheFile, *warm, *prep, *sim, *jsonPath)
 				}},
 				{"E5: minimize_assumptions SAT calls (§3.4.1)", func() error { return bench.RunMinCalls(os.Stdout) }},
 				{"E6: miter copies for structural multi-target (§3.6.2)", func() error { return bench.RunCopies(*scale, os.Stdout) }},
@@ -116,7 +117,7 @@ func realMain() int {
 				fmt.Println()
 			}
 		case "table1":
-			err = runTable1(*scale, *unit, modes, *jobs, *par, *timeout, *cacheEnt, *cacheFile, *warm, *prep, *jsonPath)
+			err = runTable1(*scale, *unit, modes, *jobs, *par, *timeout, *cacheEnt, *cacheFile, *warm, *prep, *sim, *jsonPath)
 		case "copies":
 			err = bench.RunCopies(*scale, os.Stdout)
 		case "mincalls":
@@ -161,10 +162,10 @@ func parseModes(s string) ([]string, error) {
 	return modes, nil
 }
 
-func runTable1(scale int, unit string, modes []string, jobs, par int, timeout time.Duration, cacheEnt int, cacheFile string, warm, prep bool, jsonPath string) error {
+func runTable1(scale int, unit string, modes []string, jobs, par int, timeout time.Duration, cacheEnt int, cacheFile string, warm, prep, sim bool, jsonPath string) error {
 	opts := bench.RunOptions{
 		Scale: scale, Modes: modes, Jobs: jobs, Timeout: timeout,
-		Parallelism: par, CacheEntries: cacheEnt, Preprocess: prep,
+		Parallelism: par, CacheEntries: cacheEnt, Preprocess: prep, Sim: sim,
 	}
 	if unit != "" {
 		opts.Units = []string{unit}

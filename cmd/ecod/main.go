@@ -104,6 +104,7 @@ func cmdServe(args []string) error {
 		grace      = fs.Duration("drain-grace", 10*time.Second, "time in-flight solves get to finish on SIGTERM before interruption")
 		cacheEnt   = fs.Int("cache-entries", 256, "content-addressed result cache + shared solve cache size (0 disables)")
 		prep       = fs.Bool("prep", false, "enable CNF preprocessing for jobs that do not set it (skipped for interp-patch jobs)")
+		sim        = fs.Bool("sim", false, "enable the bit-parallel simulation layer for jobs that do not set it")
 	)
 	fs.Parse(args)
 
@@ -124,6 +125,7 @@ func cmdServe(args []string) error {
 		DataDir:           *dataDir,
 		CacheEntries:      *cacheEnt,
 		DefaultPreprocess: *prep,
+		DefaultSim:        *sim,
 		Log:               logger,
 	})
 	if err != nil {
@@ -179,6 +181,7 @@ func cmdSubmit(args []string) error {
 		budget  = fs.Int64("budget", 0, "SAT conflict budget per call (0 = unlimited)")
 		par     = fs.Int("p", 0, "intra-solve parallelism for this job (0 = serial daemon default)")
 		prep    = fs.Bool("prep", false, "enable CNF preprocessing for this job (incompatible with -patch interp)")
+		sim     = fs.Bool("sim", false, "enable the bit-parallel simulation layer for this job")
 		timeout = fs.Duration("timeout", 0, "per-job deadline (0 = server default)")
 		wait    = fs.Bool("wait", false, "poll the job to completion and print the result")
 		out     = fs.String("o", "", "with -wait: write the patch netlist here ('-' for stdout)")
@@ -208,6 +211,10 @@ func cmdSubmit(args []string) error {
 		// Only an explicit -prep is sent; absent lets the server
 		// default (-prep on serve) decide.
 		req.Options.Preprocess = prep
+	}
+	if *sim {
+		// Same tri-state convention as -prep.
+		req.Options.Sim = sim
 	}
 
 	c := &server.Client{Base: *base, MaxRetries: *retries}

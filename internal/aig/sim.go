@@ -2,17 +2,40 @@ package aig
 
 import "math/rand"
 
-// evalNodes computes the value of every node for one input
-// assignment. It reads the graph but never mutates it, so concurrent
-// callers are safe as long as nobody is adding nodes.
-func (g *AIG) evalNodes(inputs []bool) []bool {
+// Evaluator computes node values for single input assignments with a
+// reusable buffer. One Eval pass makes every node readable through
+// Lit, so callers probing many edges against one assignment (the
+// sharded CEC merge path evaluating a counterexample against every
+// output pair) pay the O(nodes) walk once instead of per edge — and
+// repeated assignments reuse the buffer instead of allocating one per
+// call. An Evaluator is single-goroutine; concurrent callers each
+// build their own (the graph itself is only read).
+type Evaluator struct {
+	g   *AIG
+	val []bool
+}
+
+// NewEvaluator builds an evaluator over g.
+func NewEvaluator(g *AIG) *Evaluator { return &Evaluator{g: g} }
+
+// Eval computes the value of every node for one input assignment;
+// read edges with Lit afterwards. The graph may have grown since the
+// last call — new nodes are picked up automatically.
+func (ev *Evaluator) Eval(inputs []bool) {
+	g := ev.g
 	if len(inputs) != len(g.pis) {
 		panic("aig: Eval input length mismatch")
 	}
-	val := make([]bool, len(g.nodes))
+	if cap(ev.val) < len(g.nodes) {
+		ev.val = make([]bool, len(g.nodes))
+	}
+	val := ev.val[:len(g.nodes)]
+	ev.val = val
 	for i, p := range g.pis {
 		val[p] = inputs[i]
 	}
+	// Only PI and AND values are (re)written; the constant node keeps
+	// its zero value from allocation and nothing else reads stale slots.
 	for idx, n := range g.nodes {
 		if n.kind != kindAnd {
 			continue
@@ -21,36 +44,60 @@ func (g *AIG) evalNodes(inputs []bool) []bool {
 		b := val[n.f1.Node()] != n.f1.Compl()
 		val[idx] = a && b
 	}
-	return val
+}
+
+// Lit reads the value of edge l from the last Eval pass.
+func (ev *Evaluator) Lit(l Lit) bool {
+	return ev.val[l.Node()] != l.Compl()
 }
 
 // Eval evaluates all primary outputs for one input assignment.
 // inputs[i] is the value of the i-th primary input.
 func (g *AIG) Eval(inputs []bool) []bool {
-	val := g.evalNodes(inputs)
+	ev := NewEvaluator(g)
+	ev.Eval(inputs)
 	out := make([]bool, len(g.pos))
 	for i, p := range g.pos {
-		out[i] = val[p.Node()] != p.Compl()
+		out[i] = ev.Lit(p)
 	}
 	return out
 }
 
-// EvalLit evaluates a single edge for one input assignment. Like
-// Eval it is side-effect-free, so it may run concurrently with other
-// read-only AIG operations (the sharded CEC path evaluates
-// counterexamples from several workers against one shared miter).
+// EvalLit evaluates a single edge for one input assignment. It is
+// side-effect-free, so it may run concurrently with other read-only
+// AIG operations — but it allocates a fresh node buffer per call; use
+// an Evaluator to amortize repeated evaluations.
 func (g *AIG) EvalLit(l Lit, inputs []bool) bool {
-	return g.evalNodes(inputs)[l.Node()] != l.Compl()
+	ev := NewEvaluator(g)
+	ev.Eval(inputs)
+	return ev.Lit(l)
 }
 
-// SimWords runs 64 parallel input patterns. piWords[i] holds 64
+// Simulator runs 64-pattern bit-parallel simulation with a reusable
+// word buffer — the batched counterpart of Evaluator. Single-
+// goroutine; the graph is only read.
+type Simulator struct {
+	g   *AIG
+	val []uint64
+}
+
+// NewSimulator builds a simulator over g.
+func NewSimulator(g *AIG) *Simulator { return &Simulator{g: g} }
+
+// Run simulates 64 parallel input patterns. piWords[i] holds 64
 // pattern bits for PI i. The returned slice holds one word per node,
-// indexed by node id; read an edge's value with WordOf.
-func (g *AIG) SimWords(piWords []uint64) []uint64 {
+// indexed by node id (read an edge with WordOf); it aliases the
+// simulator's buffer and is only valid until the next Run.
+func (sm *Simulator) Run(piWords []uint64) []uint64 {
+	g := sm.g
 	if len(piWords) != len(g.pis) {
 		panic("aig: SimWords input length mismatch")
 	}
-	val := make([]uint64, len(g.nodes))
+	if cap(sm.val) < len(g.nodes) {
+		sm.val = make([]uint64, len(g.nodes))
+	}
+	val := sm.val[:len(g.nodes)]
+	sm.val = val
 	for i, p := range g.pis {
 		val[p] = piWords[i]
 	}
@@ -69,6 +116,14 @@ func (g *AIG) SimWords(piWords []uint64) []uint64 {
 		val[idx] = a & b
 	}
 	return val
+}
+
+// SimWords runs 64 parallel input patterns. piWords[i] holds 64
+// pattern bits for PI i. The returned slice holds one word per node,
+// indexed by node id; read an edge's value with WordOf. Allocates per
+// call; use a Simulator to amortize repeated rounds.
+func (g *AIG) SimWords(piWords []uint64) []uint64 {
+	return NewSimulator(g).Run(piWords)
 }
 
 // WordOf reads the simulated word of edge l from a SimWords result.

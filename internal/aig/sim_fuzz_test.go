@@ -1,0 +1,136 @@
+package aig
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// fuzzGraph deterministically builds an AIG from a byte script: each
+// byte either adds a PI or combines two existing edges with a gate.
+// Every graph the fuzzer can describe is a valid AIG.
+func fuzzGraph(data []byte) *AIG {
+	g := New()
+	edges := []Lit{ConstFalse, ConstTrue}
+	for i, b := range data {
+		if len(edges) > 300 {
+			break
+		}
+		op := b >> 5
+		x := edges[int(b&0x1f)%len(edges)]
+		y := edges[int(b>>2)%len(edges)]
+		var e Lit
+		switch op {
+		case 0:
+			e = g.AddPI("")
+		case 1:
+			e = g.And(x, y)
+		case 2:
+			e = g.Or(x, y)
+		case 3:
+			e = g.Xor(x, y)
+		case 4:
+			e = g.And(x.Not(), y)
+		case 5:
+			e = g.Mux(x, y, edges[i%len(edges)])
+		default:
+			e = x.Not()
+		}
+		edges = append(edges, e)
+	}
+	for i := 0; i < 4 && i < len(edges); i++ {
+		g.AddPO("", edges[len(edges)-1-i])
+	}
+	return g
+}
+
+// FuzzSimWords checks 64-pattern bit-parallel simulation against 64
+// scalar Eval calls on fuzzer-built graphs.
+func FuzzSimWords(f *testing.F) {
+	f.Add([]byte{0, 0, 0x21, 0x45, 0x63}, int64(1))
+	f.Add([]byte{0, 0, 0, 0xbf, 0x7e, 0x9d, 0x21}, int64(42))
+	f.Add([]byte{}, int64(0))
+	f.Fuzz(func(t *testing.T, data []byte, seed int64) {
+		g := fuzzGraph(data)
+		rng := rand.New(rand.NewSource(seed))
+		piWords := g.RandomSimWords(rng)
+		words := g.SimWords(piWords)
+
+		inputs := make([]bool, g.NumPIs())
+		ev := NewEvaluator(g)
+		for bit := 0; bit < 64; bit++ {
+			for i := range inputs {
+				inputs[i] = piWords[i]>>uint(bit)&1 == 1
+			}
+			ev.Eval(inputs)
+			for o := 0; o < g.NumPOs(); o++ {
+				po := g.PO(o)
+				want := ev.Lit(po)
+				got := WordOf(words, po)>>uint(bit)&1 == 1
+				if got != want {
+					t.Fatalf("PO %d bit %d: SimWords=%v Eval=%v", o, bit, got, want)
+				}
+			}
+		}
+	})
+}
+
+func TestEvaluatorMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	data := make([]byte, 120)
+	for round := 0; round < 20; round++ {
+		rng.Read(data)
+		g := fuzzGraph(data)
+		ev := NewEvaluator(g)
+		inputs := make([]bool, g.NumPIs())
+		for trial := 0; trial < 16; trial++ {
+			for i := range inputs {
+				inputs[i] = rng.Intn(2) == 1
+			}
+			want := g.Eval(inputs)
+			ev.Eval(inputs) // reused buffer across trials
+			for o := 0; o < g.NumPOs(); o++ {
+				if ev.Lit(g.PO(o)) != want[o] {
+					t.Fatalf("round %d trial %d PO %d: Evaluator disagrees with Eval", round, trial, o)
+				}
+				if g.EvalLit(g.PO(o), inputs) != want[o] {
+					t.Fatalf("round %d trial %d PO %d: EvalLit disagrees with Eval", round, trial, o)
+				}
+			}
+		}
+	}
+}
+
+func TestSimulatorMatchesSimWords(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	data := make([]byte, 150)
+	rng.Read(data)
+	g := fuzzGraph(data)
+	sm := NewSimulator(g)
+	for trial := 0; trial < 16; trial++ {
+		piWords := g.RandomSimWords(rng)
+		want := g.SimWords(piWords)
+		got := sm.Run(piWords) // reused buffer across trials
+		for o := 0; o < g.NumPOs(); o++ {
+			if WordOf(got, g.PO(o)) != WordOf(want, g.PO(o)) {
+				t.Fatalf("trial %d PO %d: Simulator disagrees with SimWords", trial, o)
+			}
+		}
+	}
+}
+
+// TestEvaluatorTracksGraphGrowth pins that an Evaluator picks up nodes
+// added after its construction.
+func TestEvaluatorTracksGraphGrowth(t *testing.T) {
+	g := New()
+	a, b := g.AddPI("a"), g.AddPI("b")
+	ev := NewEvaluator(g)
+	ev.Eval([]bool{true, true})
+	if !ev.Lit(a) || !ev.Lit(b) {
+		t.Fatal("PI values wrong")
+	}
+	x := g.Xor(a, b)
+	ev.Eval([]bool{true, false})
+	if !ev.Lit(x) {
+		t.Fatal("grown node not evaluated")
+	}
+}

@@ -28,8 +28,11 @@ type JSONReport struct {
 	WarmSpeedup  float64 `json:"warm_speedup,omitempty"`
 	// Preprocess records whether the sweep ran with CNF preprocessing
 	// (additive field; absent in pre-prep reports means off).
-	Preprocess bool      `json:"preprocess,omitempty"`
-	Rows       []JSONRow `json:"rows"`
+	Preprocess bool `json:"preprocess,omitempty"`
+	// Sim records whether the sweep ran with the bit-parallel
+	// simulation layer (additive field; absent means off).
+	Sim  bool      `json:"sim,omitempty"`
+	Rows []JSONRow `json:"rows"`
 }
 
 // JSONRow is one benchmark unit; Results is keyed by mode name.
@@ -87,6 +90,12 @@ type JSONCell struct {
 	PrepClausesSubsumed  int64   `json:"prep_clauses_subsumed,omitempty"`
 	PrepLitsStrengthened int64   `json:"prep_lits_strengthened,omitempty"`
 	PrepSeconds          float64 `json:"prep_seconds,omitempty"`
+
+	// Additive simulation-layer counters (present only when the cell
+	// ran with -sim; the schema stays table1@v1).
+	SimElided   int64 `json:"sim_elided,omitempty"`
+	SimPruned   int64 `json:"sim_pruned,omitempty"`
+	SimPatterns int64 `json:"sim_patterns,omitempty"`
 }
 
 // cellFromAlgo maps one sweep cell into its JSON form.
@@ -124,6 +133,10 @@ func cellFromAlgo(a AlgoResult) JSONCell {
 		PrepClausesSubsumed:  a.PrepClausesSubsumed,
 		PrepLitsStrengthened: a.PrepLitsStrengthened,
 		PrepSeconds:          a.PrepSeconds,
+
+		SimElided:   a.SimElided,
+		SimPruned:   a.SimPruned,
+		SimPatterns: a.SimPatterns,
 	}
 }
 
@@ -155,6 +168,7 @@ func NewJSONReport(opts RunOptions, modes []string, rows []Table1Row) JSONReport
 	}
 	rep.CacheEntries = opts.CacheEntries
 	rep.Preprocess = opts.Preprocess
+	rep.Sim = opts.Sim
 	if opts.Timeout > 0 {
 		rep.TimeoutSec = float64(opts.Timeout) / float64(time.Second)
 	}

@@ -1,0 +1,48 @@
+package bench
+
+import "testing"
+
+// TestSimParityOnUnits pins the -sim contract on real benchmark
+// units: for each unit, sim-on and sim-off cells agree on verdicts and
+// patch cost, and the simulation layer demonstrably does work — at
+// least one cell over the corpus elides a SAT call via the pattern
+// bank.
+func TestSimParityOnUnits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several full solves")
+	}
+	units := []string{"unit2", "unit4", "unit7"}
+	var totalElided, totalPatterns int64
+	for _, name := range units {
+		cfg, err := ConfigByName(1, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []string{ModeMinAssume, ModeExact} {
+			off, err := RunUnitWith(cfg, mode, RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			on, err := RunUnitWith(cfg, mode, RunOptions{Sim: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ao, an := off.Results[mode], on.Results[mode]
+			if an.Feasible != ao.Feasible || an.Verified != ao.Verified {
+				t.Fatalf("%s/%s: verdict diverged: sim %v/%v plain %v/%v",
+					name, mode, an.Feasible, an.Verified, ao.Feasible, ao.Verified)
+			}
+			if an.Cost != ao.Cost {
+				t.Fatalf("%s/%s: cost diverged: sim %d plain %d", name, mode, an.Cost, ao.Cost)
+			}
+			if ao.SimElided != 0 || ao.SimPatterns != 0 {
+				t.Fatalf("%s/%s: sim counters nonzero without -sim", name, mode)
+			}
+			totalElided += an.SimElided
+			totalPatterns += an.SimPatterns
+		}
+	}
+	if totalElided == 0 {
+		t.Fatalf("no SAT call elided across the corpus (patterns banked: %d)", totalPatterns)
+	}
+}

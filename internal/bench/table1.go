@@ -62,6 +62,11 @@ type AlgoResult struct {
 	PrepClausesSubsumed  int64
 	PrepLitsStrengthened int64
 	PrepSeconds          float64
+
+	// Simulation-layer counters (zero unless the cell ran with -sim).
+	SimElided   int64
+	SimPruned   int64
+	SimPatterns int64
 }
 
 // Table1Row aggregates one benchmark unit across the three modes.
@@ -143,6 +148,8 @@ func RunUnitWith(cfg Config, mode string, opts RunOptions) (Table1Row, error) {
 	opt.Parallelism = opts.Parallelism
 	opt.Cache = opts.Cache
 	opt.Preprocess = opts.Preprocess
+	opt.SimBank = opts.Sim
+	opt.SimPrune = opts.Sim
 	if opt.Parallelism <= 0 {
 		// Bench cells default to the serial engine, not the
 		// GOMAXPROCS-aware engine default: rows must be bit-identical
@@ -195,6 +202,10 @@ func AlgoFromResult(res *eco.Result) AlgoResult {
 		PrepClausesSubsumed:  res.Stats.Prep.ClausesSubsumed,
 		PrepLitsStrengthened: res.Stats.Prep.LitsStrengthened,
 		PrepSeconds:          res.Stats.Prep.PrepTime.Seconds(),
+
+		SimElided:   res.Stats.SimElided,
+		SimPruned:   res.Stats.SimPruned,
+		SimPatterns: res.Stats.SimPatterns,
 	}
 }
 
@@ -221,6 +232,10 @@ type RunOptions struct {
 	// elimination, subsumption, vivification) on every captured solve
 	// of the sweep (ecobench -prep).
 	Preprocess bool
+	// Sim enables the bit-parallel simulation layer — pattern-bank
+	// SAT-call elision and divisor pruning — on every cell of the
+	// sweep (ecobench -sim).
+	Sim bool
 }
 
 // RunTable1 reproduces Table 1: every unit in every requested mode.

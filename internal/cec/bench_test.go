@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"ecopatch/internal/aig"
+	"ecopatch/internal/sim"
 )
 
 func twoEquivalentGraphs(n int) (*aig.AIG, *aig.AIG) {
@@ -108,7 +109,7 @@ func BenchmarkSignatureKeys(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			classes := make(map[uint64][]int, nodes)
 			for n, s := range sigs {
-				h, _ := canonKey(s)
+				h, _ := sim.CanonKey(s)
 				classes[h] = append(classes[h], n)
 			}
 		}
@@ -124,7 +125,7 @@ func BenchmarkSignatureKeys(b *testing.B) {
 			var sink uint64
 			for l := 0; l < lookups; l++ {
 				for _, s := range sigs {
-					h, _ := canonKey(s)
+					h, _ := sim.CanonKey(s)
 					sink ^= h
 				}
 			}
@@ -143,7 +144,7 @@ func BenchmarkSignatureKeys(b *testing.B) {
 			for l := 0; l < lookups; l++ {
 				for n, s := range sigs {
 					if !keyed[n] {
-						keys[n], _ = canonKey(s)
+						keys[n], _ = sim.CanonKey(s)
 						keyed[n] = true
 					}
 					sink ^= keys[n]

@@ -342,10 +342,14 @@ func mergePairVerdicts(m *aig.AIG, t1, t2 []aig.Lit, statuses []sat.Status, cexs
 			Prep: tally.prep}
 		res.Counterexample = cexs[satShard]
 		// Identify a failing output index by evaluation, scanning the
-		// full pair list so the lowest failing index is reported.
+		// full pair list so the lowest failing index is reported. One
+		// Eval pass covers every pair; per-pair EvalLit would redo the
+		// O(nodes) walk (and its allocation) for each output.
 		res.FailingOutput = -1
+		ev := aig.NewEvaluator(m)
+		ev.Eval(res.Counterexample)
 		for i := range t1 {
-			if m.EvalLit(t1[i], res.Counterexample) != m.EvalLit(t2[i], res.Counterexample) {
+			if ev.Lit(t1[i]) != ev.Lit(t2[i]) {
 				res.FailingOutput = i
 				break
 			}

@@ -6,6 +6,7 @@ import (
 	"ecopatch/internal/aig"
 	"ecopatch/internal/cnf"
 	"ecopatch/internal/sat"
+	"ecopatch/internal/sim"
 )
 
 // SweepOptions tunes the SAT sweeping (fraiging) pass.
@@ -106,48 +107,6 @@ func (pc *PairChecker) CheckPair(a, b aig.Lit) (equal bool, cex []bool, err erro
 	}
 }
 
-// canonKey hashes a simulation signature in canonical polarity (first
-// bit forced to 0 by complementing every word) with FNV-1a over the
-// raw 64-bit words. Earlier versions materialized the canonical
-// signature as a []byte map key — O(nodes × rounds × 8) fresh bytes on
-// every counterexample flush; the hash is allocation-free, and hash
-// collisions are screened with canonSigsEqual before any SAT probe.
-func canonKey(sig []uint64) (uint64, bool) {
-	compl := len(sig) > 0 && sig[0]&1 == 1
-	h := uint64(1469598103934665603) // FNV offset basis
-	for _, w := range sig {
-		if compl {
-			w = ^w
-		}
-		h ^= w
-		h *= 1099511628211 // FNV prime
-	}
-	return h, compl
-}
-
-// canonSigsEqual reports whether two signatures agree word-for-word in
-// canonical polarity — the collision check behind canonKey buckets.
-func canonSigsEqual(a, b []uint64) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	ca := len(a) > 0 && a[0]&1 == 1
-	cb := len(b) > 0 && b[0]&1 == 1
-	for i := range a {
-		wa, wb := a[i], b[i]
-		if ca {
-			wa = ^wa
-		}
-		if cb {
-			wb = ^wb
-		}
-		if wa != wb {
-			return false
-		}
-	}
-	return true
-}
-
 // Sweep functionally reduces the AIG (fraiging, the core of the
 // paper's CEC reference [12]): candidate equivalences are proposed by
 // random simulation and proved by incremental SAT; proven-equivalent
@@ -168,9 +127,10 @@ func Sweep(g *aig.AIG, opt SweepOptions) *aig.AIG {
 	for i := range sigs {
 		sigs[i] = make([]uint64, 0, opt.SimRounds+4)
 	}
-	var keyed []bool // declared with the memo below; cleared per round
+	var keyed []bool            // declared with the memo below; cleared per round
+	simr := aig.NewSimulator(g) // reused word buffer across rounds
 	addRound := func(piWords []uint64) {
-		words := g.SimWords(piWords)
+		words := simr.Run(piWords)
 		for n := range sigs {
 			sigs[n] = append(sigs[n], words[n])
 		}
@@ -191,12 +151,12 @@ func Sweep(g *aig.AIG, opt SweepOptions) *aig.AIG {
 	keyed = make([]bool, g.NumNodes())
 	canon := func(n int) (uint64, bool) {
 		if !keyed[n] {
-			keys[n], compls[n] = canonKey(sigs[n])
+			keys[n], compls[n] = sim.CanonKey(sigs[n])
 			keyed[n] = true
 		}
 		return keys[n], compls[n]
 	}
-	sameCanonSig := func(a, b int) bool { return canonSigsEqual(sigs[a], sigs[b]) }
+	sameCanonSig := func(a, b int) bool { return sim.CanonEqual(sigs[a], sigs[b]) }
 
 	ng := aig.New()
 	checker := NewPairChecker(ng, CheckOptions{ConfBudget: opt.ConfBudget})

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"ecopatch/internal/aig"
+	"ecopatch/internal/sim"
 )
 
 func TestSweepMergesRedundantLogic(t *testing.T) {
@@ -119,22 +120,22 @@ func TestCanonKey(t *testing.T) {
 	for i, w := range sig {
 		inv[i] = ^w
 	}
-	h1, c1 := canonKey(sig)
-	h2, c2 := canonKey(inv)
+	h1, c1 := sim.CanonKey(sig)
+	h2, c2 := sim.CanonKey(inv)
 	if h1 != h2 {
 		t.Fatalf("complemented signature hashed differently: %x vs %x", h1, h2)
 	}
 	if c1 == c2 {
 		t.Fatalf("complement flags must differ, both %v", c1)
 	}
-	if !canonSigsEqual(sig, inv) {
+	if !sim.CanonEqual(sig, inv) {
 		t.Fatal("signature and its complement are the same canonical class")
 	}
 	other := []uint64{0xdeadbeef01, 0x12345678, 0xfffffffffffffffe}
-	if canonSigsEqual(sig, other) {
+	if sim.CanonEqual(sig, other) {
 		t.Fatal("distinct canonical signatures compared equal")
 	}
-	if canonSigsEqual(sig, sig[:2]) {
+	if sim.CanonEqual(sig, sig[:2]) {
 		t.Fatal("length mismatch compared equal")
 	}
 }

@@ -54,6 +54,11 @@ type patchEntry struct {
 	support    []string // raw (pre-sort) order
 	cubes      int
 	structural bool
+	// patterns are the input patterns harvested while this window was
+	// computed; a hit replays them into the pattern pool so pool state
+	// (which keys and feeds later windows' pruning) stays identical
+	// between a cold compute and a cached replay.
+	patterns [][]bool
 }
 
 // appendKeyString packs a length-prefixed string into the key.
@@ -142,6 +147,12 @@ func (e *engine) appendOptionsKey(buf []uint64) []uint64 {
 	// different (equally valid) patches; keep their window entries
 	// apart so each mode stays reproducible against itself.
 	set(5, o.Preprocess)
+	// Simulation modes change which queries the solver actually sees
+	// (pruned divisor sets, bank-elided re-solves), so the computed
+	// patch may differ — same verdict and cost, different structure.
+	// Separate bits keep every mode reproducible against itself.
+	set(6, o.SimPrune)
+	set(7, o.SimBank)
 	return append(buf,
 		uint64(o.Support), uint64(o.Patch), flags,
 		uint64(o.ConfBudget), uint64(o.MaxCubes), uint64(o.MaxQuantExpand),
@@ -190,6 +201,12 @@ func (e *engine) windowKey(i int, m0, m1 aig.Lit) []uint64 {
 	buf := make([]uint64, 0, 4096)
 	buf = append(buf, windowKeyVersion)
 	buf = e.appendOptionsKey(buf)
+	// With pruning on, what a window computes depends on the pooled
+	// patterns simulated against it; fold the pool state into the key
+	// so a hit is only taken when the pruning inputs match too.
+	if e.opt.SimPrune && e.patterns != nil {
+		buf = e.patterns.AppendKey(buf)
+	}
 	buf = appendKeyString(buf, e.targets[i])
 	// Divisor identity: order, names and costs; the edges themselves
 	// are cone roots so divisor *functions* are part of the key too.
@@ -215,6 +232,7 @@ func (e *engine) snapshotPatch(i int) *patchEntry {
 		support:    append([]string(nil), e.rawSupports[i]...),
 		cubes:      e.targetPatches[i].Cubes,
 		structural: e.targetPatches[i].Structural,
+		patterns:   append([][]bool(nil), e.winPatterns...),
 	}
 }
 
@@ -226,6 +244,9 @@ func (e *engine) snapshotPatch(i int) *patchEntry {
 func (e *engine) installCachedPatch(i int, p *patchEntry) {
 	if p.structural {
 		e.stats.StructuralFixes++
+	}
+	for _, a := range p.patterns {
+		e.addPattern(a)
 	}
 	e.installFinal(i, p.raw, append([]string(nil), p.support...), p.structural)
 	e.targetPatches[i].Cubes = p.cubes

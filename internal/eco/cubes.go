@@ -44,7 +44,10 @@ func (e *engine) enumerateCubes(s *sat.Solver, r1, r2 sat.Lit,
 			cubeLits[pos] = d2s[j].XorSign(!v)
 		}
 		// Expand to a prime cube against the offset copy.
-		m := &minimizer{s: s, fixed: []sat.Lit{r2}, calls: &e.stats.MinimizeCalls}
+		// No bank here: cube blocking has started adding clauses, so
+		// banked models are no longer trustworthy (see satPatchWith).
+		m := &minimizer{s: s, fixed: []sat.Lit{r2}, calls: &e.stats.MinimizeCalls,
+			satCalls: &e.stats.SATCalls}
 		kept, err := m.minimize(cubeLits)
 		if err != nil {
 			return nil, err

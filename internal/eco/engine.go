@@ -14,6 +14,7 @@ import (
 	"ecopatch/internal/cnf"
 	"ecopatch/internal/netlist"
 	"ecopatch/internal/sat"
+	"ecopatch/internal/sim"
 )
 
 // SupportAlgo selects the patch-support minimization algorithm (§3.4).
@@ -140,6 +141,29 @@ type Options struct {
 	// ErrPrepWithProofs for that combination.
 	Preprocess bool
 
+	// SimBank enables pattern-bank SAT-call elision: every full model
+	// produced by a window's satisfiable queries is banked as a
+	// 64-packed pattern over the encoding's assumption and read-back
+	// literals, and assumption-only re-solves (support minimization,
+	// last-gasp probes, SAT_prune subset checks) first look for a
+	// banked model satisfying all assumptions — a hit answers Sat with
+	// zero solver work. Sound because those queries add no clauses, so
+	// banked models remain models; the bank is discarded before cube
+	// enumeration (which adds blocking clauses) and at every window
+	// boundary. Verdicts and patch costs are unchanged — elision
+	// preserves each query's status — but patch structure may differ
+	// from a sim-off run (the solver sees fewer queries), so window
+	// cache entries are keyed per mode.
+	SimBank bool
+	// SimPrune enables simulation-guided divisor pruning: before the
+	// expression-(2) feasibility encoding, the window is simulated with
+	// pooled counterexample patterns plus random patterns, and divisors
+	// whose signatures are constant or duplicate a cheaper divisor's
+	// (up to complement) are dropped. UNSAT on the pruned set is a
+	// valid, cheaper-to-encode patch basis; Sat falls back to the full
+	// set, so feasibility verdicts are unchanged by construction.
+	SimPrune bool
+
 	// Cache, when non-nil, memoizes solve work across (and within)
 	// runs: CEC pair-check and cofactor-feasibility verdicts by
 	// captured-formula hash, QBF feasibility outcomes and per-target
@@ -194,6 +218,13 @@ type TargetPatch struct {
 
 // Stats aggregates engine counters for the experiment harness.
 type Stats struct {
+	// SATCalls counts every top-level engine query: each one is either
+	// answered by a solver or elided by the simulation pattern bank, so
+	// the invariant SATCalls = solver-answered + SimElided holds and
+	// sim-on/sim-off runs report comparable query totals. (The raw
+	// kernel counter Solver.SolveCalls counts only actual solver
+	// invocations, including the minimizer's — those are additionally
+	// broken out in MinimizeCalls.)
 	SATCalls        int64
 	Conflicts       int64
 	MinimizeCalls   int // SAT calls spent inside support minimization
@@ -203,6 +234,15 @@ type Stats struct {
 	WindowPOs       int // outputs kept by structural pruning
 	StructuralFixes int // targets patched by the structural fallback
 	CubesEnumerated int
+
+	// Simulation-layer counters (zero unless Options.SimBank/SimPrune):
+	// queries answered from the pattern bank without a solver, divisors
+	// dropped by simulation-guided pruning on successfully pruned
+	// windows, and patterns captured (banked models plus pooled input
+	// patterns).
+	SimElided   int64
+	SimPruned   int64
+	SimPatterns int64
 
 	// Cache traffic (zero unless Options.Cache was set): queries
 	// served from the solve/window caches, queries computed fresh, and
@@ -251,6 +291,9 @@ func (s *Stats) Add(o Stats) {
 	s.WindowPOs += o.WindowPOs
 	s.StructuralFixes += o.StructuralFixes
 	s.CubesEnumerated += o.CubesEnumerated
+	s.SimElided += o.SimElided
+	s.SimPruned += o.SimPruned
+	s.SimPatterns += o.SimPatterns
 	s.CacheHits += o.CacheHits
 	s.CacheMisses += o.CacheMisses
 	s.CacheCollisions += o.CacheCollisions
@@ -342,6 +385,22 @@ type engine struct {
 	usedSignals map[string]bool // support already paid for
 
 	moves [][]bool // QBF countermoves over the targets
+
+	// Simulation-layer state (see sim.go): the cross-window input
+	// pattern pool, a reusable window simulator for divisor pruning,
+	// and the per-window model bank with its aux-equality map and
+	// captured per-copy PI literal vectors. winPatterns records the
+	// patterns harvested while computing one window so a window-cache
+	// hit can replay them, keeping the pool state identical to a cold
+	// run's.
+	patterns    *sim.PatternBank
+	simr        *aig.Simulator
+	winBank     *sim.ModelBank
+	winEqs      map[sat.Var][2]sat.Lit
+	winPIs1     []sat.Lit
+	winPIs2     []sat.Lit
+	inWindow    bool
+	winPatterns [][]bool
 
 	group solverGroup // every SAT solver of this run, for interrupts
 
@@ -611,6 +670,9 @@ func (e *engine) setup() error {
 	e.usedSignals = make(map[string]bool)
 
 	e.buildWindowAndDivisors()
+	if e.simEnabled() {
+		e.patterns = sim.NewPatternBank(w.NumPIs(), simPatternPoolMax)
+	}
 	return nil
 }
 

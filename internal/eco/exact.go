@@ -48,12 +48,27 @@ func (e *engine) exactSupport(s *sat.Solver, fixed []sat.Lit, divs []divisor,
 			assumps = append(assumps, auxs[j])
 		}
 		e.stats.SATCalls++
-		switch s.Solve(assumps...) {
-		case sat.Unsat:
-			sort.Ints(sel)
-			return sel, nil
-		case sat.Unknown:
-			return nil, errBudget
+		fromBank := -1
+		if e.winBank != nil {
+			fromBank = e.winBank.Find(assumps)
+		}
+		if fromBank >= 0 {
+			// A banked model already witnesses this subset's
+			// infeasibility; its divisor values yield the core below.
+			// Termination holds: the derived core forces every later
+			// hitting set to include a divisor whose copies differ on
+			// this pattern, so its (strengthened) aux bit is false and
+			// the same pattern can never re-answer.
+			e.stats.SimElided++
+		} else {
+			switch s.Solve(assumps...) {
+			case sat.Unsat:
+				sort.Ints(sel)
+				return sel, nil
+			case sat.Unknown:
+				return nil, errBudget
+			}
+			e.bankModel(s)
 		}
 		// Infeasible: derive a core from the model. The model exposes
 		// an onset/offset pair agreeing on sel; a valid support must
@@ -67,7 +82,13 @@ func (e *engine) exactSupport(s *sat.Solver, fixed []sat.Lit, divs []divisor,
 			if inSel[j] {
 				continue
 			}
-			if s.ModelBool(d1s[j]) != s.ModelBool(d2s[j]) {
+			var differ bool
+			if fromBank >= 0 {
+				differ = e.winBank.Bit(d1s[j], fromBank) != e.winBank.Bit(d2s[j], fromBank)
+			} else {
+				differ = s.ModelBool(d1s[j]) != s.ModelBool(d2s[j])
+			}
+			if differ {
 				core = append(core, j)
 			}
 		}

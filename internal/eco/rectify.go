@@ -9,6 +9,7 @@ import (
 	"ecopatch/internal/aig"
 	"ecopatch/internal/cnf"
 	"ecopatch/internal/sat"
+	"ecopatch/internal/sim"
 	"ecopatch/internal/synth"
 )
 
@@ -66,10 +67,19 @@ func (e *engine) rectifyOne(i int) error {
 			e.stats.CacheCollisions += int64(coll)
 		}
 	}
+	// Record the patterns this window's compute harvests so a future
+	// cache hit can replay them: the pool state after window i must be
+	// identical whether the window was computed or replayed, or later
+	// windows' pruning (and their keys) would diverge between runs.
+	if key != nil {
+		e.inWindow, e.winPatterns = true, nil
+	}
 	err := e.rectifyOneCompute(i, m0, m1)
+	e.inWindow = false
 	if err == nil && key != nil && !e.cancelled() {
 		e.opt.Cache.Window.Insert(key, e.snapshotPatch(i))
 	}
+	e.winPatterns = nil
 	return err
 }
 
@@ -133,12 +143,23 @@ func (e *engine) encodeExprTwo(sink cnf.Sink, m0, m1 aig.Lit, divs []divisor) ex
 		sink.AddClause(a.Not(), ec.d1s[j], ec.d2s[j].Not())
 		ec.auxs[j] = a
 	}
+	// Capture each copy's PI literals for pattern harvesting. Every
+	// cone is fully encoded by now and Encoded() screens the rest, so
+	// the capture never alters the clause/variable stream. Skipped
+	// under preprocessing: eliminated PI variables have no model value.
+	if e.simEnabled() && !e.opt.Preprocess {
+		e.winPIs1 = e.capturePIs(enc1)
+		e.winPIs2 = e.capturePIs(enc2)
+	}
 	return ec
 }
 
 // satPatch runs the SAT-based flow for one target: the two-copy
 // extended miter of expression (2), support selection, and patch
-// function computation.
+// function computation. With SimPrune on, a simulation-pruned divisor
+// subset is attempted first — UNSAT on a subset is a valid (cheaper to
+// encode and minimize) patch basis; only an insufficient subset falls
+// back to the full set, so budget expiry keeps its usual meaning.
 func (e *engine) satPatch(i int, m0, m1 aig.Lit) error {
 	divs := e.orderedDivisors()
 	if e.opt.Support == SupportAnalyzeFinal {
@@ -148,6 +169,27 @@ func (e *engine) satPatch(i int, m0, m1 aig.Lit) error {
 		divs = append([]divisor(nil), e.divisors...)
 		sort.Slice(divs, func(a, b int) bool { return divs[a].name < divs[b].name })
 	}
+	if pruned := e.pruneDivisors(i, divs); pruned != nil {
+		err := e.satPatchWith(i, m0, m1, pruned)
+		if err == nil {
+			e.stats.SimPruned += int64(len(divs) - len(pruned))
+			return nil
+		}
+		if !errors.Is(err, errInsufficient) {
+			return err
+		}
+		e.logf("target %s: pruned divisor set insufficient; retrying full set", e.targets[i])
+	}
+	return e.satPatchWith(i, m0, m1, divs)
+}
+
+// satPatchWith is satPatch over one specific divisor set.
+func (e *engine) satPatchWith(i int, m0, m1 aig.Lit, divs []divisor) error {
+	// The model bank and PI captures are scoped to this encoding; they
+	// must not leak into the next attempt or window.
+	defer func() {
+		e.winBank, e.winEqs, e.winPIs1, e.winPIs2 = nil, nil, nil, nil
+	}()
 
 	// Expression (2): UNSAT under all equalities iff the divisors can
 	// express a patch. At Parallelism > 1 the query races across the
@@ -178,6 +220,7 @@ func (e *engine) satPatch(i int, m0, m1 aig.Lit) error {
 			e.recordRace(p)
 			switch st {
 			case sat.Sat:
+				e.bankModel(p) // the insufficiency witness is a useful pattern
 				return errInsufficient
 			case sat.Unknown:
 				return errBudget
@@ -189,6 +232,7 @@ func (e *engine) satPatch(i int, m0, m1 aig.Lit) error {
 			e.stats.SATCalls++
 			switch s.Solve(append([]sat.Lit{ec.r1, ec.r2}, ec.auxs...)...) {
 			case sat.Sat:
+				e.bankModel(s)
 				return errInsufficient
 			case sat.Unknown:
 				return errBudget
@@ -200,6 +244,7 @@ func (e *engine) satPatch(i int, m0, m1 aig.Lit) error {
 		e.stats.SATCalls++
 		switch s.Solve(append([]sat.Lit{ec.r1, ec.r2}, ec.auxs...)...) {
 		case sat.Sat:
+			e.bankModel(s)
 			return errInsufficient
 		case sat.Unknown:
 			return errBudget
@@ -208,6 +253,22 @@ func (e *engine) satPatch(i int, m0, m1 aig.Lit) error {
 	r1, r2 := ec.r1, ec.r2
 	auxs, d1s, d2s := ec.auxs, ec.d1s, ec.d2s
 	fixed := []sat.Lit{r1, r2}
+	if e.opt.SimBank {
+		// Feasibility holds; from here to cube enumeration the clause
+		// set is frozen, so models of later Sat queries can be banked
+		// and replayed against any assumption-only re-solve. Watch
+		// everything those queries assume or read back.
+		watch := make([]sat.Lit, 0, 2+3*len(divs))
+		watch = append(watch, r1, r2)
+		watch = append(watch, auxs...)
+		watch = append(watch, d1s...)
+		watch = append(watch, d2s...)
+		e.winBank = sim.NewModelBank(watch, simModelBankMax)
+		e.winEqs = make(map[sat.Var][2]sat.Lit, len(auxs))
+		for j, a := range auxs {
+			e.winEqs[a.Var()] = [2]sat.Lit{d1s[j], d2s[j]}
+		}
+	}
 	// Capture the analyze_final core now; later Solve calls clobber it.
 	coreIdx := e.coreSupport(s, auxs)
 
@@ -220,6 +281,10 @@ func (e *engine) satPatch(i int, m0, m1 aig.Lit) error {
 	if err != nil {
 		return err
 	}
+
+	// Cube enumeration adds blocking clauses, which invalidates every
+	// banked model — the bank's soundness ends here.
+	e.winBank, e.winEqs = nil, nil
 
 	tPatch := time.Now()
 	defer func() { e.stats.PatchTime += time.Since(tPatch) }()
@@ -385,7 +450,9 @@ func (e *engine) minimizeSupport(s *sat.Solver, fixed []sat.Lit, auxs []sat.Lit,
 		idx[a] = j
 	}
 	run := func(arr []sat.Lit) ([]int, error) {
-		m := &minimizer{s: s, fixed: fixed, calls: &e.stats.MinimizeCalls}
+		m := &minimizer{s: s, fixed: fixed, calls: &e.stats.MinimizeCalls,
+			satCalls: &e.stats.SATCalls, bank: e.winBank,
+			elided: &e.stats.SimElided, onSat: func() { e.bankModel(s) }}
 		kept, err := m.minimize(arr)
 		if err != nil {
 			return nil, err
@@ -433,12 +500,16 @@ func (e *engine) lastGasp(s *sat.Solver, fixed []sat.Lit, divs []divisor, auxs [
 	// Try most expensive selected first.
 	order := append([]int(nil), selected...)
 	sort.Slice(order, func(a, b int) bool { return divs[order[a]].cost > divs[order[b]].cost })
+	// Scratch assumption buffer, reused across the O(|sel|·|divs|)
+	// probes like minimizer.scratch — a fresh slice per probe is
+	// measurable garbage on this double loop.
+	scratch := make([]sat.Lit, 0, len(fixed)+len(selected))
 	for _, j := range order {
 		for j2 := range divs {
 			if inSel[j2] || divs[j2].cost >= divs[j].cost {
 				continue
 			}
-			assumps := append([]sat.Lit(nil), fixed...)
+			assumps := append(scratch[:0], fixed...)
 			for _, k := range selected {
 				if k == j {
 					assumps = append(assumps, auxs[j2])
@@ -446,8 +517,20 @@ func (e *engine) lastGasp(s *sat.Solver, fixed []sat.Lit, divs []divisor, auxs [
 					assumps = append(assumps, auxs[k])
 				}
 			}
+			scratch = assumps
 			e.stats.SATCalls++
-			st := s.Solve(assumps...)
+			var st sat.Status
+			if e.winBank != nil && e.winBank.Find(assumps) >= 0 {
+				// A banked model satisfies the swapped selector set:
+				// the replacement is infeasible (Sat) — no solver work.
+				e.stats.SimElided++
+				st = sat.Sat
+			} else {
+				st = s.Solve(assumps...)
+				if st == sat.Sat {
+					e.bankModel(s)
+				}
+			}
 			if st == sat.Unknown {
 				return selected, nil // keep what we have
 			}

@@ -1,6 +1,9 @@
 package eco
 
-import "ecopatch/internal/sat"
+import (
+	"ecopatch/internal/sat"
+	"ecopatch/internal/sim"
+)
 
 // minimizer implements procedure minimize_assumptions (Algorithm 1 of
 // the paper): given a formula UNSAT under fixed ∪ A, it permutes A in
@@ -17,6 +20,18 @@ type minimizer struct {
 	fixed []sat.Lit
 	calls *int
 
+	// satCalls, when non-nil, also counts each query toward the
+	// engine-wide Stats.SATCalls total (see its invariant).
+	satCalls *int64
+	// bank, when non-nil, elides solver work: minimize only assumes
+	// literals, never adds clauses, so a banked model satisfying the
+	// whole assumption set answers Sat exactly. elided counts the hits;
+	// onSat (if set) runs after each real solver Sat so the caller can
+	// bank the fresh model.
+	bank   *sim.ModelBank
+	elided *int64
+	onSat  func()
+
 	// scratch is the assumption buffer reused across solve calls:
 	// minimize issues O(log N + M) SAT queries and allocating a fresh
 	// slice per query is measurable garbage on Algorithm 1's hot loop.
@@ -27,12 +42,22 @@ func (m *minimizer) solve(extra []sat.Lit) (sat.Status, error) {
 	if m.calls != nil {
 		*m.calls++
 	}
+	if m.satCalls != nil {
+		*m.satCalls++
+	}
 	assumps := append(m.scratch[:0], m.fixed...)
 	assumps = append(assumps, extra...)
 	m.scratch = assumps
+	if m.bank != nil && m.bank.Find(assumps) >= 0 {
+		*m.elided++
+		return sat.Sat, nil
+	}
 	st := m.s.Solve(assumps...)
 	if st == sat.Unknown {
 		return st, errBudget
+	}
+	if st == sat.Sat && m.onSat != nil {
+		m.onSat()
 	}
 	return st, nil
 }

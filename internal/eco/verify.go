@@ -42,6 +42,11 @@ func (e *engine) verify() (bool, error) {
 	}
 	if !res.Equivalent {
 		e.logf("verification failed at output %d", res.FailingOutput)
+		if res.Counterexample != nil {
+			// The counterexample is a care pattern the retry pass (and
+			// later windows) should simulate divisors against.
+			e.addPattern(res.Counterexample)
+		}
 	}
 	return res.Equivalent, nil
 }

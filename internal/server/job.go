@@ -88,6 +88,10 @@ type JobOptions struct {
 	// vivification) on the job's captured solves. Absent takes the
 	// server default (-prep); incompatible with patch "interp".
 	Preprocess *bool `json:"preprocess,omitempty"`
+	// Sim enables the bit-parallel simulation layer (pattern-bank SAT
+	// call elision + divisor pruning) for the job. Absent takes the
+	// server default (-sim).
+	Sim *bool `json:"sim,omitempty"`
 }
 
 // Eco materializes the engine options, starting from DefaultOptions.
@@ -143,6 +147,9 @@ func (o JobOptions) Eco() (eco.Options, error) {
 	opt.Parallelism = o.Parallelism
 	if o.Preprocess != nil {
 		opt.Preprocess = *o.Preprocess
+	}
+	if o.Sim != nil {
+		opt.SimBank, opt.SimPrune = *o.Sim, *o.Sim
 	}
 	if opt.Preprocess && opt.Patch == eco.PatchInterpolation {
 		return opt, fmt.Errorf("preprocess is incompatible with patch \"interp\" (proof logging needs the original clauses)")

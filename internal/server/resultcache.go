@@ -55,6 +55,8 @@ func requestDigest(req *JobRequest, opt eco.Options) string {
 	wi(int64(opt.Timeout / time.Nanosecond))
 	wi(int64(opt.Parallelism))
 	wb(opt.Preprocess)
+	wb(opt.SimBank)
+	wb(opt.SimPrune)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

@@ -56,6 +56,10 @@ type Config struct {
 	// incompatible with proof logging, and a server-wide default must
 	// not reject jobs that never asked for it.
 	DefaultPreprocess bool
+	// DefaultSim enables the bit-parallel simulation layer (pattern
+	// bank + divisor pruning) for jobs that leave "sim" unset
+	// (ecod serve -sim).
+	DefaultSim bool
 	// DataDir, when set, enables crash-safe persistence: solve-cache
 	// entries and job transitions are appended to a segment log in this
 	// directory and replayed on the next boot — finished jobs stay
@@ -300,6 +304,9 @@ func (s *Server) jobFinished(j *Job, status JobStatus) {
 		stats.Prep.ClausesSubsumed = status.Result.PrepClausesSubsumed
 		stats.Prep.LitsStrengthened = status.Result.PrepLitsStrengthened
 		stats.Prep.PrepTime = time.Duration(status.Result.PrepSeconds * float64(time.Second))
+		stats.SimElided = status.Result.SimElided
+		stats.SimPruned = status.Result.SimPruned
+		stats.SimPatterns = status.Result.SimPatterns
 	}
 	s.metrics.Finished(status.State, solve, stats)
 	s.cfg.Log.Printf("job %s (%s) -> %s", j.ID, j.Name, status.State)
@@ -462,6 +469,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Options.Preprocess == nil && s.cfg.DefaultPreprocess && opt.Patch != eco.PatchInterpolation {
 		opt.Preprocess = true
+	}
+	if req.Options.Sim == nil && s.cfg.DefaultSim {
+		opt.SimBank, opt.SimPrune = true, true
 	}
 	if s.cfg.MaxTimeout > 0 && (opt.Timeout == 0 || opt.Timeout > s.cfg.MaxTimeout) {
 		opt.Timeout = s.cfg.MaxTimeout

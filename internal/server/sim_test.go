@@ -1,0 +1,94 @@
+package server
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"ecopatch/internal/eco"
+)
+
+// TestJobOptionsSim pins the wire-level mapping: the single "sim"
+// tri-state drives both engine mechanisms, and absent means off at
+// this layer (the server default applies later, at admission).
+func TestJobOptionsSim(t *testing.T) {
+	on := true
+	opt, err := JobOptions{Sim: &on}.Eco()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opt.SimBank || !opt.SimPrune {
+		t.Fatalf("explicit sim=true not applied: bank=%v prune=%v", opt.SimBank, opt.SimPrune)
+	}
+	opt, err = JobOptions{}.Eco()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.SimBank || opt.SimPrune {
+		t.Fatal("absent sim defaulted on at the options layer")
+	}
+}
+
+// TestServerDefaultSim pins the -sim server default: jobs that leave
+// sim unset inherit it, an explicit false wins over the default, and
+// the simulation counters of finished jobs surface in /metrics.
+func TestServerDefaultSim(t *testing.T) {
+	opts := make(chan eco.Options, 1)
+	s, c := newTestServer(t, Config{Workers: 1, QueueCap: 8, DefaultSim: true})
+	s.solve = func(ctx context.Context, inst *eco.Instance, opt eco.Options) (*eco.Result, error) {
+		opts <- opt
+		res := &eco.Result{Feasible: true, Verified: true}
+		if opt.SimBank {
+			res.Stats.SimElided = 7
+			res.Stats.SimPruned = 3
+			res.Stats.SimPatterns = 11
+		}
+		return res, nil
+	}
+	ctx := context.Background()
+
+	submit := func(jo JobOptions) eco.Options {
+		t.Helper()
+		req := testRequest()
+		req.Options = jo
+		st, err := c.Submit(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Wait(ctx, st.ID, 2*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case opt := <-opts:
+			return opt
+		case <-time.After(5 * time.Second):
+			t.Fatal("solve never ran")
+			return eco.Options{}
+		}
+	}
+
+	if opt := submit(JobOptions{}); !opt.SimBank || !opt.SimPrune {
+		t.Fatal("unset sim did not inherit the server default")
+	}
+	off := false
+	if opt := submit(JobOptions{Sim: &off}); opt.SimBank || opt.SimPrune {
+		t.Fatal("explicit sim=false overridden by the server default")
+	}
+
+	// Only the first submit ran with sim on; its counters must show in
+	// /metrics.
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"ecod_sim_elided_total 7",
+		"ecod_sim_pruned_divisors_total 3",
+		"ecod_sim_patterns_total 11",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package sim
+
+// Canonical-polarity simulation signatures, shared by the CEC sweeper
+// (candidate equivalence classes) and the eco engine's divisor
+// pruning (duplicate detection). A signature is the sequence of
+// 64-pattern simulation words of one edge; its canonical form forces
+// the first pattern bit to 0 by complementing every word, so an edge
+// and its complement key equal — exactly the "equivalent up to
+// complementation" relation fraiging merges on, and the right
+// duplicate relation for divisor pruning too (the equality selectors
+// of expression (2) are complement-invariant).
+
+// CanonKey hashes a signature in canonical polarity with FNV-1a over
+// the raw 64-bit words and reports whether canonicalization
+// complemented it. Earlier versions materialized the canonical
+// signature as a []byte map key — O(words × 8) fresh bytes per lookup;
+// the hash is allocation-free, and collisions are screened with
+// CanonEqual before anything trusts a bucket match.
+func CanonKey(sig []uint64) (uint64, bool) {
+	compl := len(sig) > 0 && sig[0]&1 == 1
+	h := uint64(1469598103934665603) // FNV offset basis
+	for _, w := range sig {
+		if compl {
+			w = ^w
+		}
+		h ^= w
+		h *= 1099511628211 // FNV prime
+	}
+	return h, compl
+}
+
+// CanonEqual reports whether two signatures agree word-for-word in
+// canonical polarity — the collision check behind CanonKey buckets.
+func CanonEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ca := len(a) > 0 && a[0]&1 == 1
+	cb := len(b) > 0 && b[0]&1 == 1
+	for i := range a {
+		wa, wb := a[i], b[i]
+		if ca {
+			wa = ^wa
+		}
+		if cb {
+			wb = ^wb
+		}
+		if wa != wb {
+			return false
+		}
+	}
+	return true
+}

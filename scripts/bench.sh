@@ -14,9 +14,11 @@
 # ecobench/table1@v1) so the serial/parallel wall-clock ratio is
 # tracked alongside the microbenchmarks, plus a preprocessing run
 # (BENCH_table1_prep.json) whose cells carry the prep_* counters for
-# before/after comparison against the p1 baseline, and a
-# restart-warm run against a persisted solve-cache file
-# (BENCH_table1_persist.json, experiment E14).
+# before/after comparison against the p1 baseline, a restart-warm run
+# against a persisted solve-cache file (BENCH_table1_persist.json,
+# experiment E14), and a simulation-layer run (BENCH_table1_sim.json,
+# experiment E15) whose cells carry the sim_* counters for elision and
+# pruning rates against the p1 baseline.
 #
 # Run from the repository root. Non-gating: failures here never block
 # verify.sh.
@@ -77,7 +79,9 @@ go run ./cmd/ecobench -mode table1 -p 4 -timeout "$T1_TIMEOUT" \
 	-json BENCH_table1_p4.json >/dev/null
 go run ./cmd/ecobench -mode table1 -p 1 -prep -timeout "$T1_TIMEOUT" \
 	-json BENCH_table1_prep.json >/dev/null
-echo "wrote BENCH_table1_p1.json, BENCH_table1_p4.json and BENCH_table1_prep.json"
+go run ./cmd/ecobench -mode table1 -p 1 -sim -timeout "$T1_TIMEOUT" \
+	-json BENCH_table1_sim.json >/dev/null
+echo "wrote BENCH_table1_p1.json, BENCH_table1_p4.json, BENCH_table1_prep.json and BENCH_table1_sim.json"
 
 # Persistence: the suite twice in two separate processes sharing only
 # a solve-cache file — the restart-warm run (experiment E14) is what

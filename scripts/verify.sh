@@ -32,6 +32,14 @@ go test -race -count=1 -run 'Cache|Dedup|Retry|Warm' \
 go test -race -count=1 -run 'Prep|Reconstruct|Vivif|Subsum|Elim' \
 	./internal/sat ./internal/cnf ./internal/eco ./internal/cec
 
+# Focused race pass over the bit-parallel simulation layer: the
+# pattern/model banks, the evaluator/simulator rewrites, and the
+# sim-on engine differentials (verdict/cost parity, serial and cache
+# determinism, options-key separation).
+go test -race -count=1 ./internal/sim
+go test -race -count=1 -run 'Sim|Evaluator|Sweep' \
+	./internal/aig ./internal/eco ./internal/cec
+
 # Focused race pass over the persistence layer: the segment log
 # (group-commit fsync, rotation, compaction vs concurrent appends),
 # torn-tail recovery, the daemon's replay/restore paths, and the
@@ -51,6 +59,9 @@ if [ "${BENCH:-0}" = "1" ]; then
 	go test -run FuzzPersistDecode -fuzz FuzzPersistDecode \
 		-fuzztime=10s ./internal/persist \
 		|| echo "persist fuzz smoke failed (non-gating)"
+	go test -run FuzzSimWords -fuzz FuzzSimWords \
+		-fuzztime=10s ./internal/aig \
+		|| echo "sim fuzz smoke failed (non-gating)"
 fi
 
 # Optional, gating when enabled: end-to-end ecod daemon smoke tests —
