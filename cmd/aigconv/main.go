@@ -9,7 +9,8 @@
 //	aigconv design.blif design.aig
 //	aigconv circuit.aag circuit.v
 //
-// Optionally runs the cleanup/balance optimization passes in between:
+// Optionally runs the full optimization pipeline (cut-based NPN
+// rewriting, balance, cleanup — aig.Optimize) in between:
 //
 //	aigconv -opt input.v output.aig
 package main
@@ -27,7 +28,7 @@ import (
 )
 
 func main() {
-	opt := flag.Bool("opt", false, "run cleanup+balance passes before writing")
+	opt := flag.Bool("opt", false, "run the rewrite+balance+cleanup pipeline (aig.Optimize) before writing")
 	stats := flag.Bool("stats", false, "print node counts")
 	flag.Parse()
 	if flag.NArg() != 2 {
@@ -44,7 +45,7 @@ func main() {
 		fmt.Printf("read    %s: %d PIs, %d POs, %d ANDs\n", in, g.NumPIs(), g.NumPOs(), g.NumAnds())
 	}
 	if *opt {
-		g = aig.Cleanup(aig.Balance(g))
+		g = aig.Optimize(g)
 		if *stats {
 			fmt.Printf("optimized: %d ANDs, depth %d\n", g.NumAnds(), maxLevel(g))
 		}

@@ -16,9 +16,10 @@
 // Usage:
 //
 //	ecobench [-mode table1|copies|mincalls|patchcmp] [-scale N]
-//	         [-unit unitK] [-modes baseline,minassume,exact]
+//	         [-unit unitK] [-units unitK,unitL,...]
+//	         [-modes baseline,minassume,exact]
 //	         [-j N] [-p N] [-timeout 30s] [-cache N] [-cache-file f] [-warm]
-//	         [-prep] [-sim] [-json report.json]
+//	         [-prep] [-sim] [-rewrite] [-json report.json]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
@@ -48,6 +49,7 @@ func realMain() int {
 		mode       = flag.String("mode", "table1", "experiment: table1, copies, mincalls, patchcmp, all")
 		scale      = flag.Int("scale", 1, "circuit size multiplier")
 		unit       = flag.String("unit", "", "restrict table1 to one unit")
+		units      = flag.String("units", "", "restrict table1 to a comma-separated list of units (e.g. unit3,unit7)")
 		modesStr   = flag.String("modes", strings.Join(bench.Modes, ","), "table1 algorithm columns")
 		jobs       = flag.Int("j", 1, "worker goroutines for the table1 sweep")
 		par        = flag.Int("p", 1, "intra-solve parallelism per cell (SAT portfolio + sharded verification); 1 = serial deterministic engine")
@@ -57,6 +59,7 @@ func realMain() int {
 		warm       = flag.Bool("warm", false, "run table1 twice against one cache (cold then warm) and report the speedup")
 		prep       = flag.Bool("prep", false, "enable CNF preprocessing (BVE, subsumption, vivification) on every captured solve")
 		sim        = flag.Bool("sim", false, "enable the bit-parallel simulation layer (pattern-bank SAT-call elision + divisor pruning)")
+		rewrite    = flag.Bool("rewrite", false, "enable DAG-aware rewriting of every miter before it reaches the solvers")
 		jsonPath   = flag.String("json", "", "also write the table1 report as JSON to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile (go tool pprof) to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile taken at exit to this file")
@@ -104,7 +107,7 @@ func realMain() int {
 				run   func() error
 			}{
 				{"Table 1", func() error {
-					return runTable1(*scale, *unit, modes, *jobs, *par, *timeout, *cacheEnt, *cacheFile, *warm, *prep, *sim, *jsonPath)
+					return runTable1(*scale, parseUnits(*unit, *units), modes, *jobs, *par, *timeout, *cacheEnt, *cacheFile, *warm, *prep, *sim, *rewrite, *jsonPath)
 				}},
 				{"E5: minimize_assumptions SAT calls (§3.4.1)", func() error { return bench.RunMinCalls(os.Stdout) }},
 				{"E6: miter copies for structural multi-target (§3.6.2)", func() error { return bench.RunCopies(*scale, os.Stdout) }},
@@ -117,7 +120,7 @@ func realMain() int {
 				fmt.Println()
 			}
 		case "table1":
-			err = runTable1(*scale, *unit, modes, *jobs, *par, *timeout, *cacheEnt, *cacheFile, *warm, *prep, *sim, *jsonPath)
+			err = runTable1(*scale, parseUnits(*unit, *units), modes, *jobs, *par, *timeout, *cacheEnt, *cacheFile, *warm, *prep, *sim, *rewrite, *jsonPath)
 		case "copies":
 			err = bench.RunCopies(*scale, os.Stdout)
 		case "mincalls":
@@ -162,14 +165,29 @@ func parseModes(s string) ([]string, error) {
 	return modes, nil
 }
 
-func runTable1(scale int, unit string, modes []string, jobs, par int, timeout time.Duration, cacheEnt int, cacheFile string, warm, prep, sim bool, jsonPath string) error {
+// parseUnits merges the -unit and -units selections into one list,
+// splitting -units on commas and dropping empty entries. Unknown unit
+// names are rejected later by the sweep (ConfigByName).
+func parseUnits(unit, units string) []string {
+	var out []string
+	if unit != "" {
+		out = append(out, unit)
+	}
+	for _, part := range strings.Split(units, ",") {
+		if u := strings.TrimSpace(part); u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+func runTable1(scale int, units []string, modes []string, jobs, par int, timeout time.Duration, cacheEnt int, cacheFile string, warm, prep, sim, rewrite bool, jsonPath string) error {
 	opts := bench.RunOptions{
 		Scale: scale, Modes: modes, Jobs: jobs, Timeout: timeout,
 		Parallelism: par, CacheEntries: cacheEnt, Preprocess: prep, Sim: sim,
+		Rewrite: rewrite,
 	}
-	if unit != "" {
-		opts.Units = []string{unit}
-	}
+	opts.Units = units
 	if cacheFile != "" {
 		// Persistent cache: build the shared cache here so it can be
 		// warmed from disk before the sweep and snapshotted after.

@@ -105,6 +105,7 @@ func cmdServe(args []string) error {
 		cacheEnt   = fs.Int("cache-entries", 256, "content-addressed result cache + shared solve cache size (0 disables)")
 		prep       = fs.Bool("prep", false, "enable CNF preprocessing for jobs that do not set it (skipped for interp-patch jobs)")
 		sim        = fs.Bool("sim", false, "enable the bit-parallel simulation layer for jobs that do not set it")
+		rewrite    = fs.Bool("rewrite", false, "enable DAG-aware miter rewriting for jobs that do not set it")
 	)
 	fs.Parse(args)
 
@@ -126,6 +127,7 @@ func cmdServe(args []string) error {
 		CacheEntries:      *cacheEnt,
 		DefaultPreprocess: *prep,
 		DefaultSim:        *sim,
+		DefaultRewrite:    *rewrite,
 		Log:               logger,
 	})
 	if err != nil {
@@ -182,6 +184,7 @@ func cmdSubmit(args []string) error {
 		par     = fs.Int("p", 0, "intra-solve parallelism for this job (0 = serial daemon default)")
 		prep    = fs.Bool("prep", false, "enable CNF preprocessing for this job (incompatible with -patch interp)")
 		sim     = fs.Bool("sim", false, "enable the bit-parallel simulation layer for this job")
+		rewrite = fs.Bool("rewrite", false, "enable DAG-aware miter rewriting for this job")
 		timeout = fs.Duration("timeout", 0, "per-job deadline (0 = server default)")
 		wait    = fs.Bool("wait", false, "poll the job to completion and print the result")
 		out     = fs.String("o", "", "with -wait: write the patch netlist here ('-' for stdout)")
@@ -215,6 +218,10 @@ func cmdSubmit(args []string) error {
 	if *sim {
 		// Same tri-state convention as -prep.
 		req.Options.Sim = sim
+	}
+	if *rewrite {
+		// Same tri-state convention as -prep.
+		req.Options.Rewrite = rewrite
 	}
 
 	c := &server.Client{Base: *base, MaxRetries: *retries}

@@ -238,32 +238,12 @@ func (g *AIG) OrN(ls ...Lit) Lit {
 // ordered) of all nodes in the transitive fanin cones of roots,
 // including PI and constant nodes reached.
 func (g *AIG) ConeNodes(roots []Lit) []int {
-	mark := make([]bool, len(g.nodes))
-	var stack []int
-	for _, r := range roots {
-		if !mark[r.Node()] {
-			mark[r.Node()] = true
-			stack = append(stack, r.Node())
-		}
-	}
-	for len(stack) > 0 {
-		n := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if g.nodes[n].kind != kindAnd {
-			continue
-		}
-		for _, f := range []Lit{g.nodes[n].f0, g.nodes[n].f1} {
-			if !mark[f.Node()] {
-				mark[f.Node()] = true
-				stack = append(stack, f.Node())
-			}
-		}
-	}
-	var out []int
-	for i, m := range mark {
-		if m {
-			out = append(out, i)
-		}
+	s := optPool.Get().(*optScratch)
+	defer optPool.Put(s)
+	cone := s.coneInto(g, roots)
+	out := make([]int, len(cone))
+	for i, v := range cone {
+		out[i] = int(v)
 	}
 	return out
 }

@@ -1,0 +1,202 @@
+package aig
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// This file implements bounded 4-feasible cut enumeration: for every
+// node, a small set of leaf sets (≤ 4 leaves each) such that every
+// path from the node to the inputs passes through a leaf, with the
+// node's truth table over those leaves computed alongside. The
+// rewriting pass canonicalizes each cut's truth table and tries the
+// class replacement structure over the cut's leaves.
+
+// cutMaxLeaves is the cut width: 4 matches the NPN library.
+const cutMaxLeaves = 4
+
+// defaultMaxCuts bounds the stored cuts per node (the trivial cut
+// rides on top). ABC keeps 8 for rewriting; beyond that, merge cost
+// grows quadratically for little gain.
+const defaultMaxCuts = 8
+
+// cut is one k-feasible cut of a node: the leaf node indices
+// (ascending), a Bloom-style signature for fast subset tests, and the
+// node's function over the leaves (leaf i = truth-table variable i).
+type cut struct {
+	leaves [cutMaxLeaves]int32
+	n      int8
+	sig    uint64
+	tt     uint16
+}
+
+// trivialCut is the unit cut {n}: the node is its own leaf.
+func trivialCut(n int) cut {
+	return cut{leaves: [cutMaxLeaves]int32{int32(n)}, n: 1, sig: cutSigBit(n), tt: projTT[0]}
+}
+
+func cutSigBit(n int) uint64 { return 1 << (uint(n) & 63) }
+
+// hasLeaf reports whether node m is one of the cut's leaves.
+func (c *cut) hasLeaf(m int) bool {
+	for i := int8(0); i < c.n; i++ {
+		if c.leaves[i] == int32(m) {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeLeaves unions two ascending leaf lists into dst, reporting
+// failure when the union exceeds the cut width.
+func mergeLeaves(a, b *cut, dst *cut) bool {
+	i, j, k := int8(0), int8(0), int8(0)
+	for i < a.n || j < b.n {
+		if k == cutMaxLeaves {
+			return false
+		}
+		switch {
+		case j == b.n || (i < a.n && a.leaves[i] < b.leaves[j]):
+			dst.leaves[k] = a.leaves[i]
+			i++
+		case i == a.n || b.leaves[j] < a.leaves[i]:
+			dst.leaves[k] = b.leaves[j]
+			j++
+		default:
+			dst.leaves[k] = a.leaves[i]
+			i++
+			j++
+		}
+		k++
+	}
+	dst.n = k
+	dst.sig = a.sig | b.sig
+	return true
+}
+
+// ttRemap re-expresses a cut truth table over a superset leaf list:
+// pos[i] is the position of the sub-cut's i-th leaf in the merged
+// leaf list.
+func ttRemap(t uint16, nVars int, pos *[cutMaxLeaves]uint8) uint16 {
+	var out uint16
+	for m := 0; m < 16; m++ {
+		idx := 0
+		for i := 0; i < nVars; i++ {
+			idx |= m >> pos[i] & 1 << uint(i)
+		}
+		if t>>idx&1 == 1 {
+			out |= 1 << m
+		}
+	}
+	return out
+}
+
+// enumerateCuts computes up to maxCuts non-trivial cuts per node,
+// bottom-up. cuts[n][0] is always the trivial cut. Deterministic:
+// candidate cuts are sorted by (size, leaf ids) and deduplicated /
+// dominance-filtered in that order.
+func enumerateCuts(g *AIG, maxCuts int) [][]cut {
+	if maxCuts <= 0 {
+		maxCuts = defaultMaxCuts
+	}
+	cuts := make([][]cut, g.NumNodes())
+	cuts[0] = []cut{{tt: 0}} // constant: empty cut, constant-false TT
+	var cand []cut
+	for n := 1; n < g.NumNodes(); n++ {
+		if !g.IsAnd(n) {
+			cuts[n] = []cut{trivialCut(n)}
+			continue
+		}
+		f0, f1 := g.Fanins(n)
+		cand = cand[:0]
+		for i := range cuts[f0.Node()] {
+			c0 := &cuts[f0.Node()][i]
+			for j := range cuts[f1.Node()] {
+				c1 := &cuts[f1.Node()][j]
+				if bits.OnesCount64(c0.sig|c1.sig) > cutMaxLeaves {
+					continue
+				}
+				var m cut
+				if !mergeLeaves(c0, c1, &m) {
+					continue
+				}
+				m.tt = cutFaninTT(c0, &m, f0.Compl()) & cutFaninTT(c1, &m, f1.Compl())
+				cand = append(cand, m)
+			}
+		}
+		sort.Slice(cand, func(a, b int) bool {
+			ca, cb := &cand[a], &cand[b]
+			if ca.n != cb.n {
+				return ca.n < cb.n
+			}
+			for i := int8(0); i < ca.n; i++ {
+				if ca.leaves[i] != cb.leaves[i] {
+					return ca.leaves[i] < cb.leaves[i]
+				}
+			}
+			return false
+		})
+		// Dedup equal leaf sets, drop cuts dominated by an earlier
+		// (smaller-or-equal, hence already kept) cut, cap the list.
+		kept := make([]cut, 1, maxCuts+1)
+		kept[0] = trivialCut(n)
+		for i := range cand {
+			if len(kept) > maxCuts {
+				break
+			}
+			c := &cand[i]
+			dominated := false
+			for k := 1; k < len(kept); k++ {
+				d := &kept[k]
+				if d.sig&^c.sig == 0 && leavesSubset(d, c) {
+					dominated = true // equal sets land here too
+					break
+				}
+			}
+			if !dominated {
+				kept = append(kept, *c)
+			}
+		}
+		cuts[n] = kept
+	}
+	return cuts
+}
+
+// cutFaninTT expresses a fanin edge's function over the merged leaf
+// list m (a superset of the fanin cut's leaves).
+func cutFaninTT(c *cut, m *cut, compl bool) uint16 {
+	var pos [cutMaxLeaves]uint8
+	for i := int8(0); i < c.n; i++ {
+		for j := int8(0); j < m.n; j++ {
+			if m.leaves[j] == c.leaves[i] {
+				pos[i] = uint8(j)
+				break
+			}
+		}
+	}
+	t := ttRemap(c.tt, int(c.n), &pos)
+	if compl {
+		t = ^t
+	}
+	return t
+}
+
+// leavesSubset reports whether a's leaves are all leaves of b.
+func leavesSubset(a, b *cut) bool {
+	i, j := int8(0), int8(0)
+	for i < a.n {
+		if j == b.n {
+			return false
+		}
+		switch {
+		case a.leaves[i] == b.leaves[j]:
+			i++
+			j++
+		case a.leaves[i] > b.leaves[j]:
+			j++
+		default:
+			return false
+		}
+	}
+	return true
+}

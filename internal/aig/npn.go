@@ -1,0 +1,445 @@
+package aig
+
+import "sync"
+
+// This file implements NPN canonicalization of 4-variable truth
+// tables and the precomputed replacement library the rewriting pass
+// (rewrite.go) draws from. Two 4-input functions are NPN-equivalent
+// when one becomes the other under input Negation, input Permutation
+// and output Negation; the 65536 functions fall into exactly 222
+// classes. The rewriter only needs one good AIG structure per class:
+// a cut's truth table is canonicalized, the class structure is
+// instantiated over the cut leaves through the recorded recipe, and
+// structural hashing does the rest.
+//
+// The canonicalizer is built once, by orbit search: scanning all
+// 65536 functions in ascending order, the first member of each
+// not-yet-visited orbit is its minimum and becomes the class
+// representative; a BFS over the generator moves (negate one input,
+// swap two adjacent inputs, negate the output) labels every orbit
+// member with the recipe that rebuilds it from the representative.
+// The whole construction is deterministic and takes a few
+// milliseconds, so it runs lazily under a sync.Once instead of being
+// embedded as a generated table.
+
+// NPNRecipe rebuilds a function f from its class representative c:
+//
+//	f(x0,x1,x2,x3) = c(y0,y1,y2,y3) ^ NegOut, where yj = x[Perm[j]] ^ NegIn<<j&1
+//
+// i.e. input j of the representative reads variable Perm[j],
+// complemented when bit j of NegIn is set.
+type NPNRecipe struct {
+	Perm   [4]uint8 // input j of the representative reads variable Perm[j]
+	NegIn  uint8    // bit j: input j of the representative is complemented
+	NegOut bool     // the output is complemented
+}
+
+// Apply rebuilds the original truth table from the representative's
+// (the inverse direction of canonicalization). Exercised exhaustively
+// by the tests; the rewriter itself applies recipes to AIG edges, not
+// truth tables.
+func (r NPNRecipe) Apply(canon uint16) uint16 {
+	var f uint16
+	for m := 0; m < 16; m++ {
+		idx := 0
+		for j := 0; j < 4; j++ {
+			v := m>>r.Perm[j]&1 == 1
+			if r.NegIn>>j&1 == 1 {
+				v = !v
+			}
+			if v {
+				idx |= 1 << j
+			}
+		}
+		if (canon>>idx&1 == 1) != r.NegOut {
+			f |= 1 << m
+		}
+	}
+	return f
+}
+
+// NPNCanon returns the canonical representative of tt's NPN class
+// (the minimum truth table in the orbit) and the recipe rebuilding tt
+// from it.
+func NPNCanon(tt uint16) (uint16, NPNRecipe) {
+	npnInit()
+	return npnCanon[tt], NPNRecipe{
+		Perm: [4]uint8{
+			npnPerm[tt] & 3,
+			npnPerm[tt] >> 2 & 3,
+			npnPerm[tt] >> 4 & 3,
+			npnPerm[tt] >> 6 & 3,
+		},
+		NegIn:  npnNeg[tt] & 0xf,
+		NegOut: npnNeg[tt]&0x10 != 0,
+	}
+}
+
+// NPNClasses returns the canonical representatives of all NPN classes
+// of 4-variable functions, in ascending order. There are exactly 222.
+func NPNClasses() []uint16 {
+	npnInit()
+	out := make([]uint16, len(npnReps))
+	copy(out, npnReps)
+	return out
+}
+
+var (
+	npnOnce  sync.Once
+	npnCanon [1 << 16]uint16
+	npnPerm  [1 << 16]uint8 // packed σ: input j of canon reads var (npnPerm>>2j)&3
+	npnNeg   [1 << 16]uint8 // bits 0..3: input negations; bit 4: output negation
+	npnReps  []uint16
+	npnProgs map[uint16][]*npnProgram // class representative → replacement structures
+)
+
+// projTT[v] is the truth table of the projection onto variable v.
+var projTT = [4]uint16{0xAAAA, 0xCCCC, 0xF0F0, 0xFF00}
+
+// ttFlipIn negates input v of a truth table: bit m takes the value of
+// bit m^(1<<v).
+func ttFlipIn(t uint16, v int) uint16 {
+	s := uint(1) << uint(v)
+	hi := t & projTT[v]
+	lo := t &^ projTT[v]
+	return hi>>s | lo<<s
+}
+
+// ttSwapIn exchanges adjacent inputs v and v+1: bits where the two
+// variables agree stay put, bits where they differ trade places.
+func ttSwapIn(t uint16, v int) uint16 {
+	s := uint(1) << uint(v)
+	up := projTT[v] &^ projTT[v+1]   // minterms with x_v=1, x_{v+1}=0
+	down := projTT[v+1] &^ projTT[v] // minterms with x_v=0, x_{v+1}=1
+	return t&^(up|down) | (t&up)<<s | (t&down)>>s
+}
+
+func npnInit() {
+	npnOnce.Do(func() {
+		visited := make([]bool, 1<<16)
+		queue := make([]uint16, 0, 768)
+		const identPerm = 0<<0 | 1<<2 | 2<<4 | 3<<6
+		for f := 0; f < 1<<16; f++ {
+			if visited[f] {
+				continue
+			}
+			rep := uint16(f)
+			npnReps = append(npnReps, rep)
+			visited[f] = true
+			npnCanon[f] = rep
+			npnPerm[f] = identPerm
+			npnNeg[f] = 0
+			queue = append(queue[:0], rep)
+			for len(queue) > 0 {
+				t := queue[0]
+				queue = queue[1:]
+				p, n := npnPerm[t], npnNeg[t]
+				visit := func(t2 uint16, p2, n2 uint8) {
+					if !visited[t2] {
+						visited[t2] = true
+						npnCanon[t2] = rep
+						npnPerm[t2] = p2
+						npnNeg[t2] = n2
+						queue = append(queue, t2)
+					}
+				}
+				// Output negation.
+				visit(^t, p, n^0x10)
+				// Input negations: negating variable k complements every
+				// canon input that reads k.
+				for k := 0; k < 4; k++ {
+					n2 := n
+					for j := uint(0); j < 4; j++ {
+						if p>>(2*j)&3 == uint8(k) {
+							n2 ^= 1 << j
+						}
+					}
+					visit(ttFlipIn(t, k), p, n2)
+				}
+				// Adjacent swaps: canon inputs reading k and k+1 trade
+				// their variables.
+				for k := 0; k < 3; k++ {
+					p2 := uint8(0)
+					for j := uint(0); j < 4; j++ {
+						v := p >> (2 * j) & 3
+						if v == uint8(k) {
+							v = uint8(k + 1)
+						} else if v == uint8(k+1) {
+							v = uint8(k)
+						}
+						p2 |= v << (2 * j)
+					}
+					visit(ttSwapIn(t, k), p2, n)
+				}
+			}
+		}
+		npnProgs = make(map[uint16][]*npnProgram, len(npnReps))
+		for _, rep := range npnReps {
+			npnProgs[rep] = synthPrograms(rep)
+		}
+	})
+}
+
+// npnProgramsFor returns the replacement structures of a class
+// representative (a truth table previously returned by NPNCanon):
+// the ISOP-factored forms of the function and of its complement,
+// smaller first. Keeping both matters — they are the two cube
+// families of the function, and only one of them can share logic
+// with a given existing implementation (XOR built as ab'+a'b versus
+// XNOR built as ab+a'b' is the classic case).
+func npnProgramsFor(canon uint16) []*npnProgram {
+	npnInit()
+	return npnProgs[canon]
+}
+
+// --- replacement library -------------------------------------------
+//
+// Each class representative is stored as a compact straight-line
+// program over slots: slot 0 is constant false, slots 1..4 are the
+// four canon inputs, slot 5+i is the i-th AND step. Operands are
+// refs (slot<<1 | complement). Instantiating a program in a target
+// AIG goes through (*AIG).And, so structural hashing shares any step
+// that already exists there — and a probe-only pass (cost) counts
+// exactly how many fresh nodes a build would add without adding any.
+
+type npnProgram struct {
+	steps [][2]uint8 // AND steps: two operand refs each
+	root  uint8      // ref of the function root
+}
+
+const npnMaxSlots = 64 // 5 fixed slots + worst-case ISOP steps, with slack
+
+// build instantiates the program in g over the four canon-input
+// edges, returning the root edge.
+func (p *npnProgram) build(g *AIG, ins [4]Lit) Lit {
+	var vals [npnMaxSlots]Lit
+	vals[0] = ConstFalse
+	copy(vals[1:5], ins[:])
+	for i, st := range p.steps {
+		a := vals[st[0]>>1].XorCompl(st[0]&1 == 1)
+		b := vals[st[1]>>1].XorCompl(st[1]&1 == 1)
+		vals[5+i] = g.And(a, b)
+	}
+	return vals[p.root>>1].XorCompl(p.root&1 == 1)
+}
+
+// cost counts the AND nodes build would add to g right now, by
+// probing the structural hash without inserting. A step whose
+// operands both resolve probes the hash; a step depending on a
+// missing node is itself necessarily new. Constant folding on
+// unresolved operands is not modeled, so the count can only
+// overestimate — never under — which keeps gain decisions sound.
+// Every existing node the structure would reference is reported
+// through onReuse (the caller charges reused nodes it had counted as
+// dying).
+func (p *npnProgram) cost(g *AIG, ins [4]Lit, onReuse func(ngNode int)) int {
+	var vals [npnMaxSlots]Lit
+	var known [npnMaxSlots]bool
+	vals[0] = ConstFalse
+	known[0] = true
+	copy(vals[1:5], ins[:])
+	known[1], known[2], known[3], known[4] = true, true, true, true
+	added := 0
+	for i, st := range p.steps {
+		sa, sb := st[0]>>1, st[1]>>1
+		if known[sa] && known[sb] {
+			a := vals[sa].XorCompl(st[0]&1 == 1)
+			b := vals[sb].XorCompl(st[1]&1 == 1)
+			if l, ok := g.probeAnd(a, b); ok {
+				vals[5+i] = l
+				known[5+i] = true
+				if onReuse != nil && l.Node() != 0 {
+					onReuse(l.Node())
+				}
+				continue
+			}
+		}
+		added++
+	}
+	return added
+}
+
+// probeAnd mirrors And's folding and hashing without creating a node:
+// it reports the edge an And(a, b) call would return, when that edge
+// already exists.
+func (g *AIG) probeAnd(a, b Lit) (Lit, bool) {
+	switch {
+	case a == ConstFalse || b == ConstFalse || a == b.Not():
+		return ConstFalse, true
+	case a == ConstTrue:
+		return b, true
+	case b == ConstTrue || a == b:
+		return a, true
+	}
+	if a > b {
+		a, b = b, a
+	}
+	l, ok := g.strash[strashKey(a, b)]
+	return l, ok
+}
+
+// synthPrograms builds the replacement structures for one class
+// representative: the ISOP-factored forms of the function and of its
+// complement (re-complemented at the root), each compressed by
+// Balance/Cleanup, smaller first. Structurally identical programs
+// collapse to one.
+func synthPrograms(tt uint16) []*npnProgram {
+	var progs []*npnProgram
+	for pol := 0; pol < 2; pol++ {
+		t := tt
+		if pol == 1 {
+			t = ^tt
+		}
+		s := New()
+		var ins [4]Lit
+		for i := range ins {
+			ins[i] = s.AddPI([4]string{"v0", "v1", "v2", "v3"}[i])
+		}
+		root := buildSOP(s, ins, isop16(t))
+		s.AddPO("f", root)
+		s = Compress(s)
+		progs = append(progs, compileProgram(s, s.PO(0).XorCompl(pol == 1)))
+	}
+	if sameProgram(progs[0], progs[1]) {
+		return progs[:1]
+	}
+	if len(progs[1].steps) < len(progs[0].steps) {
+		progs[0], progs[1] = progs[1], progs[0]
+	}
+	return progs
+}
+
+// sameProgram reports structural identity of two programs.
+func sameProgram(a, b *npnProgram) bool {
+	if a.root != b.root || len(a.steps) != len(b.steps) {
+		return false
+	}
+	for i := range a.steps {
+		if a.steps[i] != b.steps[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// buildSOP materializes a cube cover as a two-level AND/OR network
+// (Balance flattens and rebalances it afterwards).
+func buildSOP(g *AIG, ins [4]Lit, cover []sopCube) Lit {
+	f := ConstFalse
+	for _, c := range cover {
+		term := ConstTrue
+		for v := 0; v < 4; v++ {
+			if c.mask>>v&1 == 0 {
+				continue
+			}
+			term = g.And(term, ins[v].XorCompl(c.pol>>v&1 == 0))
+		}
+		f = g.Or(f, term)
+	}
+	return f
+}
+
+// compileProgram serializes the cone of root in g (a 4-PI scratch
+// graph) into program form. Cone order is topological, so fanins are
+// always compiled before their consumers.
+func compileProgram(g *AIG, root Lit) *npnProgram {
+	slot := make([]uint8, g.NumNodes())
+	slot[0] = 0
+	for i := 0; i < g.NumPIs(); i++ {
+		slot[g.PI(i).Node()] = uint8(1 + i)
+	}
+	p := &npnProgram{}
+	for _, idx := range g.ConeNodes([]Lit{root}) {
+		if !g.IsAnd(idx) {
+			continue
+		}
+		f0, f1 := g.Fanins(idx)
+		ref := func(f Lit) uint8 {
+			r := slot[f.Node()] << 1
+			if f.Compl() {
+				r |= 1
+			}
+			return r
+		}
+		p.steps = append(p.steps, [2]uint8{ref(f0), ref(f1)})
+		slot[idx] = uint8(5 + len(p.steps) - 1)
+	}
+	p.root = slot[root.Node()] << 1
+	if root.Compl() {
+		p.root |= 1
+	}
+	if 5+len(p.steps) > npnMaxSlots {
+		panic("aig: npn program exceeds slot budget")
+	}
+	return p
+}
+
+// --- ISOP ----------------------------------------------------------
+
+// sopCube is one product term over up to four variables: mask bit v
+// present means variable v appears, with polarity pol bit v (1 =
+// positive literal).
+type sopCube struct {
+	mask, pol uint8
+}
+
+// isop16 computes an irredundant sum-of-products cover of a
+// 4-variable function by the Minato-Morreale interval algorithm
+// (lower bound = upper bound = t, so the cover computes t exactly).
+func isop16(t uint16) []sopCube {
+	cover, f := isopRec(t, t, 3)
+	if f != t {
+		panic("aig: isop cover mismatch")
+	}
+	return cover
+}
+
+func ttCof0(t uint16, v int) uint16 {
+	s := uint(1) << uint(v)
+	lo := t &^ projTT[v]
+	return lo | lo<<s
+}
+
+func ttCof1(t uint16, v int) uint16 {
+	s := uint(1) << uint(v)
+	hi := t & projTT[v]
+	return hi | hi>>s
+}
+
+// isopRec covers an interval [L, U] (any f with L ⊆ f ⊆ U is
+// acceptable), returning the cover and its truth table.
+func isopRec(L, U uint16, v int) ([]sopCube, uint16) {
+	if L == 0 {
+		return nil, 0
+	}
+	if U == 0xFFFF {
+		return []sopCube{{}}, 0xFFFF
+	}
+	// Skip variables the interval does not depend on. The interval
+	// cannot run out of variables: a variable-free L is constant, and
+	// both constants hit the base cases above (L nonzero and
+	// variable-free forces L = U = 0xFFFF).
+	for ttCof0(L, v) == ttCof1(L, v) && ttCof0(U, v) == ttCof1(U, v) {
+		v--
+	}
+	L0, L1 := ttCof0(L, v), ttCof1(L, v)
+	U0, U1 := ttCof0(U, v), ttCof1(U, v)
+	// Minterms only coverable with ¬x_v, then only with x_v, then the
+	// leftovers coverable by cubes free of x_v.
+	c0, f0 := isopRec(L0&^U1, U0, v-1)
+	c1, f1 := isopRec(L1&^U0, U1, v-1)
+	c2, f2 := isopRec(L0&^f0|L1&^f1, U0&U1, v-1)
+	cover := make([]sopCube, 0, len(c0)+len(c1)+len(c2))
+	for _, c := range c0 {
+		c.mask |= 1 << uint(v)
+		cover = append(cover, c)
+	}
+	for _, c := range c1 {
+		c.mask |= 1 << uint(v)
+		c.pol |= 1 << uint(v)
+		cover = append(cover, c)
+	}
+	cover = append(cover, c2...)
+	f := f2 | f0&^projTT[v] | f1&projTT[v]
+	return cover, f
+}

@@ -7,16 +7,14 @@ import "sort"
 // rebuilt. PI names, order and count are preserved (even for unused
 // inputs), so the interface does not change.
 func Cleanup(g *AIG) *AIG {
+	s := optPool.Get().(*optScratch)
+	defer optPool.Put(s)
 	ng := New()
-	piMap := make([]Lit, g.NumPIs())
+	piMap := s.litSlice(g.NumPIs())
 	for i := range piMap {
 		piMap[i] = ng.AddPI(g.PIName(i))
 	}
-	roots := make([]Lit, g.NumPOs())
-	for i := range roots {
-		roots[i] = g.PO(i)
-	}
-	outs := Transfer(ng, g, piMap, roots)
+	outs := Transfer(ng, g, piMap, g.pos)
 	for i, o := range outs {
 		ng.AddPO(g.POName(i), o)
 	}
@@ -30,17 +28,20 @@ func Cleanup(g *AIG) *AIG {
 // depth typically drops, node count never grows beyond the original
 // tree sizes.
 func Balance(g *AIG) *AIG {
-	fanout := g.FanoutCounts()
+	s := optPool.Get().(*optScratch)
+	defer optPool.Put(s)
+	fanout := fanoutInto(g, &s.ints)
 	ng := New()
-	level := []int{0} // per ng node
-	mapped := make([]Lit, g.NumNodes())
-	done := make([]bool, g.NumNodes())
+	level := append(s.ints2[:0], 0) // per ng node
+	mapped := s.litSlice(g.NumNodes())
+	s.resetMarks(g.NumNodes())  // done: mapped[n] is valid
+	s.resetMarks2(g.NumNodes()) // needed: n must be materialized
 	mapped[0] = ConstFalse
-	done[0] = true
+	s.see(0)
 	for i := 0; i < g.NumPIs(); i++ {
 		mapped[g.PI(i).Node()] = ng.AddPI(g.PIName(i))
 		level = append(level, 0)
-		done[g.PI(i).Node()] = true
+		s.see(g.PI(i).Node())
 	}
 	edgeLevel := func(l Lit) int { return level[l.Node()] }
 	andTracked := func(a, b Lit) Lit {
@@ -71,62 +72,64 @@ func Balance(g *AIG) *AIG {
 		collectOperands(f1, out)
 	}
 
-	// Determine which AND nodes become tree roots.
-	roots := make([]Lit, g.NumPOs())
-	for i := range roots {
-		roots[i] = g.PO(i)
+	// Determine which AND nodes become tree roots (the PO node itself
+	// must be materialized even when it sits inside a fanout-free
+	// tree). Worklist instead of recursion so the operand buffer can
+	// be reused per step.
+	s.stack = s.stack[:0]
+	for i := 0; i < g.NumPOs(); i++ {
+		s.stack = append(s.stack, int32(g.PO(i).Node()))
 	}
-	needed := make([]bool, g.NumNodes())
-	var mark func(f Lit)
-	mark = func(f Lit) {
-		n := f.Node()
-		if needed[n] || !g.IsAnd(n) {
-			return
+	for len(s.stack) > 0 {
+		n := int(s.stack[len(s.stack)-1])
+		s.stack = s.stack[:len(s.stack)-1]
+		if !g.IsAnd(n) || s.seen2(n) {
+			continue
 		}
-		needed[n] = true
-		var ops []Lit
+		s.see2(n)
+		s.ops = s.ops[:0]
 		f0, f1 := g.Fanins(n)
-		collectOperands(f0, &ops)
-		collectOperands(f1, &ops)
-		for _, op := range ops {
-			mark(op)
+		collectOperands(f0, &s.ops)
+		collectOperands(f1, &s.ops)
+		for _, op := range s.ops {
+			s.stack = append(s.stack, int32(op.Node()))
 		}
-	}
-	for _, r := range roots {
-		mark(r)
-		// The PO node itself must be materialized even when it sits
-		// inside a fanout-free tree.
 	}
 
 	// Rebuild in topological (index) order.
 	for n := 1; n < g.NumNodes(); n++ {
-		if !g.IsAnd(n) || !needed[n] || done[n] {
+		if !g.IsAnd(n) || !s.seen2(n) || s.seen(n) {
 			continue
 		}
-		var ops []Lit
+		s.ops = s.ops[:0]
 		f0, f1 := g.Fanins(n)
-		collectOperands(f0, &ops)
-		collectOperands(f1, &ops)
+		collectOperands(f0, &s.ops)
+		collectOperands(f1, &s.ops)
 		// Map operands into ng.
-		edges := make([]Lit, len(ops))
-		for i, op := range ops {
-			edges[i] = mapped[op.Node()].XorCompl(op.Compl())
+		s.edges = s.edges[:0]
+		for _, op := range s.ops {
+			s.edges = append(s.edges, mapped[op.Node()].XorCompl(op.Compl()))
 		}
-		// Pair shallowest first (stable on ties for determinism).
+		// Pair shallowest first (stable on ties for determinism). The
+		// fresh edge takes the head slot of the in-place window, which
+		// matches the prepend order the pass has always used.
+		edges := s.edges
 		for len(edges) > 1 {
 			sort.SliceStable(edges, func(a, b int) bool {
 				return edgeLevel(edges[a]) < edgeLevel(edges[b])
 			})
 			e := andTracked(edges[0], edges[1])
-			edges = append([]Lit{e}, edges[2:]...)
+			edges[1] = e
+			edges = edges[1:]
 		}
 		mapped[n] = edges[0]
-		done[n] = true
+		s.see(n)
 	}
 	for i := 0; i < g.NumPOs(); i++ {
 		po := g.PO(i)
 		ng.AddPO(g.POName(i), mapped[po.Node()].XorCompl(po.Compl()))
 	}
+	s.ints2 = level[:0]
 	return ng
 }
 

@@ -1,0 +1,276 @@
+package aig
+
+// This file implements DAG-aware cut-based rewriting (the ABC
+// "rewrite" pass, adapted to this package's append-only AIG): every
+// AND node's 4-feasible cuts are canonicalized (npn.go) and the class
+// replacement structures are tried over the cut leaves; a candidate
+// is accepted when it grows the result graph less than copying the
+// node would — counting both the fresh nodes it needs (structural
+// hashing credits logic the new graph already shares) and the nodes
+// of the old implementation its choice lets die.
+//
+// The input graph is never mutated. The output graph is built node by
+// node in topological order, with live reference counts maintained on
+// it: every node's count sums the real fanin edges of born logic and
+// the pending references of not-yet-processed consumers of the
+// original graph. Replacing a node releases its fanin copies' pending
+// references, cascading counts to zero through logic nothing will
+// reference again — exactly the classic dereference bookkeeping of
+// in-place rewriting, transplanted to a copy-based pass. Dead nodes
+// stay in the output graph (it is append-only) until the final
+// Cleanup; the structural hash may resurrect them, re-referencing
+// their cones. Candidate evaluation runs the same cascade as a trial
+// (dereference, count, re-reference restores), so gains are measured
+// against the graph that actually exists, not a prediction.
+//
+// The pass is fully deterministic: cut order, candidate order and
+// tie-breaks are all index-driven.
+
+// RewriteOptions tunes Rewrite and Optimize. The zero value is the
+// recommended configuration.
+type RewriteOptions struct {
+	// ZeroGain accepts replacements that free exactly as many nodes as
+	// they add. This moves structures toward the canonical library
+	// forms, which can unlock sharing for later passes at the price of
+	// perturbing structure for no local gain.
+	ZeroGain bool
+	// MaxCuts bounds the stored cuts per node (0 = 8).
+	MaxCuts int
+	// MaxIters bounds Optimize's rewrite+balance iterations (0 = 3).
+	MaxIters int
+}
+
+// Rewrite returns a functionally equivalent graph with best-gain cut
+// replacements applied and dead logic removed. PI names, order and
+// count are preserved (even for unused inputs); PO names and order
+// are preserved.
+func Rewrite(g *AIG, opt RewriteOptions) *AIG {
+	rw := &rewriter{
+		g:       g,
+		ng:      New(),
+		opt:     opt,
+		cuts:    enumerateCuts(g, opt.MaxCuts),
+		pending: g.FanoutCounts(),
+		mapped:  make([]Lit, g.NumNodes()),
+	}
+	rw.onHit = func(ngNode int) { rw.held = append(rw.held, int32(ngNode)) }
+	rw.mapped[0] = ConstFalse
+	rw.grow()
+	for n := 1; n < g.NumNodes(); n++ {
+		if g.IsPI(n) {
+			l := rw.ng.AddPI(g.piNames[len(rw.ng.pis)])
+			rw.grow()
+			rw.mapped[n] = l
+			rw.addPend(l.Node(), rw.pending[n])
+			continue
+		}
+		rw.rewriteNode(n)
+	}
+	for i := 0; i < g.NumPOs(); i++ {
+		po := g.PO(i)
+		rw.ng.AddPO(g.POName(i), rw.mapped[po.Node()].XorCompl(po.Compl()))
+	}
+	// Displaced logic is dead in ng; Cleanup collects it (the graph is
+	// append-only, so the pass cannot delete in place).
+	return Cleanup(rw.ng)
+}
+
+// Optimize is the full optimization pipeline: iterated Rewrite +
+// Balance + Cleanup until the node count stops improving, with a size
+// guard — the result never has more AND nodes than Cleanup(g), and
+// the PI/PO interface is preserved throughout.
+func Optimize(g *AIG) *AIG { return OptimizeOpt(g, RewriteOptions{}) }
+
+// OptimizeOpt is Optimize with explicit options.
+func OptimizeOpt(g *AIG, opt RewriteOptions) *AIG {
+	iters := opt.MaxIters
+	if iters <= 0 {
+		iters = 3
+	}
+	best := Cleanup(g)
+	for i := 0; i < iters; i++ {
+		next := Compress(Rewrite(best, opt))
+		if next.NumAnds() >= best.NumAnds() {
+			break
+		}
+		best = next
+	}
+	return best
+}
+
+type rewriter struct {
+	g, ng *AIG
+	opt   RewriteOptions
+	cuts  [][]cut
+	// pending[m] is the original fanout count of g node m (fanin edges
+	// plus PO references): the references its copy will receive from
+	// consumers not yet processed. It is added to the copy's count when
+	// m is mapped and drains one unref per consumer processed; PO
+	// references never drain, keeping output cones alive.
+	pending []int
+	mapped  []Lit
+	// refs[v] is the live reference count of ng node v: born fanin
+	// edges plus pending references of g nodes mapped to v. A node
+	// holds references to its fanins exactly while refs[v] > 0 (a
+	// freshly created node starts unborn at zero; its first reference
+	// claims its fanin cone, recursively — the same path resurrects a
+	// dead node the structural hash handed back).
+	refs []int32
+	// scratch buffers reused across nodes.
+	held  []int32
+	ins   [4]Lit
+	onHit func(ngNode int) // appends to held; hoisted to avoid per-candidate closures
+}
+
+func (rw *rewriter) grow() {
+	for len(rw.refs) < rw.ng.NumNodes() {
+		rw.refs = append(rw.refs, 0)
+	}
+}
+
+// ref adds one reference to v, claiming its fanin cone if this birth
+// or resurrection is the node's first live reference.
+func (rw *rewriter) ref(v int) {
+	if rw.refs[v] == 0 && rw.ng.IsAnd(v) {
+		f0, f1 := rw.ng.Fanins(v)
+		rw.ref(f0.Node())
+		rw.ref(f1.Node())
+	}
+	rw.refs[v]++
+}
+
+// unref drops one reference from v, cascading through nodes that
+// reach zero, and returns how many AND nodes died. It is the exact
+// inverse of ref, so a trial deref is undone by re-reffing.
+func (rw *rewriter) unref(v int) int {
+	rw.refs[v]--
+	if rw.refs[v] != 0 || !rw.ng.IsAnd(v) {
+		return 0
+	}
+	f0, f1 := rw.ng.Fanins(v)
+	return 1 + rw.unref(f0.Node()) + rw.unref(f1.Node())
+}
+
+// addPend grants v the pending references of a just-mapped g node.
+func (rw *rewriter) addPend(v, n int) {
+	for i := 0; i < n; i++ {
+		rw.ref(v)
+	}
+}
+
+// rewriteNode picks the cheapest implementation for g node n — the
+// plain copy or a library structure over one of its cuts — builds it,
+// and releases n's references on its fanin copies.
+func (rw *rewriter) rewriteNode(n int) {
+	g, ng := rw.g, rw.ng
+	f0, f1 := g.Fanins(n)
+	va := rw.mapped[f0.Node()].XorCompl(f0.Compl())
+	vb := rw.mapped[f1.Node()].XorCompl(f1.Compl())
+
+	// The copy is the baseline candidate: one node unless the hash
+	// already has it, holding both fanin copies alive.
+	rw.held = rw.held[:0]
+	copyNew := 1
+	if l, ok := ng.probeAnd(va, vb); ok {
+		copyNew = 0
+		rw.held = append(rw.held, int32(l.Node()))
+	} else {
+		rw.held = append(rw.held, int32(va.Node()), int32(vb.Node()))
+	}
+	bestDelta := copyNew - rw.trialDeaths(va.Node(), vb.Node())
+	// Candidates must beat the copy; ZeroGain admits ties. The
+	// earliest best cut/program wins (their order is deterministic).
+	margin := 0
+	if rw.opt.ZeroGain {
+		margin = 1
+	}
+	var bestProg *npnProgram
+	var bestIns [4]Lit
+	var bestNegOut bool
+	for ci := 1; ci < len(rw.cuts[n]); ci++ {
+		c := &rw.cuts[n][ci]
+		canon, recipe := NPNCanon(c.tt)
+		for j := 0; j < 4; j++ {
+			// Canon input j reads cut leaf Perm[j]; positions past the
+			// cut width are vacuous in the class function and pinned to
+			// constant false.
+			l := ConstFalse
+			if v := int(recipe.Perm[j]); v < int(c.n) {
+				l = rw.mapped[c.leaves[v]]
+			}
+			rw.ins[j] = l.XorCompl(recipe.NegIn>>uint(j)&1 == 1)
+		}
+		for _, prog := range npnProgramsFor(canon) {
+			// Hold everything the structure would reference: its input
+			// copies and every existing node the probe resolves a step
+			// to. What the structure does not hold may die — that is the
+			// candidate's saving.
+			rw.held = rw.held[:0]
+			for j := 0; j < 4; j++ {
+				rw.held = append(rw.held, int32(rw.ins[j].Node()))
+			}
+			cost := prog.cost(ng, rw.ins, rw.onHit)
+			delta := cost - rw.trialDeaths(va.Node(), vb.Node())
+			if delta < bestDelta+margin && (bestProg == nil || delta < bestDelta) {
+				bestDelta = delta
+				bestProg = prog
+				bestIns = rw.ins
+				bestNegOut = recipe.NegOut
+			}
+		}
+	}
+
+	var root Lit
+	if bestProg != nil {
+		root = rw.buildProg(bestProg, bestIns).XorCompl(bestNegOut)
+	} else {
+		before := ng.NumNodes()
+		root = ng.And(va, vb)
+		if ng.NumNodes() > before {
+			rw.grow()
+		}
+	}
+	rw.mapped[n] = root
+	rw.addPend(root.Node(), rw.pending[n])
+	// n has consumed its fanins; their copies lose one pending
+	// reference each, and logic nothing references anymore dies.
+	rw.unref(va.Node())
+	rw.unref(vb.Node())
+}
+
+// trialDeaths counts the AND nodes that would die if va and vb each
+// lost one reference while the current candidate's held nodes stay
+// alive. The deref/re-ref pair restores counts exactly (ref and unref
+// are inverses), so trials are free of side effects.
+func (rw *rewriter) trialDeaths(va, vb int) int {
+	for _, h := range rw.held {
+		rw.ref(int(h))
+	}
+	deaths := rw.unref(va) + rw.unref(vb)
+	rw.ref(va)
+	rw.ref(vb)
+	for i := len(rw.held) - 1; i >= 0; i-- {
+		rw.unref(int(rw.held[i]))
+	}
+	return deaths
+}
+
+// buildProg materializes a replacement structure, growing the ref
+// table alongside the graph. Fanin references are claimed lazily by
+// the root's first reference (see ref), so unborn intermediate steps
+// cost nothing until something actually uses them.
+func (rw *rewriter) buildProg(p *npnProgram, ins [4]Lit) Lit {
+	var vals [npnMaxSlots]Lit
+	vals[0] = ConstFalse
+	copy(vals[1:5], ins[:])
+	for i, st := range p.steps {
+		a := vals[st[0]>>1].XorCompl(st[0]&1 == 1)
+		b := vals[st[1]>>1].XorCompl(st[1]&1 == 1)
+		before := rw.ng.NumNodes()
+		vals[5+i] = rw.ng.And(a, b)
+		if rw.ng.NumNodes() > before {
+			rw.grow()
+		}
+	}
+	return vals[p.root>>1].XorCompl(p.root&1 == 1)
+}

@@ -1,0 +1,132 @@
+package aig
+
+import "sync"
+
+// optScratch bundles the working buffers of the rebuild passes
+// (ConeNodes, Transfer, Cleanup, Balance) so hot loops that rebuild
+// AIGs many times — window extraction, cofactoring, quantifier
+// expansion, the optimizer — do not reallocate visit marks, copy maps
+// and operand lists on every call. Buffers are handed out through a
+// sync.Pool, so nested and concurrent passes each get their own set.
+//
+// The mark sets are generation-stamped: a reset bumps the generation
+// instead of zeroing, making it O(1). Slices handed out by litSlice
+// carry stale values from earlier runs by design — callers must guard
+// every read with the corresponding mark set.
+type optScratch struct {
+	gen   uint32
+	mark  []uint32
+	gen2  uint32
+	mark2 []uint32
+	lits  []Lit
+	cone  []int32
+	stack []int32
+	ops   []Lit
+	edges []Lit
+	ints  []int
+	ints2 []int
+}
+
+var optPool = sync.Pool{New: func() interface{} { return new(optScratch) }}
+
+// resetMarks prepares the primary mark set for n items.
+func (s *optScratch) resetMarks(n int) {
+	if len(s.mark) < n {
+		s.mark = append(s.mark, make([]uint32, n-len(s.mark))...)
+	}
+	s.gen++
+	if s.gen == 0 { // generation counter wrapped: stamps are ambiguous
+		for i := range s.mark {
+			s.mark[i] = 0
+		}
+		s.gen = 1
+	}
+}
+
+func (s *optScratch) seen(i int) bool { return s.mark[i] == s.gen }
+func (s *optScratch) see(i int)       { s.mark[i] = s.gen }
+
+// resetMarks2 prepares the secondary mark set (for passes that need
+// two independent sets live at once, like Balance's done/needed).
+func (s *optScratch) resetMarks2(n int) {
+	if len(s.mark2) < n {
+		s.mark2 = append(s.mark2, make([]uint32, n-len(s.mark2))...)
+	}
+	s.gen2++
+	if s.gen2 == 0 {
+		for i := range s.mark2 {
+			s.mark2[i] = 0
+		}
+		s.gen2 = 1
+	}
+}
+
+func (s *optScratch) seen2(i int) bool { return s.mark2[i] == s.gen2 }
+func (s *optScratch) see2(i int)       { s.mark2[i] = s.gen2 }
+
+// litSlice returns an n-element Lit buffer with UNDEFINED contents;
+// reads must be guarded by a mark set.
+func (s *optScratch) litSlice(n int) []Lit {
+	if cap(s.lits) < n {
+		s.lits = make([]Lit, n)
+	}
+	return s.lits[:n]
+}
+
+// coneInto computes the cone of roots (ascending node indices) into
+// the reusable cone buffer. The returned slice is valid until the
+// next coneInto or resetMarks on this scratch.
+func (s *optScratch) coneInto(g *AIG, roots []Lit) []int32 {
+	s.resetMarks(len(g.nodes))
+	s.stack = s.stack[:0]
+	for _, r := range roots {
+		if !s.seen(r.Node()) {
+			s.see(r.Node())
+			s.stack = append(s.stack, int32(r.Node()))
+		}
+	}
+	for len(s.stack) > 0 {
+		n := int(s.stack[len(s.stack)-1])
+		s.stack = s.stack[:len(s.stack)-1]
+		if g.nodes[n].kind != kindAnd {
+			continue
+		}
+		if m := g.nodes[n].f0.Node(); !s.seen(m) {
+			s.see(m)
+			s.stack = append(s.stack, int32(m))
+		}
+		if m := g.nodes[n].f1.Node(); !s.seen(m) {
+			s.see(m)
+			s.stack = append(s.stack, int32(m))
+		}
+	}
+	s.cone = s.cone[:0]
+	for i := range g.nodes {
+		if s.seen(i) {
+			s.cone = append(s.cone, int32(i))
+		}
+	}
+	return s.cone
+}
+
+// fanoutInto computes FanoutCounts into a reusable buffer.
+func fanoutInto(g *AIG, buf *[]int) []int {
+	n := len(g.nodes)
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	fc := (*buf)[:n]
+	for i := range fc {
+		fc[i] = 0
+	}
+	for _, nd := range g.nodes {
+		if nd.kind == kindAnd {
+			fc[nd.f0.Node()]++
+			fc[nd.f1.Node()]++
+		}
+	}
+	for _, p := range g.pos {
+		fc[p.Node()]++
+	}
+	return fc
+}

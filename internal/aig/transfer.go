@@ -12,26 +12,31 @@ func Transfer(dst *AIG, src *AIG, piMap []Lit, roots []Lit) []Lit {
 	if len(piMap) != src.NumPIs() {
 		panic("aig: Transfer piMap length mismatch")
 	}
-	copyMap := make([]Lit, src.NumNodes())
-	done := make([]bool, src.NumNodes())
+	s := optPool.Get().(*optScratch)
+	defer optPool.Put(s)
+	cone := s.coneInto(src, roots)
+	// The copy map is pooled and carries stale values; the mark set
+	// says which entries are valid for this run.
+	s.resetMarks(src.NumNodes())
+	copyMap := s.litSlice(src.NumNodes())
 	copyMap[0] = ConstFalse
-	done[0] = true
+	s.see(0)
 	for i, p := range src.pis {
 		copyMap[p] = piMap[i]
-		done[p] = true
+		s.see(p)
 	}
 	// Nodes are in topological order, so a single pass over the cone
 	// suffices.
-	cone := src.ConeNodes(roots)
-	for _, idx := range cone {
-		if done[idx] {
+	for _, idx32 := range cone {
+		idx := int(idx32)
+		if s.seen(idx) {
 			continue
 		}
 		n := src.nodes[idx]
 		a := copyMap[n.f0.Node()].XorCompl(n.f0.Compl())
 		b := copyMap[n.f1.Node()].XorCompl(n.f1.Compl())
 		copyMap[idx] = dst.And(a, b)
-		done[idx] = true
+		s.see(idx)
 	}
 	out := make([]Lit, len(roots))
 	for i, r := range roots {

@@ -31,8 +31,11 @@ type JSONReport struct {
 	Preprocess bool `json:"preprocess,omitempty"`
 	// Sim records whether the sweep ran with the bit-parallel
 	// simulation layer (additive field; absent means off).
-	Sim  bool      `json:"sim,omitempty"`
-	Rows []JSONRow `json:"rows"`
+	Sim bool `json:"sim,omitempty"`
+	// Rewrite records whether the sweep ran with DAG-aware miter
+	// rewriting (additive field; absent means off).
+	Rewrite bool      `json:"rewrite,omitempty"`
+	Rows    []JSONRow `json:"rows"`
 }
 
 // JSONRow is one benchmark unit; Results is keyed by mode name.
@@ -96,6 +99,12 @@ type JSONCell struct {
 	SimElided   int64 `json:"sim_elided,omitempty"`
 	SimPruned   int64 `json:"sim_pruned,omitempty"`
 	SimPatterns int64 `json:"sim_patterns,omitempty"`
+
+	// Additive rewriting counters (present only when the cell ran with
+	// -rewrite; the schema stays table1@v1).
+	RewriteNodesBefore int64   `json:"rewrite_nodes_before,omitempty"`
+	RewriteNodesAfter  int64   `json:"rewrite_nodes_after,omitempty"`
+	RewriteSec         float64 `json:"rewrite_sec,omitempty"`
 }
 
 // cellFromAlgo maps one sweep cell into its JSON form.
@@ -137,6 +146,10 @@ func cellFromAlgo(a AlgoResult) JSONCell {
 		SimElided:   a.SimElided,
 		SimPruned:   a.SimPruned,
 		SimPatterns: a.SimPatterns,
+
+		RewriteNodesBefore: a.RewriteNodesBefore,
+		RewriteNodesAfter:  a.RewriteNodesAfter,
+		RewriteSec:         a.RewriteSec,
 	}
 }
 
@@ -169,6 +182,7 @@ func NewJSONReport(opts RunOptions, modes []string, rows []Table1Row) JSONReport
 	rep.CacheEntries = opts.CacheEntries
 	rep.Preprocess = opts.Preprocess
 	rep.Sim = opts.Sim
+	rep.Rewrite = opts.Rewrite
 	if opts.Timeout > 0 {
 		rep.TimeoutSec = float64(opts.Timeout) / float64(time.Second)
 	}

@@ -67,6 +67,13 @@ type AlgoResult struct {
 	SimElided   int64
 	SimPruned   int64
 	SimPatterns int64
+
+	// Rewriting counters (zero unless the cell ran with -rewrite):
+	// miter AND-node totals before/after the DAG-aware rewriting pass
+	// and the wall clock it spent.
+	RewriteNodesBefore int64
+	RewriteNodesAfter  int64
+	RewriteSec         float64
 }
 
 // Table1Row aggregates one benchmark unit across the three modes.
@@ -150,6 +157,7 @@ func RunUnitWith(cfg Config, mode string, opts RunOptions) (Table1Row, error) {
 	opt.Preprocess = opts.Preprocess
 	opt.SimBank = opts.Sim
 	opt.SimPrune = opts.Sim
+	opt.Rewrite = opts.Rewrite
 	if opt.Parallelism <= 0 {
 		// Bench cells default to the serial engine, not the
 		// GOMAXPROCS-aware engine default: rows must be bit-identical
@@ -206,6 +214,10 @@ func AlgoFromResult(res *eco.Result) AlgoResult {
 		SimElided:   res.Stats.SimElided,
 		SimPruned:   res.Stats.SimPruned,
 		SimPatterns: res.Stats.SimPatterns,
+
+		RewriteNodesBefore: res.Stats.RewriteNodesBefore,
+		RewriteNodesAfter:  res.Stats.RewriteNodesAfter,
+		RewriteSec:         res.Stats.RewriteTime.Seconds(),
 	}
 }
 
@@ -236,6 +248,10 @@ type RunOptions struct {
 	// SAT-call elision and divisor pruning — on every cell of the
 	// sweep (ecobench -sim).
 	Sim bool
+	// Rewrite enables DAG-aware rewriting of every miter before it
+	// reaches the solvers, on every cell of the sweep (ecobench
+	// -rewrite).
+	Rewrite bool
 }
 
 // RunTable1 reproduces Table 1: every unit in every requested mode.

@@ -45,6 +45,13 @@ type CheckOptions struct {
 	// comparison before it is trusted. Unknown verdicts are never
 	// cached.
 	Cache *cache.SolveCache
+	// Rewrite, when enabled, pre-reduces the miter with the DAG-aware
+	// rewriting pass (aig.Optimize) before the structural fast path and
+	// any solving. The reduction is deterministic and preserves the PI
+	// interface (count, order, names), so counterexamples stay indexed
+	// by PI position; pairs the rewriting proves equal structurally
+	// never reach a solver at all.
+	Rewrite bool
 	// Preprocess, when enabled, simplifies each shard's captured diff
 	// query (bounded variable elimination, subsumption, vivification)
 	// before it is cached or solved. PI variables are frozen so
@@ -125,6 +132,13 @@ func CheckLitsOpt(g *aig.AIG, as, bs []aig.Lit, opt CheckOptions) (Result, error
 // checkPairs runs the SAT check "some pair differs" on a miter AIG,
 // serially or sharded across a worker pool per opt.Shards.
 func checkPairs(m *aig.AIG, pis []aig.Lit, t1, t2 []aig.Lit, opt CheckOptions) (Result, error) {
+	if opt.Rewrite {
+		// Every entry point passes the full ordered PI list, and the
+		// extraction preserves that interface, so readback and the
+		// failing-output evaluation below run unchanged on the
+		// rewritten miter.
+		m, pis, t1, t2 = rewriteMiter(m, t1, t2)
+	}
 	// Fast path: structural hashing may already have merged each pair.
 	var diff []int
 	for i := range t1 {
@@ -190,6 +204,39 @@ func checkPairs(m *aig.AIG, pis []aig.Lit, t1, t2 []aig.Lit, opt CheckOptions) (
 		tally.add(tl)
 	}
 	return mergePairVerdicts(m, t1, t2, statuses, cexs, conflicts.Load(), tally)
+}
+
+// rewriteMiter rebuilds the miter as a PI-interface-preserving
+// extraction of the pair edges, optimized by the DAG-aware rewriting
+// pass. POs survive Optimize in order, so the pair edges read back by
+// position; the returned PI list is the optimized graph's own.
+func rewriteMiter(m *aig.AIG, t1, t2 []aig.Lit) (*aig.AIG, []aig.Lit, []aig.Lit, []aig.Lit) {
+	rg := aig.New()
+	piMap := make([]aig.Lit, m.NumPIs())
+	for i := range piMap {
+		piMap[i] = rg.AddPI(m.PIName(i))
+	}
+	roots := make([]aig.Lit, 0, len(t1)+len(t2))
+	roots = append(roots, t1...)
+	roots = append(roots, t2...)
+	moved := aig.Transfer(rg, m, piMap, roots)
+	for _, r := range moved {
+		rg.AddPO("t", r)
+	}
+	og := aig.Optimize(rg)
+	nt1 := make([]aig.Lit, len(t1))
+	nt2 := make([]aig.Lit, len(t2))
+	for i := range nt1 {
+		nt1[i] = og.PO(i)
+	}
+	for i := range nt2 {
+		nt2[i] = og.PO(len(t1) + i)
+	}
+	pis := make([]aig.Lit, og.NumPIs())
+	for i := range pis {
+		pis[i] = og.PI(i)
+	}
+	return og, pis, nt1, nt2
 }
 
 // cacheTally is per-shard solve-cache and preprocessing traffic.

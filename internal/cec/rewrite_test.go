@@ -1,0 +1,154 @@
+package cec
+
+import (
+	"testing"
+
+	"ecopatch/internal/aig"
+)
+
+// TestRewriteCheckAgree compares rewrite-on and rewrite-off verdicts
+// over rebuilt-vs-original output pairs, equivalent and mutated, and
+// validates that rewrite-on counterexamples still read back by PI
+// position (the pre-reduction preserves the PI interface).
+func TestRewriteCheckAgree(t *testing.T) {
+	for iter := 0; iter < 8; iter++ {
+		g1 := randomMultiOutGraph(int64(300+iter), 10)
+		g2 := aig.Clone(g1)
+		if iter%2 == 1 {
+			g2.SetPO(iter%10, g2.PO(iter%10).Not())
+		}
+		plain := make([]aig.Lit, g1.NumPOs())
+		clone := make([]aig.Lit, g2.NumPOs())
+		for i := range plain {
+			plain[i] = g1.PO(i)
+			clone[i] = g2.PO(i)
+		}
+		m := aig.New()
+		piMap := make([]aig.Lit, g1.NumPIs())
+		for i := range piMap {
+			piMap[i] = m.AddPI(g1.PIName(i))
+		}
+		t1 := aig.Transfer(m, g1, piMap, plain)
+		t2 := aig.Transfer(m, g2, piMap, clone)
+
+		off, err := checkPairs(m, piMap, t1, t2, CheckOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		on, err := checkPairs(m, piMap, t1, t2, CheckOptions{Rewrite: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off.Equivalent != on.Equivalent {
+			t.Fatalf("iter %d: rewrite-off=%v rewrite-on=%v", iter, off.Equivalent, on.Equivalent)
+		}
+		if !on.Equivalent {
+			if on.FailingOutput < 0 {
+				t.Fatalf("iter %d: inequivalent but no failing output", iter)
+			}
+			// The counterexample is indexed by PI position, so it must
+			// expose the difference on the ORIGINAL miter too.
+			i := on.FailingOutput
+			if m.EvalLit(t1[i], on.Counterexample) == m.EvalLit(t2[i], on.Counterexample) {
+				t.Fatalf("iter %d: rewrite-on counterexample does not differentiate output %d on the original miter", iter, i)
+			}
+		}
+	}
+}
+
+// TestRewriteCheckSharded pins that the pre-reduction composes with
+// sharding: the rewritten miter is checked by the same worker pool and
+// the deterministic merge rule is unaffected.
+func TestRewriteCheckSharded(t *testing.T) {
+	g1 := randomMultiOutGraph(42, 12)
+	g2 := aig.Clone(g1)
+	for _, o := range []int{1, 6, 10} {
+		g2.SetPO(o, g2.PO(o).Not())
+	}
+	outs1 := make([]aig.Lit, g1.NumPOs())
+	outs2 := make([]aig.Lit, g2.NumPOs())
+	for i := range outs1 {
+		outs1[i] = g1.PO(i)
+		outs2[i] = g2.PO(i)
+	}
+	run := func(shards int) Result {
+		m := aig.New()
+		piMap := make([]aig.Lit, g1.NumPIs())
+		for i := range piMap {
+			piMap[i] = m.AddPI(g1.PIName(i))
+		}
+		t1 := aig.Transfer(m, g1, piMap, outs1)
+		t2 := aig.Transfer(m, g2, piMap, outs2)
+		res, err := checkPairs(m, piMap, t1, t2, CheckOptions{Rewrite: true, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	if serial.Equivalent {
+		t.Fatal("mutated outputs must be inequivalent")
+	}
+	for _, shards := range []int{2, 4} {
+		res := run(shards)
+		if res.Equivalent || res.FailingOutput != serial.FailingOutput {
+			t.Fatalf("shards=%d: equivalent=%v failing=%d, serial failing=%d",
+				shards, res.Equivalent, res.FailingOutput, serial.FailingOutput)
+		}
+	}
+}
+
+// TestRewriteMiterShrinks pins the pre-reduction differentially over
+// structurally distinct but equivalent sides: one side is the original
+// cone set, the other its Balance restructuring (different node
+// structure, same function). The rewritten miter must not grow, and
+// every moved edge must compute exactly what its original did —
+// checked by exhaustive co-simulation of old and new graphs.
+func TestRewriteMiterShrinks(t *testing.T) {
+	g := randomMultiOutGraph(9, 8)
+	gb := aig.Balance(g)
+	outs := make([]aig.Lit, g.NumPOs())
+	outsB := make([]aig.Lit, gb.NumPOs())
+	for i := range outs {
+		outs[i] = g.PO(i)
+		outsB[i] = gb.PO(i)
+	}
+	m := aig.New()
+	piMap := make([]aig.Lit, g.NumPIs())
+	for i := range piMap {
+		piMap[i] = m.AddPI(g.PIName(i))
+	}
+	t1 := aig.Transfer(m, g, piMap, outs)
+	t2 := aig.Transfer(m, gb, piMap, outsB)
+	distinct := false
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Fatal("balanced clone strashed into the original; test exercises nothing")
+	}
+	nm, _, nt1, nt2 := rewriteMiter(m, t1, t2)
+	if nm.NumAnds() > m.NumAnds() {
+		t.Fatalf("rewriting grew the miter: %d -> %d", m.NumAnds(), nm.NumAnds())
+	}
+	n := m.NumPIs()
+	if n > 12 {
+		t.Fatalf("graph too wide for exhaustive check: %d PIs", n)
+	}
+	inputs := make([]bool, n)
+	for v := 0; v < 1<<n; v++ {
+		for i := range inputs {
+			inputs[i] = v>>i&1 == 1
+		}
+		for i := range t1 {
+			if m.EvalLit(t1[i], inputs) != nm.EvalLit(nt1[i], inputs) {
+				t.Fatalf("pair %d side 1 changed function at input %d", i, v)
+			}
+			if m.EvalLit(t2[i], inputs) != nm.EvalLit(nt2[i], inputs) {
+				t.Fatalf("pair %d side 2 changed function at input %d", i, v)
+			}
+		}
+	}
+}

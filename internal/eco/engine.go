@@ -164,6 +164,19 @@ type Options struct {
 	// set, so feasibility verdicts are unchanged by construction.
 	SimPrune bool
 
+	// Rewrite enables DAG-aware cut-based AIG rewriting (aig.Optimize)
+	// on every miter before it reaches a solver: the feasibility miter
+	// (QBF or cofactor-expansion path) and each window's two-copy
+	// cofactor miters plus divisor cones are transferred into a fresh
+	// PI-interface-preserving graph, shrunk, and encoded from there.
+	// Verdicts and patch costs are unchanged — rewriting is
+	// equivalence-preserving and the pass is deterministic, so p=1 runs
+	// stay bit-for-bit reproducible against themselves — but solvers
+	// see smaller formulas. Window cache entries are keyed per mode
+	// (options-key bit 8): the solver sees different queries, so the
+	// computed patch structure may differ from a rewrite-off run's.
+	Rewrite bool
+
 	// Cache, when non-nil, memoizes solve work across (and within)
 	// runs: CEC pair-check and cofactor-feasibility verdicts by
 	// captured-formula hash, QBF feasibility outcomes and per-target
@@ -244,6 +257,13 @@ type Stats struct {
 	SimPruned   int64
 	SimPatterns int64
 
+	// Rewriting-layer counters (zero unless Options.Rewrite): AND-node
+	// totals of every rewritten miter cone before and after the pass,
+	// and the wall clock the pass consumed.
+	RewriteNodesBefore int64
+	RewriteNodesAfter  int64
+	RewriteTime        time.Duration
+
 	// Cache traffic (zero unless Options.Cache was set): queries
 	// served from the solve/window caches, queries computed fresh, and
 	// hash collisions screened out by full content comparison. An
@@ -294,6 +314,9 @@ func (s *Stats) Add(o Stats) {
 	s.SimElided += o.SimElided
 	s.SimPruned += o.SimPruned
 	s.SimPatterns += o.SimPatterns
+	s.RewriteNodesBefore += o.RewriteNodesBefore
+	s.RewriteNodesAfter += o.RewriteNodesAfter
+	s.RewriteTime += o.RewriteTime
 	s.CacheHits += o.CacheHits
 	s.CacheMisses += o.CacheMisses
 	s.CacheCollisions += o.CacheCollisions

@@ -124,9 +124,9 @@ type exprTwoEnc struct {
 // capturing into a cnf.Formula and replaying it into K portfolio
 // members yields the same literal numbering as encoding into a solver
 // directly — the returned literals are valid on every member.
-func (e *engine) encodeExprTwo(sink cnf.Sink, m0, m1 aig.Lit, divs []divisor) exprTwoEnc {
-	enc1 := cnf.NewEncoder(sink, e.w)
-	enc2 := cnf.NewEncoder(sink, e.w)
+func (e *engine) encodeExprTwo(sink cnf.Sink, g *aig.AIG, m0, m1 aig.Lit, divs []divisor) exprTwoEnc {
+	enc1 := cnf.NewEncoder(sink, g)
+	enc2 := cnf.NewEncoder(sink, g)
 	ec := exprTwoEnc{
 		r1:   enc1.Lit(m0),
 		r2:   enc2.Lit(m1),
@@ -148,8 +148,8 @@ func (e *engine) encodeExprTwo(sink cnf.Sink, m0, m1 aig.Lit, divs []divisor) ex
 	// the capture never alters the clause/variable stream. Skipped
 	// under preprocessing: eliminated PI variables have no model value.
 	if e.simEnabled() && !e.opt.Preprocess {
-		e.winPIs1 = e.capturePIs(enc1)
-		e.winPIs2 = e.capturePIs(enc2)
+		e.winPIs1 = e.capturePIs(enc1, g)
+		e.winPIs2 = e.capturePIs(enc2, g)
 	}
 	return ec
 }
@@ -191,6 +191,12 @@ func (e *engine) satPatchWith(i int, m0, m1 aig.Lit, divs []divisor) error {
 		e.winBank, e.winEqs, e.winPIs1, e.winPIs2 = nil, nil, nil, nil
 	}()
 
+	// With rewriting on, every encoding below reads from the optimized
+	// extraction of this window's cones instead of the working AIG.
+	// The PI interface is preserved, so pattern capture and replay are
+	// unaffected; divisor order, names and costs are identical.
+	wg, m0, m1, divs := e.rewriteWindow(m0, m1, divs)
+
 	// Expression (2): UNSAT under all equalities iff the divisors can
 	// express a patch. At Parallelism > 1 the query races across the
 	// portfolio and the winner carries on as the incremental solver
@@ -203,7 +209,7 @@ func (e *engine) satPatchWith(i int, m0, m1 aig.Lit, divs []divisor) error {
 	var ec exprTwoEnc
 	if e.par() > 1 || e.opt.Preprocess {
 		var f cnf.Formula
-		ec = e.encodeExprTwo(&f, m0, m1, divs)
+		ec = e.encodeExprTwo(&f, wg, m0, m1, divs)
 		load := &f
 		if e.opt.Preprocess {
 			frozen := make([]sat.Lit, 0, 2+3*len(divs))
@@ -240,7 +246,7 @@ func (e *engine) satPatchWith(i int, m0, m1 aig.Lit, divs []divisor) error {
 		}
 	} else {
 		s = e.newSolver()
-		ec = e.encodeExprTwo(s, m0, m1, divs)
+		ec = e.encodeExprTwo(s, wg, m0, m1, divs)
 		e.stats.SATCalls++
 		switch s.Solve(append([]sat.Lit{ec.r1, ec.r2}, ec.auxs...)...) {
 		case sat.Sat:
@@ -295,7 +301,7 @@ func (e *engine) satPatchWith(i int, m0, m1 aig.Lit, divs []divisor) error {
 		support[jj] = divs[j].name
 	}
 	if e.opt.Patch == PatchInterpolation {
-		patch, err = e.interpolatePatch(m0, m1, divs, selected)
+		patch, err = e.interpolatePatch(wg, m0, m1, divs, selected)
 		if err != nil {
 			return err
 		}

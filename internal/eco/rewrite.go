@@ -1,0 +1,117 @@
+package eco
+
+import (
+	"fmt"
+	"time"
+
+	"ecopatch/internal/aig"
+)
+
+// This file hosts the engine side of Options.Rewrite: extracting a
+// miter cone (plus any companion roots that must stay aligned with
+// it) into a fresh graph that preserves the working AIG's full PI
+// interface, shrinking it with aig.Optimize, and handing back the
+// optimized roots. Preserving the PI interface — same count, order
+// and names — is what lets every consumer keyed by PI position (QBF
+// partitions via xPIs/tPIs, pattern capture, cofactor maps) run on
+// the rewritten graph unchanged.
+
+// rewriteMinAnds gates the pass by cone size: below it the extraction
+// and cut enumeration cost more than any solver time they could save
+// (a solver settles a sub-hundred-node cone instantly), so the pass
+// runs as the identity. Gated cones still count into the stats —
+// before equals after, truthfully reporting zero elimination.
+const rewriteMinAnds = 100
+
+// rewriteCone copies the cones of roots out of e.w into a fresh graph
+// with e.w's exact PI interface, optimizes it, and returns the graph
+// with the edges corresponding to roots (each root becomes PO i of
+// the result, surviving the rebuilds by construction). Counters and
+// wall clock land in the run stats.
+func (e *engine) rewriteCone(roots []aig.Lit) (*aig.AIG, []aig.Lit) {
+	t := time.Now()
+	ands := 0
+	for _, idx := range e.w.ConeNodes(roots) {
+		if e.w.IsAnd(idx) {
+			ands++
+		}
+	}
+	if ands < rewriteMinAnds {
+		e.stats.RewriteNodesBefore += int64(ands)
+		e.stats.RewriteNodesAfter += int64(ands)
+		e.stats.RewriteTime += time.Since(t)
+		return e.w, roots
+	}
+	rg := aig.New()
+	piMap := make([]aig.Lit, e.w.NumPIs())
+	for i := range piMap {
+		piMap[i] = rg.AddPI(e.w.PIName(i))
+	}
+	moved := aig.Transfer(rg, e.w, piMap, roots)
+	for i, r := range moved {
+		rg.AddPO(fmt.Sprintf("r%d", i), r)
+	}
+	e.stats.RewriteNodesBefore += int64(rg.NumAnds())
+	og := aig.Optimize(rg)
+	e.stats.RewriteNodesAfter += int64(og.NumAnds())
+	e.stats.RewriteTime += time.Since(t)
+	out := make([]aig.Lit, len(roots))
+	for i := range out {
+		out[i] = og.PO(i)
+	}
+	return og, out
+}
+
+// rewriteWindow prepares the graph a window's expression-(2) encoding
+// reads from: e.w untouched when rewriting is off, otherwise the
+// optimized extraction of both cofactor miters and every divisor
+// edge. Divisor names, costs and order are preserved so selection
+// indices and cost accounting are unaffected.
+func (e *engine) rewriteWindow(m0, m1 aig.Lit, divs []divisor) (*aig.AIG, aig.Lit, aig.Lit, []divisor) {
+	// Analyze-final reads the support straight off the feasibility
+	// proof's final conflict, so the selection is proof-shaped, not
+	// status-driven: a rewritten (smaller, different) encoding steers
+	// the solver to a different proof whose conflict can name a
+	// costlier support. Same guard as simulation pruning; the
+	// feasibility and verification rewrites stay on (verdict-only
+	// surfaces).
+	if !e.opt.Rewrite || e.opt.Support == SupportAnalyzeFinal {
+		return e.w, m0, m1, divs
+	}
+	roots := make([]aig.Lit, 0, 2+len(divs))
+	roots = append(roots, m0, m1)
+	for _, d := range divs {
+		roots = append(roots, d.edge)
+	}
+	og, moved := e.rewriteCone(roots)
+	rdivs := make([]divisor, len(divs))
+	for i, d := range divs {
+		rdivs[i] = divisor{name: d.name, edge: moved[2+i], cost: d.cost}
+	}
+	return og, moved[0], moved[1], rdivs
+}
+
+// rewriteFeas prepares the graph the feasibility check reads from:
+// (e.w, fullMiter) untouched when rewriting is off, otherwise the
+// optimized extraction of the full miter cone. The verdict is
+// rewrite-independent, but the QBF countermoves are read off the
+// graph the solver saw and feed move-guided quantification — which
+// reshapes the very windows analyze-final's proof-shaped selection
+// reads — so the analyze-final guard applies here too.
+func (e *engine) rewriteFeas() (*aig.AIG, aig.Lit) {
+	if !e.opt.Rewrite || e.opt.Support == SupportAnalyzeFinal {
+		return e.w, e.fullMiter
+	}
+	og, moved := e.rewriteCone([]aig.Lit{e.fullMiter})
+	return og, moved[0]
+}
+
+// identityPIMap returns the identity PI map of g (selfPIMap for an
+// arbitrary graph).
+func identityPIMap(g *aig.AIG) []aig.Lit {
+	m := make([]aig.Lit, g.NumPIs())
+	for i := range m {
+		m[i] = g.PI(i)
+	}
+	return m
+}

@@ -1,0 +1,166 @@
+package eco
+
+import (
+	"testing"
+
+	"ecopatch/internal/cache"
+)
+
+// rewriteOptions turns the DAG-aware rewriting pass on over base.
+func rewriteOptions(base Options) Options {
+	base.Rewrite = true
+	return base
+}
+
+// TestRewriteSerialReproducible pins that a rewrite-on run at
+// Parallelism=1 is deterministic against itself: the rewriting pass is
+// a pure function of the input graph (index-ordered node walk, seeded
+// by nothing), so two runs must be bit-for-bit identical.
+func TestRewriteSerialReproducible(t *testing.T) {
+	for name, tc := range parallelCases(t) {
+		t.Run(name, func(t *testing.T) {
+			opt := rewriteOptions(tc.opt)
+			opt.Parallelism = 1
+			var snaps []string
+			for run := 0; run < 2; run++ {
+				res, err := Solve(tc.inst, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Verified {
+					t.Fatal("not verified")
+				}
+				snaps = append(snaps, snapshotResult(res))
+			}
+			if snaps[0] != snaps[1] {
+				t.Fatalf("rewrite-on run not reproducible:\nrun0:\n%s\nrun1:\n%s", snaps[0], snaps[1])
+			}
+		})
+	}
+}
+
+// TestRewriteVerdictCostParity pins the soundness contract of the
+// rewriting layer: rewrite-on and rewrite-off runs agree on the
+// verdicts (feasible, verified) and the patch cost — the rewritten
+// miters are functionally equivalent to the originals, so every
+// query's status is preserved. Patch structure may differ; both
+// patches must verify.
+func TestRewriteVerdictCostParity(t *testing.T) {
+	for name, tc := range parallelCases(t) {
+		t.Run(name, func(t *testing.T) {
+			base := tc.opt
+			base.Parallelism = 1
+			off, err := Solve(tc.inst, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			on, err := Solve(tc.inst, rewriteOptions(base))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if on.Feasible != off.Feasible || on.Verified != off.Verified {
+				t.Fatalf("verdict diverged: rewrite-on %v/%v rewrite-off %v/%v",
+					on.Feasible, on.Verified, off.Feasible, off.Verified)
+			}
+			if on.TotalCost != off.TotalCost {
+				t.Fatalf("patch cost diverged: rewrite-on %d rewrite-off %d", on.TotalCost, off.TotalCost)
+			}
+			if on.Verified {
+				ok, err := VerifyPatch(tc.inst, on.Patch)
+				if err != nil || !ok {
+					t.Fatalf("rewrite-on patch fails standalone verification: ok=%v err=%v", ok, err)
+				}
+			}
+			if on.Stats.RewriteNodesBefore == 0 {
+				t.Fatal("rewrite-on run never rewrote a miter")
+			}
+			if off.Stats.RewriteNodesBefore != 0 || off.Stats.RewriteNodesAfter != 0 {
+				t.Fatalf("rewrite-off run recorded rewriting stats: %d/%d",
+					off.Stats.RewriteNodesBefore, off.Stats.RewriteNodesAfter)
+			}
+			if on.Stats.RewriteNodesAfter > on.Stats.RewriteNodesBefore {
+				t.Fatalf("rewriting grew the miters: %d -> %d",
+					on.Stats.RewriteNodesBefore, on.Stats.RewriteNodesAfter)
+			}
+		})
+	}
+}
+
+// TestRewriteOptionsKeySeparation pins that window-cache keys separate
+// rewrite-on from rewrite-off (and from the simulation modes): a
+// rewritten window may cache a different (equally valid) patch, so the
+// entries must never collide.
+func TestRewriteOptionsKeySeparation(t *testing.T) {
+	mk := func(opt Options) []uint64 {
+		e := &engine{opt: opt}
+		return e.appendOptionsKey(nil)
+	}
+	base := DefaultOptions()
+	base.Parallelism = 1
+	keys := map[string][]uint64{
+		"off":         mk(base),
+		"rewrite":     mk(rewriteOptions(base)),
+		"sim":         mk(simOptions(base)),
+		"rewrite+sim": mk(rewriteOptions(simOptions(base))),
+	}
+	eq := func(a, b []uint64) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for a, ka := range keys {
+		for b, kb := range keys {
+			if a != b && eq(ka, kb) {
+				t.Fatalf("options key does not separate %q from %q", a, b)
+			}
+		}
+	}
+}
+
+// TestRewriteCacheDeterminism extends the cache determinism contract
+// to rewrite-on runs: uncached, cold-cache, and warm-cache runs must
+// be bit-for-bit identical at Parallelism=1. This exercises the
+// rewrite marker in the feasibility key and options bit 8 in window
+// keys — without them a rewrite-on run could replay a rewrite-off
+// entry whose cached countermoves or patch came off a different graph.
+func TestRewriteCacheDeterminism(t *testing.T) {
+	for name, tc := range parallelCases(t) {
+		t.Run(name, func(t *testing.T) {
+			base := rewriteOptions(tc.opt)
+			base.Parallelism = 1
+
+			ref, err := Solve(tc.inst, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := snapshotResult(ref)
+
+			c := cache.New(1024)
+			opt := base
+			opt.Cache = c
+			var warmHits int64
+			for run := 0; run < 3; run++ {
+				res, err := Solve(tc.inst, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := snapshotResult(res); got != want {
+					t.Fatalf("run %d diverged from uncached reference:\nwant:\n%s\ngot:\n%s",
+						run, want, got)
+				}
+				if run > 0 {
+					warmHits += res.Stats.CacheHits
+				}
+			}
+			if warmHits == 0 {
+				t.Fatal("warm rewrite-on runs never hit the cache")
+			}
+		})
+	}
+}

@@ -26,6 +26,7 @@ func (e *engine) verify() (bool, error) {
 		Shards:     e.par(),
 		Cache:      e.solveCache(),
 		Preprocess: e.prepCfg(),
+		Rewrite:    e.opt.Rewrite,
 	})
 	e.stats.CacheHits += res.CacheHits
 	e.stats.CacheMisses += res.CacheMisses

@@ -92,6 +92,10 @@ type JobOptions struct {
 	// call elision + divisor pruning) for the job. Absent takes the
 	// server default (-sim).
 	Sim *bool `json:"sim,omitempty"`
+	// Rewrite enables DAG-aware rewriting of every miter before it
+	// reaches the SAT/QBF solvers. Absent takes the server default
+	// (-rewrite).
+	Rewrite *bool `json:"rewrite,omitempty"`
 }
 
 // Eco materializes the engine options, starting from DefaultOptions.
@@ -150,6 +154,9 @@ func (o JobOptions) Eco() (eco.Options, error) {
 	}
 	if o.Sim != nil {
 		opt.SimBank, opt.SimPrune = *o.Sim, *o.Sim
+	}
+	if o.Rewrite != nil {
+		opt.Rewrite = *o.Rewrite
 	}
 	if opt.Preprocess && opt.Patch == eco.PatchInterpolation {
 		return opt, fmt.Errorf("preprocess is incompatible with patch \"interp\" (proof logging needs the original clauses)")

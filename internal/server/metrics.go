@@ -282,6 +282,7 @@ func (m *Metrics) WritePrometheus(w io.Writer, g gaugeSnapshot) {
 	counter("ecod_sim_elided_total", "SAT calls answered from the banked-model pattern store.", st.SimElided)
 	counter("ecod_sim_pruned_divisors_total", "Divisors dropped by simulation-guided pruning.", st.SimPruned)
 	counter("ecod_sim_patterns_total", "Simulation patterns banked (models + counterexamples).", st.SimPatterns)
+	counter("ecod_rewrite_nodes_eliminated_total", "Miter AND nodes removed by DAG-aware rewriting.", st.RewriteNodesBefore-st.RewriteNodesAfter)
 	fcounter := func(name, help string, v float64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
 	}
@@ -307,6 +308,7 @@ func (m *Metrics) WritePrometheus(w io.Writer, g gaugeSnapshot) {
 	counter("ecod_sat_prep_clauses_subsumed_total", "Clauses removed by preprocessing subsumption.", st.Prep.ClausesSubsumed)
 	counter("ecod_sat_prep_lits_strengthened_total", "Literals removed by self-subsuming resolution and vivification.", st.Prep.LitsStrengthened)
 	fcounter("ecod_sat_prep_seconds_total", "Wall clock spent inside CNF preprocessing.", st.Prep.PrepTime.Seconds())
+	fcounter("ecod_rewrite_seconds_total", "Wall clock spent inside DAG-aware miter rewriting.", st.RewriteTime.Seconds())
 
 	// Portfolio race outcomes (intra-solve parallelism), labeled by
 	// member configuration so win skew is visible per solver recipe.

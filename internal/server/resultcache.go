@@ -57,6 +57,7 @@ func requestDigest(req *JobRequest, opt eco.Options) string {
 	wb(opt.Preprocess)
 	wb(opt.SimBank)
 	wb(opt.SimPrune)
+	wb(opt.Rewrite)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

@@ -1,0 +1,112 @@
+package server
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"ecopatch/internal/eco"
+)
+
+// TestJobOptionsRewrite pins the wire-level mapping of the "rewrite"
+// tri-state: explicit values apply, absent means off at this layer
+// (the server default applies later, at admission).
+func TestJobOptionsRewrite(t *testing.T) {
+	on := true
+	opt, err := JobOptions{Rewrite: &on}.Eco()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opt.Rewrite {
+		t.Fatal("explicit rewrite=true not applied")
+	}
+	opt, err = JobOptions{}.Eco()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Rewrite {
+		t.Fatal("absent rewrite defaulted on at the options layer")
+	}
+}
+
+// TestServerDefaultRewrite pins the -rewrite server default: jobs that
+// leave rewrite unset inherit it, an explicit false wins over the
+// default, and the rewriting counters of finished jobs surface in
+// /metrics.
+func TestServerDefaultRewrite(t *testing.T) {
+	opts := make(chan eco.Options, 1)
+	s, c := newTestServer(t, Config{Workers: 1, QueueCap: 8, DefaultRewrite: true})
+	s.solve = func(ctx context.Context, inst *eco.Instance, opt eco.Options) (*eco.Result, error) {
+		opts <- opt
+		res := &eco.Result{Feasible: true, Verified: true}
+		if opt.Rewrite {
+			res.Stats.RewriteNodesBefore = 40
+			res.Stats.RewriteNodesAfter = 25
+			res.Stats.RewriteTime = 125 * time.Millisecond
+		}
+		return res, nil
+	}
+	ctx := context.Background()
+
+	submit := func(jo JobOptions) eco.Options {
+		t.Helper()
+		req := testRequest()
+		req.Options = jo
+		st, err := c.Submit(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Wait(ctx, st.ID, 2*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case opt := <-opts:
+			return opt
+		case <-time.After(5 * time.Second):
+			t.Fatal("solve never ran")
+			return eco.Options{}
+		}
+	}
+
+	if opt := submit(JobOptions{}); !opt.Rewrite {
+		t.Fatal("unset rewrite did not inherit the server default")
+	}
+	off := false
+	if opt := submit(JobOptions{Rewrite: &off}); opt.Rewrite {
+		t.Fatal("explicit rewrite=false overridden by the server default")
+	}
+
+	// Only the first submit ran with rewriting on; eliminated =
+	// before - after = 15 must show in /metrics.
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"ecod_rewrite_nodes_eliminated_total 15",
+		"ecod_rewrite_seconds_total 0.125",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestRewriteDigestSeparation pins that the content-addressed result
+// cache never dedupes a rewrite-on submission against a rewrite-off
+// one: the option is part of the request digest.
+func TestRewriteDigestSeparation(t *testing.T) {
+	req := testRequest()
+	mk := func(rewrite bool) string {
+		jo := JobOptions{Rewrite: &rewrite}
+		opt, err := jo.Eco()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return requestDigest(&req, opt)
+	}
+	if mk(false) == mk(true) {
+		t.Fatal("request digest does not separate rewrite-on from rewrite-off")
+	}
+}

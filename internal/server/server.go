@@ -60,6 +60,9 @@ type Config struct {
 	// bank + divisor pruning) for jobs that leave "sim" unset
 	// (ecod serve -sim).
 	DefaultSim bool
+	// DefaultRewrite enables DAG-aware miter rewriting for jobs that
+	// leave "rewrite" unset (ecod serve -rewrite).
+	DefaultRewrite bool
 	// DataDir, when set, enables crash-safe persistence: solve-cache
 	// entries and job transitions are appended to a segment log in this
 	// directory and replayed on the next boot — finished jobs stay
@@ -307,6 +310,9 @@ func (s *Server) jobFinished(j *Job, status JobStatus) {
 		stats.SimElided = status.Result.SimElided
 		stats.SimPruned = status.Result.SimPruned
 		stats.SimPatterns = status.Result.SimPatterns
+		stats.RewriteNodesBefore = status.Result.RewriteNodesBefore
+		stats.RewriteNodesAfter = status.Result.RewriteNodesAfter
+		stats.RewriteTime = time.Duration(status.Result.RewriteSec * float64(time.Second))
 	}
 	s.metrics.Finished(status.State, solve, stats)
 	s.cfg.Log.Printf("job %s (%s) -> %s", j.ID, j.Name, status.State)
@@ -472,6 +478,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Options.Sim == nil && s.cfg.DefaultSim {
 		opt.SimBank, opt.SimPrune = true, true
+	}
+	if req.Options.Rewrite == nil && s.cfg.DefaultRewrite {
+		opt.Rewrite = true
 	}
 	if s.cfg.MaxTimeout > 0 && (opt.Timeout == 0 || opt.Timeout > s.cfg.MaxTimeout) {
 		opt.Timeout = s.cfg.MaxTimeout

@@ -16,9 +16,11 @@
 # (BENCH_table1_prep.json) whose cells carry the prep_* counters for
 # before/after comparison against the p1 baseline, a restart-warm run
 # against a persisted solve-cache file (BENCH_table1_persist.json,
-# experiment E14), and a simulation-layer run (BENCH_table1_sim.json,
+# experiment E14), a simulation-layer run (BENCH_table1_sim.json,
 # experiment E15) whose cells carry the sim_* counters for elision and
-# pruning rates against the p1 baseline.
+# pruning rates against the p1 baseline, and a DAG-aware rewriting run
+# (BENCH_table1_rewrite.json, experiment E16) whose cells carry the
+# rewrite_* counters for miter node reduction against the p1 baseline.
 #
 # Run from the repository root. Non-gating: failures here never block
 # verify.sh.
@@ -81,7 +83,9 @@ go run ./cmd/ecobench -mode table1 -p 1 -prep -timeout "$T1_TIMEOUT" \
 	-json BENCH_table1_prep.json >/dev/null
 go run ./cmd/ecobench -mode table1 -p 1 -sim -timeout "$T1_TIMEOUT" \
 	-json BENCH_table1_sim.json >/dev/null
-echo "wrote BENCH_table1_p1.json, BENCH_table1_p4.json, BENCH_table1_prep.json and BENCH_table1_sim.json"
+go run ./cmd/ecobench -mode table1 -p 1 -rewrite -timeout "$T1_TIMEOUT" \
+	-json BENCH_table1_rewrite.json >/dev/null
+echo "wrote BENCH_table1_p1.json, BENCH_table1_p4.json, BENCH_table1_prep.json, BENCH_table1_sim.json and BENCH_table1_rewrite.json"
 
 # Persistence: the suite twice in two separate processes sharing only
 # a solve-cache file — the restart-warm run (experiment E14) is what

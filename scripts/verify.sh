@@ -40,6 +40,18 @@ go test -race -count=1 ./internal/sim
 go test -race -count=1 -run 'Sim|Evaluator|Sweep' \
 	./internal/aig ./internal/eco ./internal/cec
 
+# Focused race pass over the DAG-aware rewriting layer: the NPN
+# canonicalizer and replacement library, the rewriting pass itself
+# (equivalence, determinism, shrink differentials), and the rewrite-on
+# engine/cec/daemon differentials (verdict/cost parity, cache-key
+# separation, counterexample readback). -short skips the exhaustive
+# 65536-function recipe sweep — single-threaded table math the full
+# non-race suite above already runs; internal/bench's rewrite parity
+# test (pure solving, also covered above) stays out for the same
+# reason.
+go test -race -short -count=1 -run 'NPN|Rewrite|Cut|Isop|Optimize' \
+	./internal/aig ./internal/eco ./internal/cec ./internal/server
+
 # Focused race pass over the persistence layer: the segment log
 # (group-commit fsync, rotation, compaction vs concurrent appends),
 # torn-tail recovery, the daemon's replay/restore paths, and the
@@ -62,6 +74,9 @@ if [ "${BENCH:-0}" = "1" ]; then
 	go test -run FuzzSimWords -fuzz FuzzSimWords \
 		-fuzztime=10s ./internal/aig \
 		|| echo "sim fuzz smoke failed (non-gating)"
+	go test -run FuzzRewrite -fuzz FuzzRewrite \
+		-fuzztime=10s ./internal/aig \
+		|| echo "rewrite fuzz smoke failed (non-gating)"
 fi
 
 # Optional, gating when enabled: end-to-end ecod daemon smoke tests —
